@@ -1,0 +1,31 @@
+.PHONY: all build test bench bench-full doc examples clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+# Paper-validation tables (quick sizes) + Bechamel micro-benchmarks.
+bench:
+	dune exec bench/main.exe
+
+# Full-size sweeps (slow).
+bench-full:
+	RUMOR_BENCH_FULL=1 dune exec bench/main.exe
+
+doc:
+	dune build @doc
+
+examples:
+	dune exec examples/quickstart.exe
+	dune exec examples/dichotomy.exe
+	dune exec examples/p2p_churn.exe
+	dune exec examples/mobile_gossip.exe
+	dune exec examples/social_gossip.exe
+	dune exec examples/bottleneck.exe
+
+clean:
+	dune clean

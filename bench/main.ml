@@ -1,0 +1,137 @@
+(* Benchmark harness.
+
+   Part 1 regenerates every paper-validation table (experiments E1-E12,
+   the ablations A1/A2/O1/B1/R1, F1 and L; DESIGN.md carries the
+   per-experiment index): quick sizes
+   by default, full sweeps with RUMOR_BENCH_FULL=1, a single experiment
+   with RUMOR_BENCH_ONLY=E4, experiments skipped entirely with
+   RUMOR_BENCH_SKIP_EXPERIMENTS=1.
+
+   Part 2 runs Bechamel micro-benchmarks of the hot engine paths — one
+   Test.make per simulator/substrate operation — so performance
+   regressions in the engines are visible independently of the
+   statistical output. *)
+
+open Bechamel
+
+let env_flag name =
+  match Sys.getenv_opt name with Some ("1" | "true") -> true | _ -> false
+
+let run_experiments () =
+  let full = env_flag "RUMOR_BENCH_FULL" in
+  let seed =
+    match Sys.getenv_opt "RUMOR_BENCH_SEED" with
+    | Some s -> (try int_of_string s with _ -> 2020)
+    | None -> 2020
+  in
+  Printf.printf
+    "mode: %s, seed %d (RUMOR_BENCH_FULL=1 for full sweeps, RUMOR_BENCH_SEED \
+     to vary)\n\n%!"
+    (if full then "full" else "quick")
+    seed;
+  match Sys.getenv_opt "RUMOR_BENCH_ONLY" with
+  | Some id -> (
+    match Rumor_experiments.Registry.find id with
+    | Some e -> Rumor_experiments.Experiment.print ~full ~seed e
+    | None ->
+      Printf.eprintf "unknown experiment id %S\n" id;
+      exit 2)
+  | None -> Rumor_experiments.Registry.run_all ~full ~seed ()
+
+(* --- Bechamel micro-benchmarks --- *)
+
+let bench_tests () =
+  let open Rumor_core in
+  let n = 256 in
+  let clique = Rumor.Gen.clique n in
+  let clique_net = Rumor.Dynet.of_static clique in
+  let regular = Rumor.Gen.random_connected_regular (Rumor.Rng.create 11) n 8 in
+  let regular_net = Rumor.Dynet.of_static regular in
+  let g2 = Rumor.Dichotomy.g2 ~n in
+  let diligent = Rumor.Diligent.network ~n:512 ~rho:0.25 () in
+  let counter = ref 0 in
+  let fresh_rng () =
+    incr counter;
+    Rumor.Rng.create (1000 + !counter)
+  in
+  let test_async_cut name net source =
+    Test.make ~name
+      (Staged.stage (fun () -> ignore (Rumor.Async_cut.run (fresh_rng ()) net ~source)))
+  in
+  [
+    (* E1/E3/E10 workhorse: static spread on dense and sparse graphs. *)
+    test_async_cut "async-cut/clique-256" clique_net 0;
+    test_async_cut "async-cut/regular8-256" regular_net 0;
+    Test.make ~name:"async-tick/clique-256"
+      (Staged.stage (fun () ->
+           ignore (Rumor.Async_tick.run (fresh_rng ()) clique_net ~source:0)));
+    Test.make ~name:"sync/clique-256"
+      (Staged.stage (fun () ->
+           ignore (Rumor.Sync.run (fresh_rng ()) clique_net ~source:0)));
+    (* E7/E8 workhorse: the adaptive star. *)
+    test_async_cut "async-cut/G2-star-256" g2 0;
+    (* E2 workhorse: the adaptive diligent family (graph rebuilds on the
+       hot path). *)
+    test_async_cut "async-cut/diligent-512" diligent 0;
+    (* Substrates: generators, spectral sweep, weighted sampling. *)
+    Test.make ~name:"gen/random-regular-8-256"
+      (Staged.stage (fun () -> ignore (Rumor.Gen.random_regular (fresh_rng ()) n 8)));
+    Test.make ~name:"spectral/sweep-regular8-256"
+      (Staged.stage (fun () ->
+           ignore
+             (Rumor.Spectral.conductance_sweep ~iterations:100 (fresh_rng ()) regular)));
+    Test.make ~name:"eigen/jacobi-normalized-64"
+      (let g64 = Rumor.Gen.random_connected_regular (Rumor.Rng.create 13) 64 4 in
+       Staged.stage (fun () ->
+           ignore (Rumor.Eigen.normalized_adjacency_spectrum g64)));
+    Test.make ~name:"walk/cover-clique-128"
+      (let net = Rumor.Dynet.of_static (Rumor.Gen.clique 128) in
+       Staged.stage (fun () ->
+           ignore (Rumor.Walk.cover_time (fresh_rng ()) net ~start:0)));
+    Test.make ~name:"graph6/roundtrip-regular8-256"
+      (Staged.stage (fun () ->
+           ignore (Rumor.Graph6.decode (Rumor.Graph6.encode regular))));
+    Test.make ~name:"fenwick/fill+64-samples-4096"
+      (let weights = Array.init 4096 (fun i -> float_of_int (i mod 17) +. 1.) in
+       let fw = Rumor.Fenwick.create 4096 in
+       let rng = Rumor.Rng.create 3 in
+       Staged.stage (fun () ->
+           Rumor.Fenwick.fill_from fw weights;
+           for _ = 1 to 64 do
+             ignore
+               (Rumor.Fenwick.find fw (Rumor.Rng.float rng *. Rumor.Fenwick.total fw))
+           done));
+  ]
+
+let run_benchmarks () =
+  print_endline "=== Bechamel micro-benchmarks (engine hot paths) ===";
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.5) ~kde:None () in
+  let test = Test.make_grouped ~name:"rumor" (bench_tests ()) in
+  let raw = Benchmark.all cfg [ instance ] test in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols instance raw in
+  let rows =
+    Hashtbl.fold
+      (fun name result acc ->
+        let est =
+          match Analyze.OLS.estimates result with
+          | Some [ e ] -> e
+          | _ -> Float.nan
+        in
+        (name, est) :: acc)
+      results []
+  in
+  List.iter
+    (fun (name, est) ->
+      if Float.is_nan est then Printf.printf "%-36s (no estimate)\n" name
+      else if est >= 1e6 then Printf.printf "%-36s %10.2f ms/run\n" name (est /. 1e6)
+      else if est >= 1e3 then Printf.printf "%-36s %10.2f us/run\n" name (est /. 1e3)
+      else Printf.printf "%-36s %10.0f ns/run\n" name est)
+    (List.sort compare rows)
+
+let () =
+  if not (env_flag "RUMOR_BENCH_SKIP_EXPERIMENTS") then run_experiments ();
+  if not (env_flag "RUMOR_BENCH_SKIP_MICRO") then run_benchmarks ()

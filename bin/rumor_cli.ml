@@ -1,0 +1,464 @@
+(* rumor — command-line front end.
+
+   Subcommands:
+     describe    build a network and print its graph parameters
+     simulate    run the async/sync/flooding algorithm, Monte-Carlo summary
+     bound       evaluate the paper's spread-time bounds on a network
+     sweep       sweep the node count and fit the growth exponent
+     trace       one traced run: milestones, phases, CSV/DOT export
+     experiment  run a registered paper-validation experiment (E1..E12,
+                 A1, A2, O1, B1, R1, F1, L)
+
+   Network specifications (-N/--network):
+     clique | star | cycle | path | hypercube | regular | er |
+     g1 | g2 | diligent | absolute | alternating | markovian | mobile
+   sized with -n and family parameters --rho, --degree, -p, -q. *)
+
+open Cmdliner
+open Rumor_core.Rumor
+
+(* --- network construction from CLI parameters --- *)
+
+type net_params = {
+  family : string;
+  n : int;
+  rho : float;
+  degree : int;
+  p : float;
+  q : float;
+  seed : int;
+}
+
+let build_network params =
+  let { family; n; rho; degree; p; q; seed } = params in
+  let rng = Rng.create seed in
+  match String.lowercase_ascii family with
+  | "clique" -> Dynet.of_static ~name:"clique" ~rho:1.0 (Gen.clique n)
+  | "star" -> Dynet.of_static ~name:"star" ~phi:1.0 ~rho:1.0 ~rho_abs:1.0 (Gen.star n)
+  | "cycle" ->
+    Dynet.of_static ~name:"cycle"
+      ~phi:(2. /. float_of_int n)
+      ~rho:1.0 ~rho_abs:0.5 (Gen.cycle n)
+  | "path" -> Dynet.of_static ~name:"path" (Gen.path n)
+  | "hypercube" ->
+    let d =
+      let rec log2 x acc = if x <= 1 then acc else log2 (x / 2) (acc + 1) in
+      log2 n 0
+    in
+    Dynet.of_static ~name:"hypercube"
+      ~phi:(1. /. float_of_int d)
+      ~rho:1.0
+      ~rho_abs:(1. /. float_of_int d)
+      (Gen.hypercube d)
+  | "regular" ->
+    Dynet.of_static ~name:"random-regular" ~rho:1.0
+      ~rho_abs:(1. /. float_of_int degree)
+      (Gen.random_connected_regular rng n degree)
+  | "er" -> Dynet.of_static ~name:"erdos-renyi" (Gen.erdos_renyi rng n p)
+  | "g1" -> Dichotomy.g1 ~n
+  | "g2" -> Dichotomy.g2 ~n
+  | "diligent" -> Diligent.network ~n ~rho ()
+  | "absolute" -> Absolute.network ~n ~rho
+  | "alternating" -> Alternating.network ~n ()
+  | "markovian" -> Markovian.network ~n ~p ~q ()
+  | "mobile" ->
+    let side = max 4 (int_of_float (sqrt (float_of_int (4 * n)))) in
+    Mobile.network ~agents:n ~width:side ~height:side ~radius:2
+  | other -> failwith (Printf.sprintf "unknown network family %S" other)
+
+(* --- common options --- *)
+
+let family_arg =
+  let doc =
+    "Network family: clique, star, cycle, path, hypercube, regular, er, g1, \
+     g2, diligent, absolute, alternating, markovian, mobile."
+  in
+  Arg.(value & opt string "clique" & info [ "N"; "network" ] ~docv:"FAMILY" ~doc)
+
+let n_arg =
+  Arg.(value & opt int 128 & info [ "n"; "nodes" ] ~docv:"N" ~doc:"Number of nodes.")
+
+let rho_arg =
+  Arg.(
+    value & opt float 0.25
+    & info [ "rho" ] ~docv:"RHO" ~doc:"Diligence parameter for the adaptive families.")
+
+let degree_arg =
+  Arg.(value & opt int 8 & info [ "degree" ] ~docv:"D" ~doc:"Degree for regular graphs.")
+
+let p_arg =
+  Arg.(
+    value & opt float 0.05
+    & info [ "p" ] ~docv:"P" ~doc:"Edge/birth probability (er, markovian).")
+
+let q_arg =
+  Arg.(value & opt float 0.2 & info [ "q" ] ~docv:"Q" ~doc:"Edge death probability (markovian).")
+
+let seed_arg =
+  Arg.(value & opt int 2020 & info [ "seed" ] ~docv:"SEED" ~doc:"RNG seed.")
+
+let params_term =
+  let combine family n rho degree p q seed = { family; n; rho; degree; p; q; seed } in
+  Term.(
+    const combine $ family_arg $ n_arg $ rho_arg $ degree_arg $ p_arg $ q_arg
+    $ seed_arg)
+
+(* --- describe --- *)
+
+let describe params steps =
+  let net = build_network params in
+  let rng = Rng.create params.seed in
+  Printf.printf "network: %s (n = %d)\n" net.Dynet.name net.Dynet.n;
+  (match net.Dynet.source_hint with
+  | Some s -> Printf.printf "source hint: node %d\n" s
+  | None -> ());
+  let inst = net.Dynet.spawn rng in
+  let informed = Bitset.create net.Dynet.n in
+  let table =
+    Table.create
+      ~aligns:Table.[ Right; Right; Right; Right; Right; Right; Right ]
+      [ "step"; "m"; "min deg"; "max deg"; "connected"; "phi"; "rho_bar" ]
+  in
+  for step = 0 to steps - 1 do
+    let info = Dynet.next inst ~informed in
+    let g = info.Dynet.graph in
+    let connected = Traverse.is_connected g in
+    let phi =
+      match info.Dynet.phi with
+      | Some v -> Table.cell_g v
+      | None ->
+        if not connected then "0"
+        else if Graph.n g <= Cut.exact_size_limit then
+          Table.cell_g (Cut.conductance_exact g)
+        else Table.cell_g (Spectral.conductance_sweep (Rng.create 7) g) ^ "~"
+    in
+    Table.add_row table
+      [
+        Table.cell_i step;
+        Table.cell_i (Graph.m g);
+        Table.cell_i (Graph.min_degree g);
+        Table.cell_i (Graph.max_degree g);
+        (if connected then "yes" else "no");
+        phi;
+        Table.cell_g (Metrics.absolute_diligence g);
+      ]
+  done;
+  Table.print table
+
+let describe_cmd =
+  let steps =
+    Arg.(value & opt int 4 & info [ "steps" ] ~docv:"T" ~doc:"Steps to expose.")
+  in
+  Cmd.v
+    (Cmd.info "describe" ~doc:"Build a network and print per-step parameters.")
+    Term.(const describe $ params_term $ steps)
+
+(* --- simulate --- *)
+
+let simulate params algorithm engine reps horizon source =
+  let net = build_network params in
+  let rng = Rng.create params.seed in
+  let source = match source with -1 -> None | s -> Some s in
+  let mc =
+    match algorithm with
+    | "async" ->
+      let engine, protocol =
+        match engine with
+        | "cut" -> (Rumor_sim.Run.Cut, Protocol.Push_pull)
+        | "tick" -> (Rumor_sim.Run.Tick, Protocol.Push_pull)
+        | "push" -> (Rumor_sim.Run.Cut, Protocol.Push)
+        | "pull" -> (Rumor_sim.Run.Cut, Protocol.Pull)
+        | other -> failwith (Printf.sprintf "unknown engine %S" other)
+      in
+      Run.async_spread_times ~reps ~horizon ~engine ~protocol ?source rng net
+    | "sync" ->
+      Run.sync_spread_rounds ~reps ~max_rounds:(int_of_float horizon) ?source rng net
+    | "flood" ->
+      Run.flooding_rounds ~reps ~max_rounds:(int_of_float horizon) ?source rng net
+    | other -> failwith (Printf.sprintf "unknown algorithm %S" other)
+  in
+  Printf.printf "%s on %s: %d/%d runs completed\n" algorithm net.Dynet.name
+    mc.Run.completed mc.Run.reps;
+  Printf.printf "spread time: %s\n"
+    (Format.asprintf "%a" Summary.pp (Summary.of_samples mc.Run.times))
+
+let simulate_cmd =
+  let algorithm =
+    Arg.(
+      value & opt string "async"
+      & info [ "a"; "algorithm" ] ~docv:"ALG" ~doc:"async, sync or flood.")
+  in
+  let engine =
+    Arg.(
+      value & opt string "cut"
+      & info [ "engine" ] ~docv:"ENGINE"
+          ~doc:"Async engine: cut (fast), tick (literal), push, pull.")
+  in
+  let reps =
+    Arg.(value & opt int 30 & info [ "reps" ] ~docv:"R" ~doc:"Monte-Carlo repetitions.")
+  in
+  let horizon =
+    Arg.(
+      value & opt float 1e6
+      & info [ "horizon" ] ~docv:"H" ~doc:"Time/round budget per run.")
+  in
+  let source =
+    Arg.(
+      value & opt int (-1)
+      & info [ "source" ] ~docv:"NODE" ~doc:"Source node (-1 = family hint).")
+  in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Run a rumor-spreading algorithm, Monte-Carlo style.")
+    Term.(
+      const simulate $ params_term $ algorithm $ engine $ reps $ horizon $ source)
+
+(* --- bound --- *)
+
+let bound params c steps =
+  let net = build_network params in
+  let rng = Rng.create params.seed in
+  let n = net.Dynet.n in
+  let profiles = Bounds.profile ~steps rng net in
+  let fmt = function
+    | Some t -> string_of_int t
+    | None -> Printf.sprintf "not reached in %d steps" steps
+  in
+  Printf.printf "network: %s (n = %d), profile of %d steps\n" net.Dynet.name n steps;
+  let p0 = profiles.(0) in
+  Printf.printf "step-0 parameters: phi = %.4g, rho = %.4g, rho_bar = %.4g\n"
+    p0.Bounds.phi p0.Bounds.rho p0.Bounds.rho_abs;
+  (try
+     Printf.printf "Theorem 1.1  T(G,%.1f) = %s\n" c
+       (fmt (Bounds.theorem_1_1_time ~c ~n profiles))
+   with Invalid_argument _ ->
+     Printf.printf
+       "Theorem 1.1  T(G,%.1f) = unavailable (diligence unknown at this size; \
+        use a family with analytic rho)\n"
+       c);
+  Printf.printf "Theorem 1.3  T_abs = %s\n" (fmt (Bounds.theorem_1_3_time ~n profiles));
+  (try
+     Printf.printf "Corollary 1.6 min = %s\n"
+       (fmt (Bounds.corollary_1_6_time ~c ~n profiles))
+   with Invalid_argument _ -> ());
+  let giak = Giakkoupis.bound ~c:1. ~steps rng net in
+  Printf.printf "Giakkoupis et al. [17]: M(G) = %.2f, bound = %s\n"
+    giak.Giakkoupis.m_factor
+    (fmt giak.Giakkoupis.bound_time)
+
+let bound_cmd =
+  let c =
+    Arg.(
+      value & opt float 1.
+      & info [ "c" ] ~docv:"C" ~doc:"Failure-probability exponent of Theorem 1.1.")
+  in
+  let steps =
+    Arg.(
+      value & opt int 4096
+      & info [ "steps" ] ~docv:"T" ~doc:"Profile length to accumulate over.")
+  in
+  Cmd.v
+    (Cmd.info "bound" ~doc:"Evaluate the paper's spread-time bounds on a network.")
+    Term.(const bound $ params_term $ c $ steps)
+
+(* --- sweep --- *)
+
+let sweep params sizes reps algorithm csv_path =
+  let sizes =
+    List.map
+      (fun s ->
+        match int_of_string_opt (String.trim s) with
+        | Some n -> n
+        | None -> failwith (Printf.sprintf "bad size %S" s))
+      (String.split_on_char ',' sizes)
+  in
+  let rows = ref [] in
+  let table =
+    Table.create
+      ~aligns:Table.[ Right; Right; Right; Right; Right; Right ]
+      [ "n"; "mean"; "median"; "q90"; "q99"; "completed" ]
+  in
+  List.iter
+    (fun n ->
+      let net = build_network { params with n } in
+      let rng = Rng.create params.seed in
+      let mc =
+        match algorithm with
+        | "async" -> Run.async_spread_times ~reps rng net
+        | "sync" -> Run.sync_spread_rounds ~reps rng net
+        | "flood" -> Run.flooding_rounds ~reps rng net
+        | other -> failwith (Printf.sprintf "unknown algorithm %S" other)
+      in
+      let s = Summary.of_samples mc.Run.times in
+      let cells =
+        [
+          string_of_int n;
+          Printf.sprintf "%.4f" s.Summary.mean;
+          Printf.sprintf "%.4f" s.Summary.median;
+          Printf.sprintf "%.4f" s.Summary.q90;
+          Printf.sprintf "%.4f" s.Summary.q99;
+          Printf.sprintf "%d/%d" mc.Run.completed mc.Run.reps;
+        ]
+      in
+      rows := cells :: !rows;
+      Table.add_row table cells)
+    sizes;
+  Table.print
+    ~title:(Printf.sprintf "%s spread-time sweep over %s" algorithm params.family)
+    table;
+  (* Growth-shape fit over the medians. *)
+  (match sizes with
+  | _ :: _ :: _ ->
+    let points =
+      List.rev_map
+        (fun cells ->
+          (float_of_string (List.nth cells 0), float_of_string (List.nth cells 2)))
+        !rows
+    in
+    let fit = Regression.log_log points in
+    Printf.printf "log-log growth exponent of the median: %.3f (R^2 = %.3f)\n"
+      fit.Regression.slope fit.Regression.r_squared
+  | _ -> ());
+  match csv_path with
+  | Some path ->
+    Export.write_file path
+      (Export.csv_of_rows
+         ~header:[ "n"; "mean"; "median"; "q90"; "q99"; "completed" ]
+         (List.rev !rows));
+    Printf.printf "rows written to %s\n" path
+  | None -> ()
+
+let sweep_cmd =
+  let sizes =
+    Arg.(
+      value
+      & opt string "64,128,256,512"
+      & info [ "sizes" ] ~docv:"N1,N2,..." ~doc:"Comma-separated node counts.")
+  in
+  let reps =
+    Arg.(value & opt int 30 & info [ "reps" ] ~docv:"R" ~doc:"Repetitions per size.")
+  in
+  let algorithm =
+    Arg.(
+      value & opt string "async"
+      & info [ "a"; "algorithm" ] ~docv:"ALG" ~doc:"async, sync or flood.")
+  in
+  let csv =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "csv" ] ~docv:"PATH" ~doc:"Also write the rows as CSV.")
+  in
+  Cmd.v
+    (Cmd.info "sweep" ~doc:"Sweep the node count and fit the growth exponent.")
+    Term.(const sweep $ params_term $ sizes $ reps $ algorithm $ csv)
+
+(* --- trace --- *)
+
+let trace params horizon csv_path dot_path =
+  let net = build_network params in
+  let rng = Rng.create params.seed in
+  let source = Run.source_of net None in
+  let result = Async_cut.run ~horizon ~record_trace:true rng net ~source in
+  Printf.printf "%s: %s at time %.4f (%d informing events, %d steps)\n"
+    net.Dynet.name
+    (if result.Async_result.complete then "complete" else "incomplete")
+    result.Async_result.time result.Async_result.events
+    result.Async_result.steps;
+  let tr = result.Async_result.trace in
+  let n = net.Dynet.n in
+  (* Milestones and Lemma 3.1 phase structure. *)
+  List.iter
+    (fun frac ->
+      match Trace.time_to_fraction tr ~n frac with
+      | Some t -> Printf.printf "  %3.0f%% informed at t = %.4f\n" (100. *. frac) t
+      | None -> Printf.printf "  %3.0f%% informed: not reached\n" (100. *. frac))
+    [ 0.1; 0.5; 0.9; 1.0 ];
+  let phases = Trace.doubling_phases tr ~n in
+  Printf.printf "  %d doubling phases (a-priori bound %d)\n" (List.length phases)
+    (Trace.phase_count_bound ~n);
+  (match csv_path with
+  | Some path ->
+    let rows =
+      Array.to_list
+        (Array.map
+           (fun (t, c) -> [ Printf.sprintf "%.6f" t; string_of_int c ])
+           tr)
+    in
+    Export.write_file path (Export.csv_of_rows ~header:[ "time"; "informed" ] rows);
+    Printf.printf "  trajectory written to %s\n" path
+  | None -> ());
+  match dot_path with
+  | Some path ->
+    (* Final graph snapshot with the informed set highlighted. *)
+    let inst = net.Dynet.spawn (Rng.create params.seed) in
+    let g = (Dynet.next inst ~informed:result.Async_result.informed).Dynet.graph in
+    Export.write_file path
+      (Export.to_dot ~name:"rumor" ~highlight:result.Async_result.informed g);
+    Printf.printf "  DOT snapshot written to %s\n" path
+  | None -> ()
+
+let trace_cmd =
+  let horizon =
+    Arg.(value & opt float 1e6 & info [ "horizon" ] ~docv:"H" ~doc:"Time budget.")
+  in
+  let csv =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "csv" ] ~docv:"PATH" ~doc:"Write the (time, informed) trajectory as CSV.")
+  in
+  let dot =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "dot" ] ~docv:"PATH"
+          ~doc:"Write a Graphviz snapshot of the step-0 graph with the final informed set highlighted.")
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Run once with trajectory recording; print milestones and phases.")
+    Term.(const trace $ params_term $ horizon $ csv $ dot)
+
+(* --- experiment --- *)
+
+let experiment id full seed =
+  match String.lowercase_ascii id with
+  | "all" -> Rumor_experiments.Registry.run_all ~full ~seed ()
+  | id -> (
+    match Rumor_experiments.Registry.find id with
+    | Some e -> Rumor_experiments.Experiment.print ~full ~seed e
+    | None ->
+      Printf.eprintf "unknown experiment %S; known: %s\n" id
+        (String.concat ", "
+           (List.map
+              (fun e -> e.Rumor_experiments.Experiment.id)
+              Rumor_experiments.Registry.all));
+      exit 2)
+
+let experiment_cmd =
+  let id =
+    Arg.(
+      value & pos 0 string "all"
+      & info [] ~docv:"ID" ~doc:"Experiment id (E1..E12, A1, A2, O1, B1, R1, F1, L) or 'all'.")
+  in
+  let full =
+    Arg.(value & flag & info [ "full" ] ~doc:"Full-size sweeps instead of quick mode.")
+  in
+  let seed = seed_arg in
+  Cmd.v
+    (Cmd.info "experiment" ~doc:"Run a registered paper-validation experiment.")
+    Term.(const experiment $ id $ full $ seed)
+
+(* --- main --- *)
+
+let () =
+  let info =
+    Cmd.info "rumor" ~version:"1.0.0"
+      ~doc:
+        "Asynchronous rumor spreading in dynamic networks (Pourmiri & Mans, \
+         PODC 2020): simulators, constructions and bounds."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ describe_cmd; simulate_cmd; bound_cmd; sweep_cmd; trace_cmd; experiment_cmd ]))

@@ -1,0 +1,77 @@
+(* Watching the cut rate live — a tour of the stepping interface.
+
+   The paper's whole analysis is about the informing rate
+   lambda(tau) = sum over cut edges of (1/d_u + 1/d_v): Theorem 1.1
+   lower-bounds it through conductance and diligence, and the tight
+   constructions are exactly the networks that keep it pinned down.
+   The Async_cut stepping interface exposes every informing event, so
+   we can watch lambda collapse when the rumor hits a bottleneck.
+
+   We compare a clique (no bottleneck: the rate peaks mid-spread) with
+   a barbell (two cliques + one bridge: the rate crashes to
+   ~2 * 2/n while the rumor waits at the bridge).
+
+   Run with:  dune exec examples/bottleneck.exe *)
+
+open Rumor_core.Rumor
+
+(* Drive a run through the stepping interface, recording the
+   inter-informing gaps and the informed count at each event. *)
+let gaps net seed =
+  let e = Async_cut.create (Rng.create seed) net ~source:0 in
+  let out = ref [] in
+  let last = ref 0. in
+  let rec drive () =
+    match Async_cut.next_event e with
+    | Async_cut.Complete _ -> List.rev !out
+    | Async_cut.Informed (_, t) ->
+      out := (Async_cut.informed_count e, t -. !last) :: !out;
+      last := t;
+      drive ()
+    | Async_cut.Step_boundary _ -> drive ()
+  in
+  drive ()
+
+let () =
+  let n = 64 in
+  let clique = Dynet.of_static ~name:"clique" (Gen.clique (2 * n)) in
+  let barbell = Dynet.of_static ~name:"barbell" (Gen.barbell n) in
+  let show label net =
+    let g = gaps net 7 in
+    (* Largest single wait and where it happened. *)
+    let worst_count, worst_gap =
+      List.fold_left
+        (fun (bc, bg) (c, gap) -> if gap > bg then (c, gap) else (bc, bg))
+        (0, 0.) g
+    in
+    let total = List.fold_left (fun acc (_, gap) -> acc +. gap) 0. g in
+    Printf.printf
+      "%-8s spread %.2f; longest single wait %.2f (%.0f%% of the run) while \
+       %d/%d informed\n"
+      label total worst_gap
+      (100. *. worst_gap /. total)
+      worst_count (2 * n);
+    (* Plot the instantaneous rate (1/gap) against informed count. *)
+    let points =
+      List.filter_map
+        (fun (c, gap) ->
+          if gap > 1e-9 then Some (float_of_int c, 1. /. gap) else None)
+        g
+    in
+    print_string
+      (Ascii_plot.render ~height:10 ~logy:true
+         ~title:
+           (Printf.sprintf
+              "%s: informing rate (1/gap, log scale) vs informed count" label)
+         [ { Ascii_plot.label = '*'; points } ]);
+    print_newline ()
+  in
+  show "clique" clique;
+  show "barbell" barbell;
+  print_endline
+    "reading: on the clique the rate rises to a mid-spread maximum (the cut\n\
+     I x U is largest at |I| = n); on the barbell it crashes by orders of\n\
+     magnitude at half coverage — the one bridge edge, rate ~4/n, is the\n\
+     paper's lambda bottleneck made visible.  Conductance sees this cut;\n\
+     on degree-skewed dynamic networks only conductance *and* diligence\n\
+     together do, which is Theorem 1.1's point."

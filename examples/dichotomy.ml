@@ -1,0 +1,44 @@
+(* The paper's headline surprise (Theorem 1.7): in dynamic networks,
+   neither of the synchronous and asynchronous algorithms dominates the
+   other — G1 makes async linear while sync stays logarithmic, and G2
+   does the exact opposite.
+
+   Run with:  dune exec examples/dichotomy.exe *)
+
+open Rumor_core.Rumor
+
+let measure net seed =
+  let rng = Rng.create seed in
+  let a = Run.async_spread_times ~reps:60 rng net in
+  let s = Run.sync_spread_rounds ~reps:30 rng net in
+  ( Quantile.quantile a.Run.times 0.9,
+    Descriptive.mean s.Run.times )
+
+let () =
+  let n = 512 in
+  Printf.printf "n = %d, ln n = %.1f\n\n" n (log (float_of_int n));
+
+  (* G1: clique with a pendant source, then two bridged cliques.  The
+     synchronous round 0 *deterministically* pushes the rumor off the
+     pendant; the asynchronous clocks miss that window with constant
+     probability and then face a Theta(1/n)-rate bridge. *)
+  let g1 = Dichotomy.g1 ~n in
+  let a1, s1 = measure g1 1 in
+  Printf.printf "G1 (Fig 1a): async q90 = %7.1f   sync mean = %5.1f rounds\n" a1 s1;
+  Printf.printf "             -> async/sync = %.1fx (async pays Omega(n))\n\n"
+    (a1 /. s1);
+
+  (* G2: the re-centering star.  The synchronous algorithm can inform
+     only the fresh centre each round (a node informed mid-round cannot
+     relay), so it needs exactly n rounds; the asynchronous clocks
+     finish in Theta(log n). *)
+  let g2 = Dichotomy.g2 ~n in
+  let a2, s2 = measure g2 2 in
+  Printf.printf "G2 (Fig 1b): async q90 = %7.1f   sync mean = %5.1f rounds\n" a2 s2;
+  Printf.printf "             -> sync/async = %.1fx (sync pays exactly n)\n\n"
+    (s2 /. a2);
+
+  Printf.printf
+    "conclusion: in dynamic networks the spread times of the two algorithms \
+     are\nincomparable in general — the static coupling Ta = O(Ts + log n) of \
+     Giakkoupis\net al. [16] does not survive network dynamics.\n"

@@ -1,0 +1,57 @@
+(* Gossip between mobile agents — the paper's other motivating setting
+   (mobile wireless networks, cf. Pettarin et al. [22] / Lam et al.
+   [20] in its related work).  Agents random-walk on a torus grid and
+   can exchange the rumor whenever they are within radio range.  The
+   proximity graph is often disconnected, which exercises the paper's
+   conventions rho(G) = 0 and ceil(Phi(G)) = 0 on disconnected steps:
+   progress simply pauses until mobility reconnects the frontier.
+
+   We sweep the agent density and watch the spread time fall as the
+   network spends more of its time connected.
+
+   Run with:  dune exec examples/mobile_gossip.exe *)
+
+open Rumor_core.Rumor
+
+let () =
+  let width = 20 and height = 20 in
+  let radius = 2 in
+  let rng = Rng.create 11 in
+  let table =
+    Table.create
+      ~aligns:Table.[ Right; Right; Right; Right; Right ]
+      [ "agents"; "density"; "connected steps %"; "spread mean"; "completed" ]
+  in
+  List.iter
+    (fun agents ->
+      let net = Mobile.network ~agents ~width ~height ~radius in
+      (* Fraction of time steps whose proximity graph is connected,
+         over a 100-step observation window. *)
+      let profiles = Bounds.profile ~steps:100 (Rng.split rng) net in
+      let connected =
+        Array.fold_left
+          (fun acc p -> if p.Bounds.connected then acc + 1 else acc)
+          0 profiles
+      in
+      let mc = Run.async_spread_times ~reps:30 ~horizon:2000. rng net in
+      let summary = Summary.of_samples mc.Run.times in
+      Table.add_row table
+        [
+          Table.cell_i agents;
+          Table.cell_f (float_of_int agents /. float_of_int (width * height));
+          Table.cell_i connected;
+          Table.cell_f summary.Summary.mean;
+          Printf.sprintf "%d/%d" mc.Run.completed mc.Run.reps;
+        ])
+    [ 15; 25; 40; 60 ];
+  Table.print
+    ~title:
+      (Printf.sprintf
+         "rumor spreading between mobile agents (%dx%d torus, radio radius %d)"
+         width height radius)
+    table;
+  print_endline
+    "reading: below the percolation density the proximity graph is mostly\n\
+     disconnected and the rumor waits for encounters (long spread, some runs\n\
+     hit the horizon); as density rises the graph is connected most steps and\n\
+     the spread time collapses toward the static-expander regime."

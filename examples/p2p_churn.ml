@@ -1,0 +1,71 @@
+(* A realistic scenario from the paper's motivation: propagating an
+   update through a peer-to-peer overlay under churn.  Peers keep a
+   partial view of the network that is reshuffled over time; we model
+   the overlay as an edge-Markovian evolving graph (Clementi et al.
+   [7], the stochastic counterpart of the paper's adversarial
+   families) tuned so the stationary degree is a small constant, and
+   we ask:
+
+   - how fast does the asynchronous push-pull spread the update?
+   - how does that compare with the Theorem 1.3 budget computed from
+     the observed per-step parameters?
+   - how robust is the spread to harsher churn (higher death rate q)?
+
+   Run with:  dune exec examples/p2p_churn.exe *)
+
+open Rumor_core.Rumor
+
+let () =
+  let n = 200 in
+  let target_degree = 6. in
+  let rng = Rng.create 7 in
+  let table =
+    Table.create
+      ~aligns:Table.[ Right; Right; Right; Right; Right; Right ]
+      [ "churn q"; "stationary deg"; "spread mean"; "spread q90"; "completed"; "T_abs budget" ]
+  in
+  List.iter
+    (fun q ->
+      (* Edge birth probability giving the wanted stationary degree:
+         stationary edge prob = p/(p+q) = target/(n-1). *)
+      let pi = target_degree /. float_of_int (n - 1) in
+      let p = q *. pi /. (1. -. pi) in
+      (* Start at stationarity so the early steps are typical. *)
+      let init = Gen.erdos_renyi rng n pi in
+      let net = Markovian.network ~n ~p ~q ~init () in
+      let mc = Run.async_spread_times ~reps:40 ~horizon:1e4 rng net in
+      let summary = Summary.of_samples mc.Run.times in
+      (* Theorem 1.3 budget from the observed absolute diligence of a
+         profile window (the graphs are random, so we average). *)
+      let profiles = Bounds.profile ~steps:64 (Rng.split rng) net in
+      let avg_rho_abs =
+        Array.fold_left (fun acc pr -> acc +. pr.Bounds.rho_abs) 0. profiles
+        /. 64.
+      in
+      let budget =
+        if avg_rho_abs > 0. then
+          Table.cell_f ~digits:0 (Bounds.theorem_1_3_closed_form ~n ~rho_abs:avg_rho_abs)
+        else "-"
+      in
+      Table.add_row table
+        [
+          Printf.sprintf "%.2f" q;
+          Table.cell_f (Markovian.stationary_edge_probability ~p ~q *. float_of_int (n - 1));
+          Table.cell_f summary.Summary.mean;
+          Table.cell_f summary.Summary.q90;
+          Printf.sprintf "%d/%d" mc.Run.completed mc.Run.reps;
+          budget;
+        ])
+    [ 0.05; 0.2; 0.5; 0.9 ];
+  Table.print
+    ~title:
+      (Printf.sprintf
+         "update propagation in a churning P2P overlay (n = %d, ~%.0f-degree \
+          stationary views)"
+         n target_degree)
+    table;
+  print_endline
+    "reading: higher churn reshuffles views faster but keeps the stationary\n\
+     degree fixed — the asynchronous algorithm barely notices, exactly the\n\
+     robustness the gossip literature advertises; the Theorem 1.3 budget is\n\
+     a loose but sound ceiling throughout."

@@ -1,0 +1,59 @@
+(* Quickstart: simulate asynchronous push-pull rumor spreading on a
+   static network, measure the spread time over Monte-Carlo
+   repetitions, and compare against the paper's Theorem 1.1 and
+   Theorem 1.3 upper bounds.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+open Rumor_core.Rumor
+
+let () =
+  let n = 256 in
+  let rng = Rng.create 42 in
+
+  (* 1. Build a network: a random 8-regular graph (an expander). *)
+  let graph = Gen.random_connected_regular rng n 8 in
+  Printf.printf "network: random 8-regular, n = %d, m = %d\n" (Graph.n graph)
+    (Graph.m graph);
+
+  (* 2. Its parameters: conductance (spectral estimate), diligence
+        (exactly 1 on regular graphs) and absolute diligence. *)
+  let phi = Spectral.conductance_sweep (Rng.split rng) graph in
+  let rho = 1.0 (* regular graphs are 1-diligent *) in
+  let rho_abs = Metrics.absolute_diligence graph in
+  Printf.printf "parameters: Phi ~ %.3f, rho = %.1f, rho_bar = %.3f\n" phi rho
+    rho_abs;
+
+  (* 3. Wrap it as a (constant) dynamic network and run the
+        asynchronous algorithm 100 times. *)
+  let net = Dynet.of_static ~phi ~rho ~rho_abs graph in
+  let mc = Run.async_spread_times ~reps:100 rng net in
+  let summary = Summary.of_samples mc.Run.times in
+  Printf.printf "asynchronous spread time over %d runs:\n  %s\n" mc.Run.reps
+    (Format.asprintf "%a" Summary.pp summary);
+
+  (* 4. One traced run: the classic S-curve of gossip, plus the
+        Lemma 3.1 phase structure. *)
+  let traced = Async_cut.run ~record_trace:true (Rng.split rng) net ~source:0 in
+  let trace = traced.Async_result.trace in
+  print_string
+    (Ascii_plot.render ~height:12 ~title:"informed count over time (one run)"
+       [
+         {
+           Ascii_plot.label = '*';
+           points =
+             Array.to_list (Array.map (fun (t, c) -> (t, float_of_int c)) trace);
+         };
+       ]);
+  Printf.printf "doubling phases: %d (a-priori bound %d)\n\n"
+    (List.length (Trace.doubling_phases trace ~n))
+    (Trace.phase_count_bound ~n);
+
+  (* 5. Compare with the paper's bounds. *)
+  let t11 = Bounds.theorem_1_1_closed_form ~c:1. ~n ~phi_rho:(phi *. rho) in
+  let t13 = Bounds.theorem_1_3_closed_form ~n ~rho_abs in
+  Printf.printf "Theorem 1.1 bound T(G,1) = %.0f   (measured q99 = %.2f)\n" t11
+    summary.Summary.q99;
+  Printf.printf "Theorem 1.3 bound T_abs = %.0f\n" t13;
+  Printf.printf "both hold: %b\n"
+    (summary.Summary.max <= t11 && summary.Summary.max <= t13)

@@ -1,0 +1,82 @@
+(* Rumor spreading on social-network topologies — the setting behind
+   "social networks spread rumors in sublogarithmic time" (Doerr, Fouz
+   & Friedrich [12], cited in the paper's introduction).  We compare
+   three 200-node topologies of equal average degree:
+
+   - Barabási–Albert preferential attachment (heavy-tailed hubs),
+   - Watts–Strogatz small world (local clustering + shortcuts),
+   - a random regular graph (the degree-homogeneous control),
+
+   both as static networks and under per-step edge dropout (people
+   are not always reachable), and read the result through the paper's
+   lens: hubs buy speed but cost diligence — the absolute diligence
+   rho_bar of the BA graph is an order of magnitude worse, which is
+   exactly the quantity Theorem 1.3 charges for.
+
+   Run with:  dune exec examples/social_gossip.exe *)
+
+open Rumor_core.Rumor
+
+let () =
+  let n = 200 in
+  let rng = Rng.create 5 in
+  let ba = Gen.barabasi_albert rng n 3 in
+  let ws = Gen.watts_strogatz rng n 3 0.1 in
+  let reg = Gen.random_connected_regular rng n 6 in
+  let table =
+    Table.create
+      ~aligns:Table.[ Left; Right; Right; Right; Right; Right ]
+      [ "topology"; "max deg"; "rho_bar"; "spread mean"; "q90"; "with 50% dropout" ]
+  in
+  List.iter
+    (fun (label, g) ->
+      let net = Dynet.of_static ~name:label g in
+      let mc = Run.async_spread_times ~reps:50 rng net in
+      let summary = Summary.of_samples mc.Run.times in
+      let lossy = Combinators.with_edge_dropout ~p:0.5 net in
+      let mc_lossy = Run.async_spread_times ~reps:50 ~horizon:1e4 rng lossy in
+      Table.add_row table
+        [
+          label;
+          Table.cell_i (Graph.max_degree g);
+          Table.cell_g (Metrics.absolute_diligence g);
+          Table.cell_f summary.Summary.mean;
+          Table.cell_f summary.Summary.q90;
+          Table.cell_f (Descriptive.mean mc_lossy.Run.times);
+        ])
+    [
+      ("Barabasi-Albert m=3", ba);
+      ("Watts-Strogatz k=3 b=0.1", ws);
+      ("random 6-regular", reg);
+    ];
+  Table.print
+    ~title:
+      (Printf.sprintf
+         "asynchronous push-pull on social topologies (n = %d, avg degree ~6)"
+         n)
+    table;
+  (* Who hears it first?  Per-node informing times vs degree on the BA
+     graph: hubs should be informed systematically earlier. *)
+  let r =
+    Async_cut.run (Rng.split rng) (Dynet.of_static ~name:"ba" ba) ~source:0
+  in
+  let times = r.Async_result.informed_times in
+  let by_hub = ref [] and by_leaf = ref [] in
+  for u = 0 to n - 1 do
+    if u <> 0 && Float.is_finite times.(u) then begin
+      if Graph.degree ba u >= 10 then by_hub := times.(u) :: !by_hub
+      else if Graph.degree ba u <= 3 then by_leaf := times.(u) :: !by_leaf
+    end
+  done;
+  Printf.printf
+    "BA informing latency: hubs (deg >= 10) mean %.2f vs low-degree nodes \
+     (deg <= 3) mean %.2f\n\n"
+    (Descriptive.mean (Array.of_list !by_hub))
+    (Descriptive.mean (Array.of_list !by_leaf));
+  print_endline
+    "reading: the hub-heavy BA graph spreads fastest (informed hubs reach\n\
+     everyone), and dropout barely slows any topology — but its absolute\n\
+     diligence is an order of magnitude worse than the regular control:\n\
+     high-degree nodes sit on cut edges where max(1/du, 1/dv) is tiny, the\n\
+     exact effect the paper's diligence machinery prices into Theorems 1.1\n\
+     and 1.3."

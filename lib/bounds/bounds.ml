@@ -1,0 +1,104 @@
+open Rumor_util
+open Rumor_rng
+open Rumor_graph
+open Rumor_dynamic
+
+let c0 = 0.5 -. (1. /. exp 1.)
+
+let big_c ~c =
+  if c < 1. then invalid_arg "Bounds.big_c: Theorem 1.1 requires c >= 1";
+  ((10. *. c) +. 20.) /. c0
+
+type step_profile = {
+  phi : float;
+  rho : float;
+  rho_abs : float;
+  connected : bool;
+}
+
+let profile_of_info (info : Dynet.info) =
+  let graph = info.Dynet.graph in
+  let n = Graph.n graph in
+  (* A family-supplied positive conductance already certifies
+     connectivity; skip the BFS on that hot path. *)
+  let connected =
+    match info.Dynet.phi with
+    | Some v when v > 0. -> true
+    | Some _ | None -> Traverse.is_connected graph
+  in
+  let phi =
+    match info.Dynet.phi with
+    | Some v -> v
+    | None ->
+      if not connected then 0.
+      else if n <= Cut.exact_size_limit then Cut.conductance_exact graph
+      else Spectral.conductance_sweep (Rng.create 7) graph
+  in
+  let rho =
+    match info.Dynet.rho with
+    | Some v -> v
+    | None ->
+      if not connected then 0.
+      else if n <= Cut.exact_size_limit then Cut.diligence_exact graph
+      else Float.nan
+  in
+  let rho_abs =
+    match info.Dynet.rho_abs with
+    | Some v -> v
+    | None -> Metrics.absolute_diligence graph
+  in
+  { phi; rho; rho_abs; connected }
+
+let profile ?(steps = 256) rng (net : Dynet.t) =
+  let instance = net.spawn rng in
+  let empty = Bitset.create net.Dynet.n in
+  let cached = ref None in
+  Array.init steps (fun _ ->
+      let info = Dynet.next instance ~informed:empty in
+      match !cached with
+      | Some p when not info.Dynet.changed -> p
+      | Some _ | None ->
+        let p = profile_of_info info in
+        cached := Some p;
+        p)
+
+let first_time ~target f ~max_steps =
+  let rec go t acc =
+    if t >= max_steps then None
+    else begin
+      let contrib = f t in
+      if Float.is_nan contrib then
+        invalid_arg "Bounds.first_time: NaN step contribution";
+      let acc = acc +. contrib in
+      if acc >= target then Some t else go (t + 1) acc
+    end
+  in
+  go 0 0.
+
+let theorem_1_1_time ~c ~n profiles =
+  let target = big_c ~c *. log (float_of_int n) in
+  first_time ~target
+    (fun t -> profiles.(t).phi *. profiles.(t).rho)
+    ~max_steps:(Array.length profiles)
+
+let theorem_1_3_time ~n profiles =
+  let target = 2. *. float_of_int n in
+  first_time ~target
+    (fun t -> if profiles.(t).connected then profiles.(t).rho_abs else 0.)
+    ~max_steps:(Array.length profiles)
+
+let corollary_1_6_time ~c ~n profiles =
+  match (theorem_1_1_time ~c ~n profiles, theorem_1_3_time ~n profiles) with
+  | Some a, Some b -> Some (min a b)
+  | (Some _ as r), None | None, (Some _ as r) -> r
+  | None, None -> None
+
+let theorem_1_1_closed_form ~c ~n ~phi_rho =
+  if phi_rho <= 0. then
+    invalid_arg "Bounds.theorem_1_1_closed_form: phi_rho must be positive";
+  big_c ~c *. log (float_of_int n) /. phi_rho
+
+let theorem_1_3_closed_form ~n ~rho_abs =
+  if rho_abs <= 0. then
+    invalid_arg "Bounds.theorem_1_3_closed_form: rho_abs must be positive";
+  2. *. float_of_int n /. rho_abs

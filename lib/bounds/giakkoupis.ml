@@ -1,0 +1,58 @@
+open Rumor_util
+open Rumor_rng
+open Rumor_graph
+open Rumor_dynamic
+
+type result = {
+  bound_time : int option;
+  m_factor : float;
+}
+
+let m_factor_of_degrees ~mins ~maxs =
+  if Array.length mins <> Array.length maxs then
+    invalid_arg "Giakkoupis.m_factor_of_degrees: length mismatch";
+  let worst = ref 0. in
+  Array.iteri
+    (fun u dmin ->
+      let ratio =
+        if dmin = 0 then infinity
+        else float_of_int maxs.(u) /. float_of_int dmin
+      in
+      if ratio > !worst then worst := ratio)
+    mins;
+  !worst
+
+let bound ?(c = 1.) ?(steps = 256) rng (net : Dynet.t) =
+  let n = net.Dynet.n in
+  let instance = net.spawn rng in
+  let empty = Bitset.create n in
+  let mins = Array.make n max_int in
+  let maxs = Array.make n 0 in
+  let phis = Array.make steps 0. in
+  for t = 0 to steps - 1 do
+    let info = Dynet.next instance ~informed:empty in
+    let graph = info.Dynet.graph in
+    for u = 0 to n - 1 do
+      let d = Graph.degree graph u in
+      if d < mins.(u) then mins.(u) <- d;
+      if d > maxs.(u) then maxs.(u) <- d
+    done;
+    phis.(t) <-
+      (match info.Dynet.phi with
+      | Some v -> v
+      | None ->
+        if not (Traverse.is_connected graph) then 0.
+        else if Graph.n graph <= Cut.exact_size_limit then
+          Cut.conductance_exact graph
+        else Spectral.conductance_sweep (Rng.create 7) graph)
+  done;
+  let m_factor = m_factor_of_degrees ~mins ~maxs in
+  let bound_time =
+    if Float.is_finite m_factor then
+      Bounds.first_time
+        ~target:(c *. m_factor *. log (float_of_int n))
+        (fun t -> phis.(t))
+        ~max_steps:steps
+    else None
+  in
+  { bound_time; m_factor }

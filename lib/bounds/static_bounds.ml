@@ -1,0 +1,12 @@
+let chierichetti_rounds ?(c = 1.) ~phi n =
+  if n < 2 then invalid_arg "Static_bounds.chierichetti_rounds: need n >= 2";
+  if phi <= 0. then
+    invalid_arg "Static_bounds.chierichetti_rounds: phi must be positive";
+  c *. log (float_of_int n) /. phi
+
+let static_async_worst_case ?(c = 1.) n =
+  c *. float_of_int n *. log (float_of_int n)
+
+let karp_clique_rounds ?(c = 1.) n = c *. (log (float_of_int n) /. log 2.)
+
+let async_from_sync ~ts n = ts +. log (float_of_int n)

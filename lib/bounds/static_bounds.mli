@@ -1,0 +1,29 @@
+(** Static-network spread-time anchors from the literature the paper
+    builds on — the sanity baselines of experiment E10.
+
+    - Chierichetti, Giakkoupis, Lattanzi & Panconesi [6]: synchronous
+      push–pull on any static graph completes in [O(log n / Phi)]
+      rounds.
+    - Acan, Collevecchio, Mehrabian & Wormald [1]: asynchronous
+      push–pull on any connected static graph completes in
+      [O(n log n)] time.
+    - Karp, Schindelhauer, Shenker & Vöcking [19]: push–pull on the
+      complete graph takes [Theta(log n)] rounds.
+    - Giakkoupis, Nazari & Woelfel [16]: on static graphs
+      [T_a(G) = O(T_s(G) + log n)] — no such relation survives in
+      dynamic networks (Theorem 1.7).
+
+    In each signature the trailing positional argument is [n]. *)
+
+val chierichetti_rounds : ?c:float -> phi:float -> int -> float
+(** [c * log n / phi] (default [c = 1]).
+    @raise Invalid_argument if [phi <= 0] or [n < 2]. *)
+
+val static_async_worst_case : ?c:float -> int -> float
+(** [c * n * log n] (default [c = 1]). *)
+
+val karp_clique_rounds : ?c:float -> int -> float
+(** [c * log2 n]. *)
+
+val async_from_sync : ts:float -> int -> float
+(** The [16] static coupling envelope [ts + log n]. *)

@@ -1,0 +1,74 @@
+(** Public façade: the whole library under one namespace.
+
+    Downstream users depend on [rumor_core] and write
+    [Rumor.Gen.clique 64], [Rumor.Async_cut.run ...], etc.  Each alias
+    below points at the module whose interface documents it. *)
+
+(* Utility substrate *)
+module Bitset = Rumor_util.Bitset
+module Heap = Rumor_util.Heap
+module Fenwick = Rumor_util.Fenwick
+module Table = Rumor_util.Table
+module Ascii_plot = Rumor_util.Ascii_plot
+
+(* Randomness *)
+module Rng = Rumor_rng.Rng
+module Dist = Rumor_rng.Dist
+module Alias = Rumor_rng.Alias
+module Splitmix64 = Rumor_rng.Splitmix64
+module Xoshiro256 = Rumor_rng.Xoshiro256
+
+(* Statistics *)
+module Descriptive = Rumor_stats.Descriptive
+module Quantile = Rumor_stats.Quantile
+module Histogram = Rumor_stats.Histogram
+module Regression = Rumor_stats.Regression
+module Bootstrap = Rumor_stats.Bootstrap
+module Summary = Rumor_stats.Summary
+module Ks = Rumor_stats.Ks
+
+(* Graphs *)
+module Graph = Rumor_graph.Graph
+module Builder = Rumor_graph.Builder
+module Gen = Rumor_graph.Gen
+module Degree_seq = Rumor_graph.Degree_seq
+module Traverse = Rumor_graph.Traverse
+module Unionfind = Rumor_graph.Unionfind
+module Cut = Rumor_graph.Cut
+module Metrics = Rumor_graph.Metrics
+module Spectral = Rumor_graph.Spectral
+
+(* Dynamic networks *)
+module Dynet = Rumor_dynamic.Dynet
+module Paper_h = Rumor_dynamic.Paper_h
+module Diligent = Rumor_dynamic.Diligent
+module Absolute = Rumor_dynamic.Absolute
+module Dichotomy = Rumor_dynamic.Dichotomy
+module Alternating = Rumor_dynamic.Alternating
+module Markovian = Rumor_dynamic.Markovian
+module Mobile = Rumor_dynamic.Mobile
+module Adversary = Rumor_dynamic.Adversary
+
+(* Simulation *)
+module Protocol = Rumor_sim.Protocol
+module Async_result = Rumor_sim.Async_result
+module Async_cut = Rumor_sim.Async_cut
+module Async_tick = Rumor_sim.Async_tick
+module Sync = Rumor_sim.Sync
+module Flooding = Rumor_sim.Flooding
+module Run = Rumor_sim.Run
+
+(* Bounds *)
+module Bounds = Rumor_bounds.Bounds
+module Giakkoupis = Rumor_bounds.Giakkoupis
+module Static_bounds = Rumor_bounds.Static_bounds
+
+(* Extensions *)
+module Combinators = Rumor_dynamic.Combinators
+module Trace = Rumor_sim.Trace
+module Export = Rumor_graph.Export
+module Coupling = Rumor_sim.Coupling
+module Estimate = Rumor_sim.Estimate
+module Eigen = Rumor_graph.Eigen
+module Walk = Rumor_sim.Walk
+module Graph6 = Rumor_graph.Graph6

@@ -1,0 +1,153 @@
+open Rumor_util
+open Rumor_graph
+
+let delta_of_rho rho =
+  if rho <= 0. || rho > 1. then invalid_arg "Absolute.delta_of_rho: need 0 < rho <= 1";
+  let d = int_of_float (Float.ceil (1. /. rho)) in
+  let d = if d mod 2 = 0 then d else d + 1 in
+  max 2 d
+
+let regular_except_one_fast ~ids ~delta =
+  if delta < 2 || delta mod 2 = 1 then
+    invalid_arg "Absolute.regular_except_one_fast: delta must be even, >= 2";
+  let m = Array.length ids in
+  if m < (2 * delta) + 6 then
+    invalid_arg
+      (Printf.sprintf
+         "Absolute.regular_except_one_fast: need |ids| >= %d (got %d)"
+         ((2 * delta) + 6)
+         m);
+  let special = ids.(0) in
+  let ring = Array.sub ids 1 (m - 1) in
+  let r = Array.length ring in
+  let edges = ref [] in
+  let removed = Hashtbl.create delta in
+  (* Remove ring edges (4j, 4j+1) for j = 0 .. delta/2 - 1; they are
+     pairwise non-adjacent, and the distance-2 chords reconnect each
+     gap. *)
+  for j = 0 to (delta / 2) - 1 do
+    Hashtbl.add removed (4 * j) ()
+  done;
+  for i = 0 to r - 1 do
+    (* Ring edge (i, i+1) unless removed. *)
+    if not (Hashtbl.mem removed i) then
+      edges := (ring.(i), ring.((i + 1) mod r)) :: !edges;
+    (* Distance-2 chord (i, i+2). *)
+    edges := (ring.(i), ring.((i + 2) mod r)) :: !edges
+  done;
+  (* Rewire each removed ring edge's endpoints to the special node. *)
+  Hashtbl.iter
+    (fun i () ->
+      edges := (special, ring.(i)) :: !edges;
+      edges := (special, ring.((i + 1) mod r)) :: !edges)
+    removed;
+  !edges
+
+let admissible ~n ~rho =
+  rho > 0. && rho <= 1.
+  &&
+  let delta = delta_of_rho rho in
+  let a0 = n / 2 in
+  let b_min = n / 6 in
+  (* A-side must host the 4-regular-except-one gadget even at its
+     smallest (it only grows); B-side circulant needs delta < |B| at
+     its smallest. *)
+  a0 >= (2 * delta) + 6 && b_min > delta && b_min >= 3
+
+let spread_lower_bound ~n ~rho =
+  float_of_int n *. float_of_int (delta_of_rho rho) /. 80.
+
+let network ~n ~rho =
+  if not (admissible ~n ~rho) then
+    invalid_arg (Printf.sprintf "Absolute.network: (n=%d, rho=%g) not admissible" n rho);
+  let delta = delta_of_rho rho in
+  let a0_size = n / 2 in
+  let spawn _rng =
+    let in_b = Bitset.create n in
+    for u = a0_size to n - 1 do
+      ignore (Bitset.add in_b u)
+    done;
+    let frozen = ref false in
+    let current = ref None in
+    let rebuild () =
+      let b_arr = Array.of_list (Bitset.to_list in_b) in
+      let a_arr =
+        let out = Array.make (n - Array.length b_arr) 0 in
+        let idx = ref 0 in
+        for u = 0 to n - 1 do
+          if not (Bitset.mem in_b u) then begin
+            out.(!idx) <- u;
+            incr idx
+          end
+        done;
+        out
+      in
+      let builder = Builder.create n in
+      (* A-side: all degree 4 except a_arr.(0) with degree delta. *)
+      List.iter
+        (fun (u, v) -> ignore (Builder.add_edge builder u v))
+        (regular_except_one_fast ~ids:a_arr ~delta);
+      (* B-side: delta-regular circulant over the B ids. *)
+      let nb = Array.length b_arr in
+      for s = 1 to delta / 2 do
+        for i = 0 to nb - 1 do
+          ignore (Builder.add_edge builder b_arr.(i) b_arr.((i + s) mod nb))
+        done
+      done;
+      (* The single bridge: special A node to an arbitrary B node. *)
+      ignore (Builder.add_edge builder a_arr.(0) b_arr.(0));
+      let graph = Builder.freeze builder in
+      (* The bridge is the bottleneck cut: one edge against the B-side
+         volume. *)
+      let phi = 1. /. float_of_int (Bitset.cardinal in_b * delta) in
+      current := Some (graph, phi);
+      (graph, phi)
+    in
+    let info (graph, phi) ~changed =
+      {
+        Dynet.graph;
+        changed;
+        phi = Some phi;
+        rho = None;
+        rho_abs = Some (1. /. float_of_int (delta + 1));
+      }
+    in
+    Dynet.make_instance (fun ~step ~informed ->
+        if step = 0 then info (rebuild ()) ~changed:true
+        else begin
+          let keep () =
+            match !current with
+            | Some cur -> info cur ~changed:false
+            | None -> assert false
+          in
+          if !frozen then keep ()
+          else begin
+            let before = Bitset.cardinal in_b in
+            let candidate = Bitset.copy in_b in
+            Bitset.iter
+              (fun u ->
+                if Bitset.mem candidate u then ignore (Bitset.remove candidate u))
+              informed;
+            let after = Bitset.cardinal candidate in
+            if after < n / 6 then begin
+              (* The paper keeps G(t+1) = G(t) from here on; the
+                 partition freezes with it. *)
+              frozen := true;
+              keep ()
+            end
+            else if after < before then begin
+              Bitset.iter
+                (fun u -> if Bitset.mem in_b u then ignore (Bitset.remove in_b u))
+                informed;
+              info (rebuild ()) ~changed:true
+            end
+            else keep ()
+          end
+        end)
+  in
+  {
+    Dynet.n;
+    name = Printf.sprintf "absolute-G(n=%d,rho=%.4g)" n rho;
+    source_hint = Some 1;
+    spawn;
+  }

@@ -1,0 +1,72 @@
+open Rumor_util
+open Rumor_graph
+
+(* Wire one side: clique when at most budget+1 nodes, circulant of the
+   (even) budget degree otherwise. *)
+let wire_side builder ids budget =
+  let m = Array.length ids in
+  if m <= 1 then ()
+  else if m <= budget + 1 then
+    for i = 0 to m - 1 do
+      for j = i + 1 to m - 1 do
+        ignore (Builder.add_edge builder ids.(i) ids.(j))
+      done
+    done
+  else begin
+    let d = min budget (m - 1) in
+    let d = if d mod 2 = 1 then d - 1 else d in
+    let d = max 2 d in
+    for s = 1 to d / 2 do
+      for i = 0 to m - 1 do
+        ignore (Builder.add_edge builder ids.(i) ids.((i + s) mod m))
+      done
+    done
+  end
+
+let greedy_min_cut ~n ~degree_budget =
+  if degree_budget < 2 then
+    invalid_arg "Adversary.greedy_min_cut: need degree_budget >= 2";
+  if n < 8 then invalid_arg "Adversary.greedy_min_cut: need n >= 8";
+  let budget = if degree_budget mod 2 = 1 then degree_budget - 1 else degree_budget in
+  {
+    Dynet.n;
+    name = Printf.sprintf "greedy-adversary(n=%d,Delta=%d)" n budget;
+    source_hint = Some 0;
+    spawn =
+      (fun _rng ->
+        Dynet.make_instance (fun ~step:_ ~informed ->
+            let ins = Array.make (Bitset.cardinal informed) 0 in
+            let outs = Array.make (n - Bitset.cardinal informed) 0 in
+            let ii = ref 0 and oi = ref 0 in
+            for u = 0 to n - 1 do
+              if Bitset.mem informed u then begin
+                ins.(!ii) <- u;
+                incr ii
+              end
+              else begin
+                outs.(!oi) <- u;
+                incr oi
+              end
+            done;
+            (* Before the source is injected the informed side can be
+               empty: expose any connected budget-bounded graph. *)
+            let builder = Builder.create n in
+            if Array.length ins = 0 || Array.length outs = 0 then begin
+              let all = Array.init n (fun i -> i) in
+              wire_side builder all budget
+            end
+            else begin
+              wire_side builder ins budget;
+              wire_side builder outs budget;
+              (* The single bridge: both endpoints already carry the
+                 budget degree inside their side where possible, which
+                 minimises 1/d_u + 1/d_v. *)
+              ignore (Builder.add_edge builder ins.(0) outs.(0))
+            end;
+            (* The graph genuinely changes whenever the cut moved;
+               report changed conservatively (rebuild cost is the same
+               either way for this family). *)
+            Dynet.info_of_graph ~changed:true
+              ~rho_abs:(1. /. float_of_int (budget + 1))
+              (Builder.freeze builder)));
+  }

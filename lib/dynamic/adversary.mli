@@ -1,0 +1,26 @@
+(** A greedy adaptive adversary — an extension beyond the paper's
+    explicit constructions.
+
+    The paper's lower-bound families (Theorems 1.2 and 1.5) are
+    hand-crafted; this family asks what an adversary that re-optimises
+    {e every step} can do under the same resource constraint (a
+    maximum-degree budget [Delta], which caps the absolute diligence at
+    [~1/Delta]).  The greedy strategy minimises the informing cut rate
+    [lambda = sum over cut edges of (1/d_u + 1/d_v)] subject to
+    connectivity: it rebuilds both sides of the informed/uninformed cut
+    as dense-as-budget graphs joined by a {e single} bridge whose
+    endpoints carry the full degree budget — giving
+    [lambda ~ 2/(Delta+1)] per step, the information-theoretic best for
+    a one-bridge, degree-[Delta] adversary.
+
+    Experiment A2 compares it against the paper's absolutely-diligent
+    family: both achieve [Theta(n Delta)] spread, evidence that the
+    paper's simpler construction already extracts the full power of
+    this adversary class. *)
+
+val greedy_min_cut : n:int -> degree_budget:int -> Dynet.t
+(** [greedy_min_cut ~n ~degree_budget]: every step re-partitions the
+    nodes into informed/uninformed sides, each wired as a clique (if
+    small) or a circulant of even degree [<= degree_budget], plus one
+    bridge.  Source hint: node 0.
+    @raise Invalid_argument if [degree_budget < 2] or [n < 8]. *)

@@ -1,0 +1,41 @@
+open Rumor_graph
+
+let clique_conductance n =
+  if n < 2 then invalid_arg "Alternating.clique_conductance: need n >= 2";
+  (* For |S| = s <= n/2: cut = s(n-s), vol(S) = s(n-1), so
+     phi(s) = (n-s)/(n-1), minimised at the half split. *)
+  float_of_int ((n / 2) + (n mod 2)) /. float_of_int (n - 1)
+
+let network ?(fresh_cubic_each_step = false) ~n () =
+  if n < 6 || n mod 2 = 1 then
+    invalid_arg "Alternating.network: need even n >= 6";
+  let complete = Gen.clique n in
+  let phi_complete = clique_conductance n in
+  {
+    Dynet.n;
+    name = Printf.sprintf "alternating-3/(n-1)-regular(n=%d)" n;
+    source_hint = None;
+    spawn =
+      (fun rng ->
+        let cubic = ref None in
+        let get_cubic () =
+          match !cubic with
+          | Some g when not fresh_cubic_each_step -> g
+          | _ ->
+            let g = Gen.random_connected_regular rng n 3 in
+            cubic := Some g;
+            g
+        in
+        Dynet.make_instance (fun ~step ~informed:_ ->
+            if step mod 2 = 0 then
+              Dynet.info_of_graph ~changed:(step = 0 || true) ~phi:phi_complete
+                ~rho:1.0
+                ~rho_abs:(1. /. float_of_int (n - 1))
+                complete
+            else
+              (* Random cubic graphs are expanders w.h.p.; the harness
+                 treats the analytic Phi as a Theta(1) placeholder and
+                 the tests cross-check with the spectral sweep. *)
+              Dynet.info_of_graph ~changed:true ~phi:0.15 ~rho:1.0
+                ~rho_abs:(1. /. 3.) (get_cubic ())));
+  }

@@ -1,0 +1,21 @@
+(** The alternating regular dynamic network of Section 1.2: [G(t)] is
+    [d(t)]-regular with [d(t)] alternating between [n-1] (complete
+    graph, even steps) and [3] (random connected cubic graph, odd
+    steps).
+
+    Every step is regular, hence 1-diligent, so the Theorem 1.1 bound
+    is [O(log n)]; but [M(G) = max_u Delta_u / delta_u = (n-1)/3], so
+    the Giakkoupis et al. [17] synchronous-style bound inflates to
+    [Theta(n log n)] — the paper's motivating example for diligence
+    (experiment E9). *)
+
+val network : ?fresh_cubic_each_step:bool -> n:int -> unit -> Dynet.t
+(** [network ~n ()]: [n] must be even (cubic graphs need even order)
+    and at least 6.  By default one cubic graph is sampled per run and
+    reused on every odd step; [~fresh_cubic_each_step:true] resamples
+    each odd step.
+    @raise Invalid_argument on bad [n]. *)
+
+val clique_conductance : int -> float
+(** Exact [Phi(K_n) = ceil(n/2) / (n-1)] — the minimising cut is a
+    half split. *)

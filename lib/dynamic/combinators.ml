@@ -1,0 +1,125 @@
+open Rumor_rng
+open Rumor_graph
+
+let intermittent ~every (base : Dynet.t) =
+  if every < 1 then invalid_arg "Combinators.intermittent: need every >= 1";
+  let blank = Gen.empty base.Dynet.n in
+  {
+    Dynet.n = base.Dynet.n;
+    name = Printf.sprintf "intermittent(%d, %s)" every base.Dynet.name;
+    source_hint = base.Dynet.source_hint;
+    spawn =
+      (fun rng ->
+        let inner = base.Dynet.spawn rng in
+        Dynet.make_instance (fun ~step ~informed ->
+            if step mod every = 0 then begin
+              let info = Dynet.next inner ~informed in
+              (* Exposed after a blank stretch: always a change unless
+                 the very first exposure repeats... conservatively
+                 changed except when every = 1 and the base reports
+                 unchanged. *)
+              let changed = if every = 1 then info.Dynet.changed else true in
+              { info with Dynet.changed }
+            end
+            else
+              (* Blank step: a change only right after an exposure. *)
+              Dynet.info_of_graph
+                ~changed:((step - 1) mod every = 0)
+                ~phi:0. ~rho:0. ~rho_abs:0. blank))
+  }
+
+let with_edge_dropout ~p (base : Dynet.t) =
+  if p < 0. || p > 1. then
+    invalid_arg "Combinators.with_edge_dropout: p outside [0, 1]";
+  {
+    Dynet.n = base.Dynet.n;
+    name = Printf.sprintf "dropout(%.2g, %s)" p base.Dynet.name;
+    source_hint = base.Dynet.source_hint;
+    spawn =
+      (fun rng ->
+        let inner = base.Dynet.spawn rng in
+        Dynet.make_instance (fun ~step:_ ~informed ->
+            let info = Dynet.next inner ~informed in
+            let g = info.Dynet.graph in
+            let b = Builder.create (Graph.n g) in
+            Graph.iter_edges
+              (fun u v ->
+                if not (Rng.bernoulli rng p) then Builder.add_edge_exn b u v)
+              g;
+            Dynet.info_of_graph ~changed:true (Builder.freeze b)))
+  }
+
+let with_node_outage ~p (base : Dynet.t) =
+  if p < 0. || p > 1. then
+    invalid_arg "Combinators.with_node_outage: p outside [0, 1]";
+  {
+    Dynet.n = base.Dynet.n;
+    name = Printf.sprintf "node-outage(%.2g, %s)" p base.Dynet.name;
+    source_hint = base.Dynet.source_hint;
+    spawn =
+      (fun rng ->
+        let inner = base.Dynet.spawn rng in
+        let offline = Array.make base.Dynet.n false in
+        Dynet.make_instance (fun ~step:_ ~informed ->
+            let info = Dynet.next inner ~informed in
+            let g = info.Dynet.graph in
+            for u = 0 to Graph.n g - 1 do
+              offline.(u) <- Rng.bernoulli rng p
+            done;
+            let b = Builder.create (Graph.n g) in
+            Graph.iter_edges
+              (fun u v ->
+                if (not offline.(u)) && not offline.(v) then
+                  Builder.add_edge_exn b u v)
+              g;
+            Dynet.info_of_graph ~changed:true (Builder.freeze b)))
+  }
+
+let interleave nets =
+  match nets with
+  | [] -> invalid_arg "Combinators.interleave: empty list"
+  | (first : Dynet.t) :: rest ->
+    let n = first.Dynet.n in
+    List.iter
+      (fun (net : Dynet.t) ->
+        if net.Dynet.n <> n then
+          invalid_arg "Combinators.interleave: node-count mismatch")
+      rest;
+    let arr = Array.of_list nets in
+    {
+      Dynet.n;
+      name =
+        Printf.sprintf "interleave(%s)"
+          (String.concat ", " (List.map (fun (x : Dynet.t) -> x.Dynet.name) nets));
+      source_hint = first.Dynet.source_hint;
+      spawn =
+        (fun rng ->
+          let instances =
+            Array.map (fun (net : Dynet.t) -> net.Dynet.spawn (Rng.split rng)) arr
+          in
+          Dynet.make_instance (fun ~step ~informed ->
+              let info =
+                Dynet.next instances.(step mod Array.length instances) ~informed
+              in
+              (* Consecutive exposed graphs come from different
+                 networks, so report changed conservatively. *)
+              { info with Dynet.changed = true }));
+    }
+
+let map_graph ?name f (base : Dynet.t) =
+  let name =
+    match name with
+    | Some s -> s
+    | None -> Printf.sprintf "map(%s)" base.Dynet.name
+  in
+  {
+    Dynet.n = base.Dynet.n;
+    name;
+    source_hint = base.Dynet.source_hint;
+    spawn =
+      (fun rng ->
+        let inner = base.Dynet.spawn rng in
+        Dynet.make_instance (fun ~step ~informed ->
+            let info = Dynet.next inner ~informed in
+            Dynet.info_of_graph ~changed:true (f ~step info.Dynet.graph)))
+  }

@@ -1,0 +1,48 @@
+(** Combinators over dynamic networks.
+
+    These build new adversaries/environments out of existing ones:
+    duty-cycled connectivity ({!intermittent} — exercising the
+    [ceil(Phi) = 0] accounting of Theorem 1.3), per-step lossy links
+    ({!with_edge_dropout} — wireless-style fading over any base
+    network), round-robin composition ({!interleave}) and arbitrary
+    per-step graph surgery ({!map_graph}).
+
+    Analytic parameter annotations of the base network are dropped
+    wherever the transformation can invalidate them. *)
+
+open Rumor_graph
+
+val intermittent : every:int -> Dynet.t -> Dynet.t
+(** [intermittent ~every net] exposes the base network's next graph on
+    steps divisible by [every] and the empty (edgeless) graph on all
+    other steps; the base instance only advances on exposed steps, so
+    its own evolution is slowed by the duty cycle.  The spread time
+    scales by roughly [every] (experiment E12).
+    @raise Invalid_argument if [every < 1]. *)
+
+val with_edge_dropout : p:float -> Dynet.t -> Dynet.t
+(** [with_edge_dropout ~p net] removes each edge of each step's graph
+    independently with probability [p] (resampled every step, even
+    when the base graph is frozen).
+    @raise Invalid_argument if [p] is outside [[0, 1]]. *)
+
+val with_node_outage : p:float -> Dynet.t -> Dynet.t
+(** [with_node_outage ~p net] takes each node offline independently
+    with probability [p] per step: an offline node keeps its rumor but
+    loses all its edges for that step (crash-recover semantics — the
+    robustness model of Feige et al. [14] that the paper's introduction
+    cites gossip for).  Resampled every step.
+    @raise Invalid_argument if [p] is outside [[0, 1]]. *)
+
+val interleave : Dynet.t list -> Dynet.t
+(** [interleave nets] exposes [nets] round-robin: step [t] shows the
+    next graph of [nets.(t mod length)].  All networks must share the
+    node count.  The source hint of the first network is kept.
+    @raise Invalid_argument on an empty list or mismatched sizes. *)
+
+val map_graph :
+  ?name:string -> (step:int -> Graph.t -> Graph.t) -> Dynet.t -> Dynet.t
+(** [map_graph f net] applies [f] to every exposed graph.  The result
+    conservatively reports [changed = true] on every step (the
+    transformation may differ step to step) and carries no analytic
+    parameters. *)

@@ -1,0 +1,75 @@
+open Rumor_util
+open Rumor_rng
+open Rumor_graph
+
+let g1 ~n =
+  if n < 4 then invalid_arg "Dichotomy.g1: need n >= 4";
+  let initial = Gen.clique_with_pendant n in
+  let later = Gen.two_cliques_bridged n in
+  {
+    Dynet.n = n + 1;
+    name = Printf.sprintf "G1(n=%d)" n;
+    source_hint = Some n;
+    spawn =
+      (fun _rng ->
+        Dynet.make_instance (fun ~step ~informed:_ ->
+            if step = 0 then Dynet.info_of_graph ~changed:true initial
+            else Dynet.info_of_graph ~changed:(step = 1) later));
+  }
+
+let star_graph ~n ~center =
+  if center < 0 || center > n then invalid_arg "Dichotomy.star_graph: bad center";
+  let b = Builder.create (n + 1) in
+  for v = 0 to n do
+    if v <> center then Builder.add_edge_exn b center v
+  done;
+  Builder.freeze b
+
+let g2 ~n =
+  if n < 2 then invalid_arg "Dichotomy.g2: need n >= 2";
+  let total = n + 1 in
+  (* The star is 1-diligent, absolutely 1-diligent and has
+     conductance 1. *)
+  let star_info ~changed center =
+    Dynet.info_of_graph ~changed ~phi:1.0 ~rho:1.0 ~rho_abs:1.0
+      (star_graph ~n ~center)
+  in
+  {
+    Dynet.n = total;
+    name = Printf.sprintf "G2(n=%d)" n;
+    source_hint = Some 0;
+    spawn =
+      (fun rng ->
+        let center = ref total in
+        (* Initial centre is node n; leaf 0 is the hinted source. *)
+        Dynet.make_instance (fun ~step ~informed ->
+            if step = 0 then begin
+              center := n;
+              star_info ~changed:true n
+            end
+            else begin
+              (* Replace the centre by an uninformed node if any,
+                 otherwise by a random other node. *)
+              let uninformed =
+                let acc = ref [] in
+                for u = total - 1 downto 0 do
+                  if (not (Bitset.mem informed u)) && u <> !center then
+                    acc := u :: !acc
+                done;
+                !acc
+              in
+              let next_center =
+                match uninformed with
+                | [] ->
+                  let rec pick () =
+                    let c = Rng.int rng total in
+                    if c = !center then pick () else c
+                  in
+                  pick ()
+                | l -> Rng.choose rng (Array.of_list l)
+              in
+              let changed = next_center <> !center in
+              center := next_center;
+              star_info ~changed next_center
+            end))
+  }

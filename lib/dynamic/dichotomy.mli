@@ -1,0 +1,29 @@
+(** The two dynamic networks of Figure 1, exhibiting the
+    synchronous/asynchronous dichotomies of Theorem 1.7.
+
+    [G1] (Figure 1a): [G(0)] is an [n]-clique with a pendant edge
+    [{0, n}]; node [n] (the pendant) knows the rumor.  Every later step
+    is two equally-sized bridged cliques with node [0] on the left and
+    node [n] on the right.  Synchronous spreads in [Theta(log n)]
+    (round 0 deterministically pushes across the pendant edge);
+    asynchronous needs [Omega(n)] (with constant probability the
+    pendant edge is not hit before the switch, and the bridge is then
+    picked at rate [Theta(1/n)]).
+
+    [G2] (Figure 1b): a star over [n+1] nodes whose centre is replaced
+    each step by an uninformed node (a uniformly random one here;
+    the paper allows any choice), or by a random node when everyone
+    is informed.  Synchronous needs exactly [n] rounds (one new
+    informed centre per round); asynchronous finishes in
+    [Theta(log n)]. *)
+
+val g1 : n:int -> Dynet.t
+(** [n+1] nodes; source hint is the pendant node [n].
+    @raise Invalid_argument if [n < 4]. *)
+
+val g2 : n:int -> Dynet.t
+(** [n+1] nodes (centre + [n] leaves); source hint is leaf [0].
+    @raise Invalid_argument if [n < 2]. *)
+
+val star_graph : n:int -> center:int -> Rumor_graph.Graph.t
+(** The [n+1]-node star with the given centre (exposed for tests). *)

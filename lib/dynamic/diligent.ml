@@ -1,0 +1,90 @@
+open Rumor_util
+
+let delta_of_rho rho =
+  if rho <= 0. || rho > 1. then invalid_arg "Diligent.delta_of_rho: need 0 < rho <= 1";
+  int_of_float (Float.ceil (1. /. rho))
+
+let admissible_k ~n ~rho ~k =
+  let delta = delta_of_rho rho in
+  let a0 = n / 4 in
+  let b0 = n - a0 in
+  a0 >= Paper_h.min_side_a ~k ~delta && b0 >= Paper_h.min_side_b ~k ~delta
+
+let admissible ~n ~rho =
+  rho > 0. && rho <= 1. && admissible_k ~n ~rho ~k:(Paper_h.default_k n)
+
+let spread_lower_bound ~n ~rho ~k =
+  float_of_int n /. (4. *. float_of_int k *. float_of_int (delta_of_rho rho))
+
+let network ?k ~n ~rho () =
+  let k = match k with Some k -> k | None -> Paper_h.default_k n in
+  if not (admissible_k ~n ~rho ~k) then
+    invalid_arg
+      (Printf.sprintf "Diligent.network: (n=%d, rho=%g, k=%d) not admissible" n
+         rho k);
+  let delta = delta_of_rho rho in
+  let a0_size = n / 4 in
+  (* The paper rebuilds while |B| >= n/4; at finite sizes the gadget
+     additionally needs its structural minimum on the B side, so the
+     rebuild floor is the max of the two. *)
+  let rebuild_floor = max a0_size (Paper_h.min_side_b ~k ~delta) in
+  let spawn rng =
+    (* Per-run mutable state: the current B-side and the current
+       graph. *)
+    let in_b = Bitset.create n in
+    for u = a0_size to n - 1 do
+      ignore (Bitset.add in_b u)
+    done;
+    let current = ref None in
+    let rebuild () =
+      let b_arr = Array.of_list (Bitset.to_list in_b) in
+      let a_arr =
+        let out = Array.make (n - Array.length b_arr) 0 in
+        let idx = ref 0 in
+        for u = 0 to n - 1 do
+          if not (Bitset.mem in_b u) then begin
+            out.(!idx) <- u;
+            incr idx
+          end
+        done;
+        out
+      in
+      let graph, analysis =
+        Paper_h.build rng ~universe:n ~a:a_arr ~b:b_arr ~k ~delta
+      in
+      current := Some (graph, analysis);
+      (graph, analysis)
+    in
+    let info_of (graph, (analysis : Paper_h.analysis)) ~changed =
+      {
+        Dynet.graph;
+        changed;
+        phi = Some analysis.phi_estimate;
+        rho = Some analysis.rho_estimate;
+        rho_abs = Some (1. /. (2. *. float_of_int delta));
+      }
+    in
+    Dynet.make_instance (fun ~step ~informed ->
+        if step = 0 then info_of (rebuild ()) ~changed:true
+        else begin
+          let before = Bitset.cardinal in_b in
+          (* B_{t} = B_{t-1} \ I_{t}. *)
+          Bitset.iter
+            (fun u -> if Bitset.mem in_b u then ignore (Bitset.remove in_b u))
+            informed;
+          let after = Bitset.cardinal in_b in
+          let shrank = after < before in
+          if after >= rebuild_floor && shrank then info_of (rebuild ()) ~changed:true
+          else begin
+            match !current with
+            | Some cur -> info_of cur ~changed:false
+            | None -> assert false
+          end
+        end)
+  in
+  {
+    Dynet.n;
+    name = Printf.sprintf "diligent-G(n=%d,rho=%.4g,k=%d)" n rho k;
+    source_hint = Some 0;
+    spawn;
+  }

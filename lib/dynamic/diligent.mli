@@ -1,0 +1,29 @@
+(** The adaptive [rho]-diligent dynamic network [G(n, rho)] of
+    Theorem 1.2 — the family on which the Theorem 1.1 upper bound is
+    tight up to an [o(log^2 n)] factor.
+
+    Evolution (Section 4): [G(0) = H_{k,Delta}(A_0, B_0)] with
+    [|A_0| = n/4]; at each step the informed nodes defect from the
+    B-side ([B_{t+1} = B_t \ I_{t+1}]) and the gadget is rebuilt as
+    long as [|B_{t+1}| >= n/4] still holds and the B-side actually
+    shrank — so the adversary keeps re-erecting the bipartite string
+    between the informed and the uninformed mass. *)
+
+val admissible : n:int -> rho:float -> bool
+(** Whether [G(n, rho)] is constructible at this size (the paper's
+    regime is [1/sqrt n <= rho <= 1], plus small-size slack for the
+    expander residues). *)
+
+val network : ?k:int -> n:int -> rho:float -> unit -> Dynet.t
+(** [network ~n ~rho]: [k] defaults to {!Paper_h.default_k}[ n].  The
+    source hint is a node of [A_0].
+    @raise Invalid_argument if not {!admissible}. *)
+
+val delta_of_rho : float -> int
+(** [ceil(1/rho)]. @raise Invalid_argument unless [0 < rho <= 1]. *)
+
+(**/**)
+
+val spread_lower_bound : n:int -> rho:float -> k:int -> float
+(** The Theorem 1.2 lower bound [n / (4 k ceil(1/rho))] (Inequality
+    11's explicit constant), used by experiment E2. *)

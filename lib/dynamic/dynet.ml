@@ -1,0 +1,81 @@
+open Rumor_util
+open Rumor_rng
+
+type info = {
+  graph : Rumor_graph.Graph.t;
+  changed : bool;
+  phi : float option;
+  rho : float option;
+  rho_abs : float option;
+}
+
+type instance = {
+  mutable steps : int;
+  fn : step:int -> informed:Bitset.t -> info;
+}
+
+let make_instance fn = { steps = 0; fn }
+
+let next inst ~informed =
+  let step = inst.steps in
+  inst.steps <- step + 1;
+  let info = inst.fn ~step ~informed in
+  if step = 0 && not info.changed then
+    invalid_arg "Dynet.next: step 0 must report changed = true";
+  info
+
+let step_count inst = inst.steps
+
+type t = {
+  n : int;
+  name : string;
+  source_hint : int option;
+  spawn : Rng.t -> instance;
+}
+
+let info_of_graph ?(changed = true) ?phi ?rho ?rho_abs graph =
+  { graph; changed; phi; rho; rho_abs }
+
+let of_static ?name ?phi ?rho ?rho_abs graph =
+  let name =
+    match name with
+    | Some s -> s
+    | None -> Printf.sprintf "static-n%d" (Rumor_graph.Graph.n graph)
+  in
+  {
+    n = Rumor_graph.Graph.n graph;
+    name;
+    source_hint = None;
+    spawn =
+      (fun _rng ->
+        make_instance (fun ~step ~informed:_ ->
+            { graph; changed = step = 0; phi; rho; rho_abs }));
+  }
+
+let of_sequence ?name graphs =
+  let len = Array.length graphs in
+  if len = 0 then invalid_arg "Dynet.of_sequence: empty graph array";
+  let n = Rumor_graph.Graph.n graphs.(0) in
+  Array.iter
+    (fun g ->
+      if Rumor_graph.Graph.n g <> n then
+        invalid_arg "Dynet.of_sequence: node-count mismatch")
+    graphs;
+  let name = match name with Some s -> s | None -> Printf.sprintf "sequence-%d" len in
+  {
+    n;
+    name;
+    source_hint = None;
+    spawn =
+      (fun _rng ->
+        make_instance (fun ~step ~informed:_ ->
+            let g = graphs.(step mod len) in
+            let changed =
+              step = 0
+              || not (Rumor_graph.Graph.equal g graphs.((step - 1) mod len))
+            in
+            info_of_graph ~changed g));
+  }
+
+let of_fun ~n ~name ?source_hint f =
+  { n; name; source_hint; spawn = (fun rng -> make_instance (f rng)) }

@@ -1,0 +1,74 @@
+(** Dynamic evolving networks [G = {G(t)}] (Section 2 of the paper).
+
+    A dynamic network exposes one graph per discrete time step
+    [t = 0, 1, ...] over a fixed node universe.  The paper's tight
+    constructions are {e adaptive}: the graph at step [t+1] depends on
+    the informed set, so the interface threads the simulator's informed
+    set into each step.
+
+    A {!t} is a reusable {e description}; {!spawn} creates a fresh
+    stateful {!instance} for one simulation run (deterministic given
+    the supplied RNG).  Instances must be stepped with consecutive
+    [step] values starting at 0; each family enforces this. *)
+
+open Rumor_util
+open Rumor_rng
+
+type info = {
+  graph : Rumor_graph.Graph.t;
+  changed : bool;
+      (** [false] when the graph is physically identical to the
+          previous step's — lets the simulators skip cut-rate
+          rebuilds. Must be [true] at step 0. *)
+  phi : float option;
+      (** Analytic conductance of this step's graph, when the family
+          knows a closed form (used by the bound calculators; [None]
+          falls back to exact/spectral computation). *)
+  rho : float option;  (** Analytic diligence [rho(G(t))]. *)
+  rho_abs : float option;  (** Analytic absolute diligence. *)
+}
+
+type instance
+
+val next : instance -> informed:Bitset.t -> info
+(** Advance the instance by one discrete step and return the exposed
+    graph.  The [informed] set is the simulator's informed set at the
+    {e start} of the step (the adaptive families' [I_t]). *)
+
+val step_count : instance -> int
+(** Number of [next] calls made so far. *)
+
+type t = {
+  n : int;  (** number of nodes, fixed across steps *)
+  name : string;
+  source_hint : int option;
+      (** where the paper's statement injects the rumor, when it
+          matters (e.g. a node of [A_0] for Theorem 1.2); [None] means
+          "any node" *)
+  spawn : Rng.t -> instance;
+}
+
+val make_instance : (step:int -> informed:Bitset.t -> info) -> instance
+(** Wrap a step function; the wrapper maintains and supplies the step
+    counter. *)
+
+val info_of_graph :
+  ?changed:bool -> ?phi:float -> ?rho:float -> ?rho_abs:float ->
+  Rumor_graph.Graph.t -> info
+
+val of_static :
+  ?name:string -> ?phi:float -> ?rho:float -> ?rho_abs:float ->
+  Rumor_graph.Graph.t -> t
+(** A static network viewed as the constant dynamic network. *)
+
+val of_sequence : ?name:string -> Rumor_graph.Graph.t array -> t
+(** Cycle through the given graphs: [G(t) = graphs.(t mod length)].
+    All graphs must share the node count.
+    @raise Invalid_argument on an empty array or mismatched sizes. *)
+
+val of_fun :
+  n:int -> name:string -> ?source_hint:int ->
+  (Rng.t -> step:int -> informed:Bitset.t -> info) -> t
+(** General constructor: [spawn] gives the step function a private RNG;
+    per-run state lives in the closure's environment (created fresh on
+    each spawn). *)

@@ -1,0 +1,41 @@
+open Rumor_rng
+open Rumor_graph
+
+let stationary_edge_probability ~p ~q =
+  if p +. q <= 0. then invalid_arg "Markovian: p + q must be positive";
+  p /. (p +. q)
+
+let network ~n ~p ~q ?init () =
+  if p < 0. || p > 1. || q < 0. || q > 1. then
+    invalid_arg "Markovian.network: p, q must lie in [0, 1]";
+  (match init with
+  | Some g when Graph.n g <> n ->
+    invalid_arg "Markovian.network: init node-count mismatch"
+  | _ -> ());
+  let init = match init with Some g -> g | None -> Gen.empty n in
+  {
+    Dynet.n;
+    name = Printf.sprintf "edge-markovian(n=%d,p=%.3g,q=%.3g)" n p q;
+    source_hint = None;
+    spawn =
+      (fun rng ->
+        let current = ref init in
+        Dynet.make_instance (fun ~step ~informed:_ ->
+            if step = 0 then Dynet.info_of_graph ~changed:true init
+            else begin
+              let prev = !current in
+              let b = Builder.create n in
+              for u = 0 to n - 1 do
+                for v = u + 1 to n - 1 do
+                  let alive =
+                    if Graph.has_edge prev u v then not (Rng.bernoulli rng q)
+                    else Rng.bernoulli rng p
+                  in
+                  if alive then Builder.add_edge_exn b u v
+                done
+              done;
+              let g = Builder.freeze b in
+              current := g;
+              Dynet.info_of_graph ~changed:(not (Graph.equal g prev)) g
+            end));
+  }

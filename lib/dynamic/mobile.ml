@@ -1,0 +1,53 @@
+open Rumor_rng
+open Rumor_graph
+
+let torus_distance ~width ~height (x1, y1) (x2, y2) =
+  let axis_dist len a b =
+    let d = abs (a - b) in
+    min d (len - d)
+  in
+  max (axis_dist width x1 x2) (axis_dist height y1 y2)
+
+let network ~agents ~width ~height ~radius =
+  if agents < 1 then invalid_arg "Mobile.network: need at least one agent";
+  if width < 1 || height < 1 then invalid_arg "Mobile.network: bad grid size";
+  if radius < 1 then invalid_arg "Mobile.network: need radius >= 1";
+  {
+    Dynet.n = agents;
+    name =
+      Printf.sprintf "mobile-agents(m=%d,%dx%d,r=%d)" agents width height radius;
+    source_hint = None;
+    spawn =
+      (fun rng ->
+        let pos =
+          Array.init agents (fun _ -> (Rng.int rng width, Rng.int rng height))
+        in
+        let proximity_graph () =
+          let b = Builder.create agents in
+          for i = 0 to agents - 1 do
+            for j = i + 1 to agents - 1 do
+              if torus_distance ~width ~height pos.(i) pos.(j) <= radius then
+                Builder.add_edge_exn b i j
+            done
+          done;
+          Builder.freeze b
+        in
+        let move () =
+          for i = 0 to agents - 1 do
+            let x, y = pos.(i) in
+            pos.(i) <-
+              (match Rng.int rng 5 with
+              | 0 -> (x, y)
+              | 1 -> ((x + 1) mod width, y)
+              | 2 -> ((x + width - 1) mod width, y)
+              | 3 -> (x, (y + 1) mod height)
+              | 4 -> (x, (y + height - 1) mod height)
+              | _ -> assert false)
+          done
+        in
+        Dynet.make_instance (fun ~step ~informed:_ ->
+            if step > 0 then move ();
+            (* Positions change almost surely, so report changed
+               conservatively. *)
+            Dynet.info_of_graph ~changed:true (proximity_graph ())));
+  }

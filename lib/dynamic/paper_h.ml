@@ -1,0 +1,103 @@
+open Rumor_rng
+open Rumor_graph
+
+type analysis = {
+  phi_estimate : float;
+  rho_estimate : float;
+  clusters : int array array;
+}
+
+(* The expander side needs at least 5 nodes for a simple 4-regular
+   graph. *)
+let expander_min = 5
+
+(* The residue must host the 4-regular expander (>= 5 nodes) and give
+   each cluster node [delta] distinct attachment targets. *)
+let min_side_a ~k:_ ~delta = delta + max expander_min delta
+
+let min_side_b ~k ~delta = (k * delta) + max expander_min delta
+
+let default_k n =
+  if n < 3 then 1
+  else begin
+    let ln = log (float_of_int n) in
+    let lln = log ln in
+    if lln <= 0. then 1 else max 1 (int_of_float (Float.round (ln /. lln)))
+  end
+
+let check_sides ~universe ~a ~b ~k ~delta =
+  if delta < 1 then invalid_arg "Paper_h.build: need delta >= 1";
+  if k < 1 then invalid_arg "Paper_h.build: need k >= 1";
+  if Array.length a < min_side_a ~k ~delta then
+    invalid_arg
+      (Printf.sprintf "Paper_h.build: |A| = %d < %d" (Array.length a)
+         (min_side_a ~k ~delta));
+  if Array.length b < min_side_b ~k ~delta then
+    invalid_arg
+      (Printf.sprintf "Paper_h.build: |B| = %d < %d" (Array.length b)
+         (min_side_b ~k ~delta));
+  let seen = Hashtbl.create (Array.length a + Array.length b) in
+  let record u =
+    if u < 0 || u >= universe then
+      invalid_arg (Printf.sprintf "Paper_h.build: node %d outside universe" u);
+    if Hashtbl.mem seen u then
+      invalid_arg (Printf.sprintf "Paper_h.build: node %d repeated" u);
+    Hashtbl.add seen u ()
+  in
+  Array.iter record a;
+  Array.iter record b
+
+(* Embed a random connected 4-regular graph on the given node ids. *)
+let add_expander rng builder ids =
+  let local = Gen.random_connected_regular rng (Array.length ids) 4 in
+  Graph.iter_edges
+    (fun u v -> Builder.add_edge_exn builder ids.(u) ids.(v))
+    local
+
+(* Attach every node of [cluster] to [delta] distinct nodes of
+   [targets], round-robin over a shuffled target order so each target
+   gains at most [ceil(delta^2 / |targets|)] edges. *)
+let attach rng builder cluster targets delta =
+  let order = Array.copy targets in
+  Rng.shuffle_in_place rng order;
+  let nt = Array.length order in
+  Array.iteri
+    (fun i s ->
+      for j = 0 to delta - 1 do
+        let target = order.(((i * delta) + j) mod nt) in
+        Builder.add_edge_exn builder s target
+      done)
+    cluster
+
+let build rng ~universe ~a ~b ~k ~delta =
+  check_sides ~universe ~a ~b ~k ~delta;
+  let builder = Builder.create universe in
+  (* Clusters: S_0 from A, S_1..S_k from B. *)
+  let s0 = Array.sub a 0 delta in
+  let clusters =
+    Array.init (k + 1) (fun i ->
+        if i = 0 then s0 else Array.sub b ((i - 1) * delta) delta)
+  in
+  (* String of complete bipartite graphs. *)
+  for i = 0 to k - 1 do
+    Builder.add_complete_bipartite builder clusters.(i) clusters.(i + 1)
+  done;
+  (* Expanders on the residues, with cluster endpoints attached. *)
+  let a_rest = Array.sub a delta (Array.length a - delta) in
+  let b_rest = Array.sub b (k * delta) (Array.length b - (k * delta)) in
+  add_expander rng builder a_rest;
+  add_expander rng builder b_rest;
+  attach rng builder clusters.(0) a_rest delta;
+  attach rng builder clusters.(k) b_rest delta;
+  let n_total = Array.length a + Array.length b in
+  let fdelta = float_of_int delta in
+  let analysis =
+    {
+      phi_estimate =
+        fdelta *. fdelta
+        /. ((float_of_int k *. fdelta *. fdelta) +. float_of_int n_total);
+      rho_estimate = 1. /. fdelta;
+      clusters;
+    }
+  in
+  (Builder.freeze builder, analysis)

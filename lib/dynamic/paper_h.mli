@@ -1,0 +1,43 @@
+(** The [H_{k,Delta}(A, B)] construction of Section 4: a string of
+    [k+1] complete bipartite clusters of size [Delta] threaded between
+    two 4-regular expanders — the gadget whose cuts make the
+    Theorem 1.1 upper bound tight.
+
+    Structure (paper, two steps):
+    - clusters [S_0 subset A] and [S_1, ..., S_k subset B], each of
+      size [Delta], consecutive clusters completely joined;
+    - a random 4-regular expander on [A \ S_0] with every node of
+      [S_0] attached to [Delta] distinct expander nodes (degree gain
+      per expander node bounded by a constant), and symmetrically for
+      [S_k] into [B \ (S_1 ∪ ... ∪ S_k)]. *)
+
+open Rumor_rng
+open Rumor_graph
+
+type analysis = {
+  phi_estimate : float;
+      (** [Theta(Delta^2 / (k Delta^2 + n))] (Observation 4.1),
+          evaluated with constant 1 *)
+  rho_estimate : float;  (** [Theta(1/Delta)], evaluated as [1/Delta] *)
+  clusters : int array array;
+      (** [clusters.(i)] is [S_i], for [i = 0..k] *)
+}
+
+val min_side_a : k:int -> delta:int -> int
+(** Smallest admissible [|A|]. *)
+
+val min_side_b : k:int -> delta:int -> int
+(** Smallest admissible [|B|]. *)
+
+val build :
+  Rng.t -> universe:int -> a:int array -> b:int array -> k:int -> delta:int ->
+  Graph.t * analysis
+(** [build rng ~universe ~a ~b ~k ~delta] constructs
+    [H_{k,delta}(A, B)] as a graph over [universe] nodes; node ids
+    outside [a] and [b] are left isolated (they never occur when the
+    dynamic family calls this with [A ∪ B = V]).
+    @raise Invalid_argument if the sides are too small, overlap, or
+    repeat ids. *)
+
+val default_k : int -> int
+(** The paper's [k = Theta(log n / log log n)], clamped to [>= 1]. *)

@@ -1,0 +1,115 @@
+(* A1 — protocol ablation: push-only vs pull-only vs push-pull.  The
+   paper's algorithm is push-pull (Definition 1) and its dynamic-star
+   analysis leans on both directions being available; this ablation
+   shows *why*:
+
+   - on the adaptive star G2, pull is what lets the n leaves drain the
+     centre: push-only must wait for the centre's own rate-1 clock to
+     visit leaves one at a time, Theta(n log n) (coupon collector);
+   - symmetric picture on the static star with a leaf source;
+   - on regular graphs the three protocols differ by constants only.
+
+   The ablation also cross-checks the generalized cut engine against
+   the literal tick engine for each protocol. *)
+
+open Rumor_util
+open Rumor_sim
+
+let run ~full rng =
+  let n = if full then 256 else 96 in
+  let reps = if full then 60 else 30 in
+  let table =
+    Table.create
+      ~aligns:[ Left; Right; Right; Right; Right ]
+      [ "network"; "n"; "push-pull"; "push"; "pull" ]
+  in
+  let measure net protocol =
+    let mc =
+      Run.async_spread_times ~reps ~horizon:1e5 ~protocol rng net
+    in
+    Rumor_stats.Descriptive.mean mc.Run.times
+  in
+  let cases =
+    [
+      ("G2 (adaptive star)", Rumor_dynamic.Dichotomy.g2 ~n);
+      ( "static star (leaf source)",
+        {
+          (Rumor_dynamic.Dynet.of_static ~name:"star" (Rumor_graph.Gen.star (n + 1)))
+          with
+          Rumor_dynamic.Dynet.source_hint = Some 1;
+        } );
+      ( "clique",
+        Rumor_dynamic.Dynet.of_static ~name:"clique" (Rumor_graph.Gen.clique n) );
+      ( "random 8-regular",
+        Rumor_dynamic.Dynet.of_static ~name:"regular"
+          (Rumor_graph.Gen.random_connected_regular rng n 8) );
+    ]
+  in
+  let star_gap = ref 0. in
+  List.iter
+    (fun (label, net) ->
+      let pp = measure net Protocol.Push_pull in
+      let push = measure net Protocol.Push in
+      let pull = measure net Protocol.Pull in
+      if label = "G2 (adaptive star)" then star_gap := push /. pp;
+      Table.add_row table
+        [
+          label;
+          Table.cell_i net.Rumor_dynamic.Dynet.n;
+          Table.cell_f pp;
+          Table.cell_f push;
+          Table.cell_f pull;
+        ])
+    cases;
+  (* Engine cross-check per protocol on a fixed graph. *)
+  let cross = Rumor_dynamic.Dynet.of_static (Rumor_graph.Gen.clique 32) in
+  let engine_table =
+    Table.create ~aligns:[ Left; Right; Right ]
+      [ "protocol"; "cut engine mean"; "tick engine mean" ]
+  in
+  let engines_ok = ref true in
+  List.iter
+    (fun protocol ->
+      let sample engine =
+        let mc =
+          Run.async_spread_times ~reps:200 ~engine ~protocol rng cross
+        in
+        ( Rumor_stats.Descriptive.mean mc.Run.times,
+          Rumor_stats.Descriptive.std_error mc.Run.times )
+      in
+      let mc, sc = sample Run.Cut in
+      let mt, st = sample Run.Tick in
+      if Float.abs (mc -. mt) > 5. *. sqrt ((sc *. sc) +. (st *. st)) then
+        engines_ok := false;
+      Table.add_row engine_table
+        [ Protocol.to_string protocol; Table.cell_f mc; Table.cell_f mt ])
+    Protocol.all;
+  let out = Experiment.output_empty in
+  let out = Experiment.add_table out "mean spread time by protocol" table in
+  let out =
+    Experiment.add_table out "cut vs tick engine per protocol (clique 32)"
+      engine_table
+  in
+  let out =
+    Experiment.add_note out
+      (Printf.sprintf
+         "on the adaptive star, push-only pays a %.1fx coupon-collector \
+          penalty over push-pull — the pull direction is what Theorem \
+          1.7(ii)'s Theta(log n) rests on."
+         !star_gap)
+  in
+  Experiment.add_note out
+    (if !engines_ok then
+       "generalized cut engine agrees with the literal tick engine for all \
+        three protocols."
+     else "ENGINE DISAGREEMENT!")
+
+let experiment =
+  {
+    Experiment.id = "A1";
+    title = "Ablation: push vs pull vs push-pull";
+    claim =
+      "push-pull's bidirectionality is load-bearing on star-like dynamic \
+       networks; protocols differ by constants on regular graphs";
+    run;
+  }

@@ -1,0 +1,73 @@
+(* E10 — static-network anchors from the literature the paper builds
+   on, used as end-to-end sanity checks of the simulators:
+   - Karp et al. [19]: sync push-pull on the clique takes Theta(log n)
+     rounds;
+   - Chierichetti et al. [6]: sync push-pull on any static graph takes
+     O(log n / Phi) rounds;
+   - Acan et al. [1]: async push-pull on any connected static graph
+     takes O(n log n) time;
+   - Giakkoupis et al. [16]: on static graphs Ta = O(Ts + log n) —
+     the relation Theorem 1.7 shows cannot survive in dynamic
+     networks. *)
+
+open Rumor_util
+open Rumor_bounds
+
+let run ~full rng =
+  let reps = if full then 60 else 24 in
+  let table =
+    Table.create
+      ~aligns:[ Left; Right; Right; Right; Right; Right; Left ]
+      [ "network"; "n"; "sync mean"; "c log n/phi [6]"; "async mean"; "n log n [1]"; "Ta <= 4(Ts+ln n) [16]" ]
+  in
+  let coupling_ok = ref true in
+  List.iter
+    (fun (case : Workloads.static_case) ->
+      let ms = Workloads.measure_sync ~reps rng case.net in
+      let ma = Workloads.measure_async ~reps rng case.net in
+      let sync_mean = ms.summary.Rumor_stats.Summary.mean in
+      let async_mean = ma.summary.Rumor_stats.Summary.mean in
+      let chierichetti =
+        Static_bounds.chierichetti_rounds ~c:4. ~phi:case.phi case.n
+      in
+      let nlogn = Static_bounds.static_async_worst_case case.n in
+      let envelope = 4. *. Static_bounds.async_from_sync ~ts:sync_mean case.n in
+      let coupled = async_mean <= envelope in
+      if not coupled then coupling_ok := false;
+      Table.add_row table
+        [
+          case.label;
+          Table.cell_i case.n;
+          Table.cell_f sync_mean;
+          Table.cell_f ~digits:0 chierichetti;
+          Table.cell_f async_mean;
+          Table.cell_f ~digits:0 nlogn;
+          (if coupled then "yes" else "NO");
+        ])
+    (Workloads.static_zoo ~full rng);
+  let n = if full then 512 else 128 in
+  let karp = Static_bounds.karp_clique_rounds n in
+  let out = Experiment.output_empty in
+  let out = Experiment.add_table out "static anchors" table in
+  let out =
+    Experiment.add_note out
+      (Printf.sprintf
+         "Karp et al. [19] clique anchor: log2 n = %.1f rounds at n = %d — compare the clique row's sync mean."
+         karp n)
+  in
+  Experiment.add_note out
+    (if !coupling_ok then
+       "the static coupling Ta = O(Ts + log n) of [16] held on every static \
+        case — exactly the relation Theorem 1.7 breaks in dynamic networks \
+        (see E6/E7)."
+     else "STATIC COUPLING VIOLATED!")
+
+let experiment =
+  {
+    Experiment.id = "E10";
+    title = "Static-network anchors ([19], [6], [1], [16])";
+    claim =
+      "the simulators reproduce the classical static results the paper \
+       builds on";
+    run;
+  }

@@ -1,0 +1,77 @@
+(* E5 — Remark 1.4 and the introduction's headline: every connected
+   dynamic network spreads in O(n^2) time, and the bound is achieved:
+   at rho = Theta(1/n) the absolutely-diligent family needs Theta(n^2).
+   Contrast: on *static* connected networks the universal ceiling is
+   O(n log n) [1] — our static path baseline grows linearly.  The
+   log-log slopes separate cleanly: ~2 for the dynamic family, ~1 for
+   the path. *)
+
+open Rumor_util
+open Rumor_dynamic
+
+let run ~full rng =
+  let ns = if full then [ 120; 180; 240; 320; 420 ] else [ 120; 180; 240; 320 ] in
+  let reps = if full then 10 else 8 in
+  let table =
+    Table.create
+      ~aligns:[ Right; Right; Right; Right; Right ]
+      [ "n"; "dynamic median"; "dynamic/n^2"; "static path mean"; "path/n" ]
+  in
+  let dyn_points = ref [] and path_points = ref [] in
+  List.iter
+    (fun n ->
+      let rho = 10. /. float_of_int n in
+      let dyn = Absolute.network ~n ~rho in
+      let md = Workloads.measure_async ~reps ~horizon:1e7 rng dyn in
+      let dyn_mean = md.summary.Rumor_stats.Summary.median in
+      let path = Dynet.of_static ~name:"path" (Rumor_graph.Gen.path n) in
+      let mp = Workloads.measure_async ~reps rng path in
+      let path_mean = mp.summary.Rumor_stats.Summary.mean in
+      dyn_points := (float_of_int n, dyn_mean) :: !dyn_points;
+      path_points := (float_of_int n, path_mean) :: !path_points;
+      Table.add_row table
+        [
+          Table.cell_i n;
+          Table.cell_f dyn_mean;
+          Table.cell_g (dyn_mean /. (float_of_int n ** 2.));
+          Table.cell_f path_mean;
+          Table.cell_f ~digits:3 (path_mean /. float_of_int n);
+        ])
+    ns;
+  let dyn_fit = Rumor_stats.Regression.log_log (List.rev !dyn_points) in
+  let path_fit = Rumor_stats.Regression.log_log (List.rev !path_points) in
+  let plot =
+    Ascii_plot.render ~logx:true ~logy:true
+      ~title:"spread time vs n (log-log): d = dynamic Theta(n^2) family, p = static path"
+      [
+        { Ascii_plot.label = 'd'; points = List.rev !dyn_points };
+        { Ascii_plot.label = 'p'; points = List.rev !path_points };
+      ]
+  in
+  let out = Experiment.output_empty in
+  let out =
+    Experiment.add_table out
+      "worst-case growth: dynamic abs-G(n, 10/n) vs static path" table
+  in
+  let out = Experiment.add_plot out plot in
+  let out =
+    Experiment.add_note out
+      (Printf.sprintf
+         "dynamic growth exponent %.2f (Theta(n^2) predicts ~2.0; R^2 = %.3f)"
+         dyn_fit.Rumor_stats.Regression.slope
+         dyn_fit.Rumor_stats.Regression.r_squared)
+  in
+  Experiment.add_note out
+    (Printf.sprintf
+       "static path growth exponent %.2f (linear, consistent with the O(n log n) static ceiling of [1])"
+       path_fit.Rumor_stats.Regression.slope)
+
+let experiment =
+  {
+    Experiment.id = "E5";
+    title = "Remark 1.4: the Theta(n^2) dynamic worst case";
+    claim =
+      "connected dynamic networks spread in O(n^2) and some need \
+       Theta(n^2) — strictly worse than the O(n log n) static ceiling";
+    run;
+  }

@@ -1,0 +1,86 @@
+(* E9 — Section 1.2's motivating separation: on the alternating
+   { 3, n-1 }-regular network every step is 1-diligent, so the
+   Theorem 1.1 bound stays Theta(log n); but the Giakkoupis et al. [17]
+   bound pays M(G) = (n-1)/3 and inflates to Theta(n log n) — a
+   Theta(n)-factor over-estimate that diligence repairs.  Both bounds
+   are "first t such that a per-step sum reaches target log n"; the
+   network is 2-periodic, so we read the per-step contributions off a
+   short profile and extrapolate the crossing time in closed form,
+   using the same leading constant C = (10c+20)/c0 for both targets so
+   only the structural factors (1 vs M(G)) differ. *)
+
+open Rumor_util
+open Rumor_bounds
+open Rumor_dynamic
+
+let run ~full rng =
+  let ns = if full then [ 64; 128; 256; 512 ] else [ 32; 64; 128; 256 ] in
+  let reps = if full then 60 else 24 in
+  let table =
+    Table.create
+      ~aligns:[ Right; Right; Right; Right; Right; Right; Right ]
+      [ "n"; "async mean"; "sync mean"; "T(G,1) ours"; "M(G)"; "Giakkoupis bound"; "Giak/ours" ]
+  in
+  let ratio_points = ref [] in
+  List.iter
+    (fun n ->
+      let net = Alternating.network ~n () in
+      let ma = Workloads.measure_async ~reps rng net in
+      let ms = Workloads.measure_sync ~reps rng net in
+      (* Per-step contributions over one short window (the family is
+         2-periodic with constant parameters). *)
+      let window = 64 in
+      let profiles = Bounds.profile ~steps:window rng net in
+      let avg f =
+        Array.fold_left (fun acc p -> acc +. f p) 0. profiles
+        /. float_of_int window
+      in
+      let avg_phirho = avg (fun p -> p.Bounds.phi *. p.Bounds.rho) in
+      let avg_phi = avg (fun p -> p.Bounds.phi) in
+      let target = Bounds.big_c ~c:1. *. log (float_of_int n) in
+      let ours = target /. avg_phirho in
+      let giak = Giakkoupis.bound ~steps:window rng net in
+      let m_factor = giak.Giakkoupis.m_factor in
+      let giak_time = target *. m_factor /. avg_phi in
+      let ratio = giak_time /. ours in
+      ratio_points := (float_of_int n, ratio) :: !ratio_points;
+      Table.add_row table
+        [
+          Table.cell_i n;
+          Table.cell_f ma.summary.Rumor_stats.Summary.mean;
+          Table.cell_f ms.summary.Rumor_stats.Summary.mean;
+          Table.cell_f ~digits:0 ours;
+          Table.cell_f ~digits:1 m_factor;
+          Table.cell_f ~digits:0 giak_time;
+          Table.cell_f ~digits:1 ratio;
+        ])
+    ns;
+  let fit = Rumor_stats.Regression.log_log (List.rev !ratio_points) in
+  let out = Experiment.output_empty in
+  let out =
+    Experiment.add_table out
+      "alternating {3, n-1}-regular network: diligence bound vs M(G) bound \
+       (same leading constant for both)"
+      table
+  in
+  let out =
+    Experiment.add_note out
+      (Printf.sprintf
+         "Giakkoupis/ours ratio growth exponent %.2f (the paper predicts a \
+          Theta(n) separation, i.e. ~1.0; R^2 = %.3f)"
+         fit.Rumor_stats.Regression.slope fit.Rumor_stats.Regression.r_squared)
+  in
+  Experiment.add_note out
+    "both algorithms actually finish in Theta(log n): the diligence bound \
+     has the right shape, the M(G) bound is off by the degree-fluctuation \
+     factor."
+
+let experiment =
+  {
+    Experiment.id = "E9";
+    title = "Section 1.2: diligence bound vs Giakkoupis et al. [17]";
+    claim =
+      "on the alternating {3, n-1}-regular network the M(G)-based bound \
+       of [17] is a Theta(n) factor above the diligence bound";
+    run;
+  }

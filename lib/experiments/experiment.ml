@@ -1,0 +1,33 @@
+open Rumor_util
+
+type output = {
+  tables : (string * Table.t) list;
+  notes : string list;
+  plots : string list;
+}
+
+type t = {
+  id : string;
+  title : string;
+  claim : string;
+  run : full:bool -> Rumor_rng.Rng.t -> output;
+}
+
+let output_empty = { tables = []; notes = []; plots = [] }
+
+let add_table out caption table =
+  { out with tables = out.tables @ [ (caption, table) ] }
+
+let add_note out note = { out with notes = out.notes @ [ note ] }
+
+let add_plot out plot = { out with plots = out.plots @ [ plot ] }
+
+let print ?(full = false) ?(seed = 2020) exp =
+  Printf.printf "=== %s: %s ===\n" exp.id exp.title;
+  Printf.printf "claim: %s\n\n" exp.claim;
+  let rng = Rumor_rng.Rng.create seed in
+  let out = exp.run ~full rng in
+  List.iter (fun (caption, table) -> Table.print ~title:caption table) out.tables;
+  List.iter (fun plot -> print_string plot) out.plots;
+  List.iter (fun note -> Printf.printf "-> %s\n" note) out.notes;
+  print_newline ()

@@ -1,0 +1,32 @@
+(** Experiment framework: every theorem-validation run in DESIGN.md's
+    per-experiment index is an {!t} registered in {!Registry}
+    (see [registry.ml]); [bench/main.exe] and the CLI render them
+    through {!print}. *)
+
+open Rumor_util
+
+type output = {
+  tables : (string * Table.t) list;  (** (caption, table) pairs *)
+  notes : string list;  (** shape conclusions, fit slopes, pass/fail lines *)
+  plots : string list;  (** pre-rendered ASCII plots *)
+}
+
+type t = {
+  id : string;  (** e.g. "E1" *)
+  title : string;
+  claim : string;  (** the paper statement being validated *)
+  run : full:bool -> Rumor_rng.Rng.t -> output;
+      (** [full = false] uses quick sizes suitable for CI *)
+}
+
+val print : ?full:bool -> ?seed:int -> t -> unit
+(** Run and pretty-print one experiment (default quick mode,
+    seed 2020). *)
+
+val output_empty : output
+
+val add_table : output -> string -> Table.t -> output
+
+val add_note : output -> string -> output
+
+val add_plot : output -> string -> output

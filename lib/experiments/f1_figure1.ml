@@ -1,0 +1,94 @@
+(* F1 — Figure 1 reproduction: machine-checked structure of the two
+   dynamic networks G1 and G2 at each phase of their evolution, plus an
+   ASCII rendering of small instances (the paper's only figure defines
+   these networks; reproducing it means verifying the construction). *)
+
+open Rumor_util
+open Rumor_rng
+open Rumor_graph
+open Rumor_dynamic
+
+let check table label ok =
+  Table.add_row table [ label; (if ok then "pass" else "FAIL") ];
+  ok
+
+let run ~full:_ rng =
+  let table = Table.create ~aligns:[ Left; Left ] [ "structural invariant"; "status" ] in
+  let all_ok = ref true in
+  let assert_ label ok = if not (check table label ok) then all_ok := false in
+  let n = 10 in
+  (* --- G1, step 0: n-clique with pendant {0, n}. --- *)
+  let g1 = Dichotomy.g1 ~n in
+  let inst = g1.Dynet.spawn (Rng.split rng) in
+  let informed = Bitset.create (n + 1) in
+  ignore (Bitset.add informed n);
+  let step0 = (Dynet.next inst ~informed).Dynet.graph in
+  assert_ "G1 step 0: pendant node n has degree 1"
+    (Graph.degree step0 n = 1 && Graph.has_edge step0 0 n);
+  assert_ "G1 step 0: nodes 0..n-1 form a clique"
+    (let ok = ref true in
+     for u = 0 to n - 1 do
+       for v = u + 1 to n - 1 do
+         if not (Graph.has_edge step0 u v) then ok := false
+       done
+     done;
+     !ok);
+  (* --- G1, steps >= 1: two bridged cliques containing 0 and n. --- *)
+  let step1 = (Dynet.next inst ~informed).Dynet.graph in
+  let step2 = (Dynet.next inst ~informed).Dynet.graph in
+  assert_ "G1 steps 1, 2: identical graphs (frozen)" (Graph.equal step1 step2);
+  let half = (n + 2) / 2 in
+  assert_ "G1 step 1: left clique holds node 0, right holds node n"
+    (Graph.has_edge step1 0 1 && Graph.has_edge step1 half n);
+  assert_ "G1 step 1: exactly one bridge edge crosses the halves"
+    (let crossing = ref 0 in
+     Graph.iter_edges (fun u v -> if u < half && v >= half then incr crossing) step1;
+     !crossing = 1);
+  (* --- G2: re-centering star. --- *)
+  let g2 = Dichotomy.g2 ~n in
+  let inst2 = g2.Dynet.spawn (Rng.split rng) in
+  let informed2 = Bitset.create (n + 1) in
+  ignore (Bitset.add informed2 0);
+  let s0 = (Dynet.next inst2 ~informed:informed2).Dynet.graph in
+  assert_ "G2 step 0: star with centre n"
+    (Graph.degree s0 n = n && Graph.m s0 = n);
+  (* Inform the centre (as a pull would) and step: the new centre must
+     be uninformed. *)
+  ignore (Bitset.add informed2 n);
+  let s1 = (Dynet.next inst2 ~informed:informed2).Dynet.graph in
+  let new_center = ref (-1) in
+  for u = 0 to n do
+    if Graph.degree s1 u = n then new_center := u
+  done;
+  assert_ "G2 step 1: exposes a star" (!new_center >= 0 && Graph.m s1 = n);
+  assert_ "G2 step 1: the new centre is an uninformed node"
+    (not (Bitset.mem informed2 !new_center));
+  (* ASCII rendering of tiny instances, echoing Figure 1. *)
+  let render caption g =
+    Format.asprintf "%s@.%a@.@." caption Graph.pp g
+  in
+  let tiny = Dichotomy.g1 ~n:4 in
+  let inst3 = tiny.Dynet.spawn (Rng.split rng) in
+  let e = Bitset.create 5 in
+  let t0 = (Dynet.next inst3 ~informed:e).Dynet.graph in
+  let t1 = (Dynet.next inst3 ~informed:e).Dynet.graph in
+  let plot =
+    render "Figure 1(a) G1 at t=0 (K4 + pendant 4):" t0
+    ^ render "Figure 1(a) G1 at t>=1 (two bridged cliques):" t1
+    ^ render "Figure 1(b) G2 star at t=0 (centre 4):"
+        (Dichotomy.star_graph ~n:4 ~center:4)
+  in
+  let out = Experiment.output_empty in
+  let out = Experiment.add_table out "Figure 1 structural invariants" table in
+  let out = Experiment.add_plot out plot in
+  Experiment.add_note out
+    (if !all_ok then "every Figure 1 structural invariant holds."
+     else "FIGURE 1 INVARIANT FAILED!")
+
+let experiment =
+  {
+    Experiment.id = "F1";
+    title = "Figure 1: the dynamic networks G1 and G2";
+    claim = "the constructions match the paper's figure step by step";
+    run;
+  }

@@ -1,0 +1,31 @@
+let all =
+  [
+    E1_upper_bound.experiment;
+    E2_tightness.experiment;
+    E3_absolute_bound.experiment;
+    E4_absolute_tightness.experiment;
+    E5_quadratic.experiment;
+    E6_dichotomy_g1.experiment;
+    E7_dichotomy_g2.experiment;
+    E8_star_tail.experiment;
+    E9_vs_giakkoupis.experiment;
+    E10_static_anchors.experiment;
+    E11_corollary.experiment;
+    E12_intermittent.experiment;
+    A1_protocols.experiment;
+    A2_adversary.experiment;
+    O1_observation.experiment;
+    B1_engine_perf.experiment;
+    R1_markovian.experiment;
+    F1_figure1.experiment;
+    L_lemmas.experiment;
+  ]
+
+let find id =
+  let id = String.lowercase_ascii id in
+  List.find_opt
+    (fun e -> String.lowercase_ascii e.Experiment.id = id)
+    all
+
+let run_all ?full ?seed () =
+  List.iter (fun e -> Experiment.print ?full ?seed e) all

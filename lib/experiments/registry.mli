@@ -1,0 +1,9 @@
+(** All registered experiments, in DESIGN.md index order. *)
+
+val all : Experiment.t list
+
+val find : string -> Experiment.t option
+(** Case-insensitive lookup by id (e.g. "e2"). *)
+
+val run_all : ?full:bool -> ?seed:int -> unit -> unit
+(** Print every experiment in order. *)

@@ -1,0 +1,153 @@
+open Rumor_util
+
+let exact_size_limit = 22
+
+let volume_of g set = Bitset.fold (fun u acc -> acc + Graph.degree g u) set 0
+
+let cut_size g set =
+  Graph.fold_edges
+    (fun u v acc ->
+      if Bitset.mem set u <> Bitset.mem set v then acc + 1 else acc)
+    g 0
+
+let cut_edges g set =
+  Graph.fold_edges
+    (fun u v acc ->
+      match (Bitset.mem set u, Bitset.mem set v) with
+      | true, false -> (u, v) :: acc
+      | false, true -> (v, u) :: acc
+      | true, true | false, false -> acc)
+    g []
+
+let conductance_of_cut g set =
+  let vol_s = volume_of g set in
+  let vol_rest = Graph.volume g - vol_s in
+  if vol_s = 0 || vol_rest = 0 then
+    invalid_arg "Cut.conductance_of_cut: a side has zero volume";
+  float_of_int (cut_size g set) /. float_of_int (min vol_s vol_rest)
+
+let diligence_of_cut g set =
+  let vol_s = volume_of g set in
+  let vol_g = Graph.volume g in
+  if vol_s <= 0 || 2 * vol_s > vol_g then
+    invalid_arg "Cut.diligence_of_cut: need 0 < vol(S) <= vol(G)/2";
+  let dbar = float_of_int vol_s /. float_of_int (Bitset.cardinal set) in
+  Graph.fold_edges
+    (fun u v acc ->
+      if Bitset.mem set u <> Bitset.mem set v then
+        let du = float_of_int (Graph.degree g u)
+        and dv = float_of_int (Graph.degree g v) in
+        min acc (Float.max (dbar /. du) (dbar /. dv))
+      else acc)
+    g infinity
+
+let check_exact g =
+  let n = Graph.n g in
+  if n > exact_size_limit then
+    invalid_arg
+      (Printf.sprintf "Cut: exact enumeration limited to n <= %d (got %d)"
+         exact_size_limit n)
+
+(* Enumerate subsets by bitmask.  Degree prefix, volumes and cut sizes
+   are recomputed per subset over the edge list: O(2^n * m), fine for
+   n <= exact_size_limit on the test sizes we use. *)
+let enumerate g f =
+  let n = Graph.n g in
+  let edges = Graph.edges g in
+  let degrees = Array.init n (Graph.degree g) in
+  let vol_g = Graph.volume g in
+  for mask = 1 to (1 lsl n) - 2 do
+    let vol_s = ref 0 in
+    for u = 0 to n - 1 do
+      if mask land (1 lsl u) <> 0 then vol_s := !vol_s + degrees.(u)
+    done;
+    f ~mask ~vol_s:!vol_s ~vol_g ~edges ~degrees
+  done
+
+let popcount mask =
+  let rec go m acc = if m = 0 then acc else go (m lsr 1) (acc + (m land 1)) in
+  go mask 0
+
+let conductance_exact g =
+  check_exact g;
+  if Graph.m g = 0 then invalid_arg "Cut.conductance_exact: edgeless graph";
+  if not (Traverse.is_connected g) then 0.
+  else begin
+    let best = ref infinity in
+    enumerate g (fun ~mask ~vol_s ~vol_g ~edges ~degrees:_ ->
+        if vol_s > 0 && vol_s < vol_g then begin
+          let cut = ref 0 in
+          Array.iter
+            (fun (u, v) ->
+              let iu = mask land (1 lsl u) <> 0
+              and iv = mask land (1 lsl v) <> 0 in
+              if iu <> iv then incr cut)
+            edges;
+          let phi =
+            float_of_int !cut /. float_of_int (min vol_s (vol_g - vol_s))
+          in
+          if phi < !best then best := phi
+        end);
+    !best
+  end
+
+let diligence_exact g =
+  check_exact g;
+  if not (Traverse.is_connected g) then 0.
+  else begin
+    let n = Graph.n g in
+    let best = ref infinity in
+    enumerate g (fun ~mask ~vol_s ~vol_g ~edges ~degrees ->
+        if vol_s > 0 && 2 * vol_s <= vol_g then begin
+          let size_s = popcount mask in
+          let dbar = float_of_int vol_s /. float_of_int size_s in
+          let rho_s = ref infinity in
+          Array.iter
+            (fun (u, v) ->
+              let iu = mask land (1 lsl u) <> 0
+              and iv = mask land (1 lsl v) <> 0 in
+              if iu <> iv then begin
+                let du = float_of_int degrees.(u)
+                and dv = float_of_int degrees.(v) in
+                let m = Float.max (dbar /. du) (dbar /. dv) in
+                if m < !rho_s then rho_s := m
+              end)
+            edges;
+          if !rho_s < !best then best := !rho_s
+        end);
+    ignore n;
+    !best
+  end
+
+let min_conductance_cut g =
+  check_exact g;
+  if Graph.m g = 0 then invalid_arg "Cut.min_conductance_cut: edgeless graph";
+  let n = Graph.n g in
+  if not (Traverse.is_connected g) then
+    (* Return one whole component: conductance 0. *)
+    (Traverse.component_of g 0, 0.)
+  else begin
+    let best = ref infinity and best_mask = ref 1 in
+    enumerate g (fun ~mask ~vol_s ~vol_g ~edges ~degrees:_ ->
+        if vol_s > 0 && vol_s < vol_g then begin
+          let cut = ref 0 in
+          Array.iter
+            (fun (u, v) ->
+              let iu = mask land (1 lsl u) <> 0
+              and iv = mask land (1 lsl v) <> 0 in
+              if iu <> iv then incr cut)
+            edges;
+          let phi =
+            float_of_int !cut /. float_of_int (min vol_s (vol_g - vol_s))
+          in
+          if phi < !best then begin
+            best := phi;
+            best_mask := mask
+          end
+        end);
+    let set = Bitset.create n in
+    for u = 0 to n - 1 do
+      if !best_mask land (1 lsl u) <> 0 then ignore (Bitset.add set u)
+    done;
+    (set, !best)
+  end

@@ -1,0 +1,174 @@
+open Rumor_rng
+
+let is_graphical degrees =
+  let n = Array.length degrees in
+  if Array.exists (fun d -> d < 0 || d > n - 1) degrees then false
+  else begin
+    let sum = Array.fold_left ( + ) 0 degrees in
+    if sum mod 2 = 1 then false
+    else begin
+      let d = Array.copy degrees in
+      Array.sort (fun a b -> compare b a) d;
+      (* Erdos-Gallai: for each k, sum of k largest <= k(k-1) +
+         sum_{i>k} min(d_i, k). *)
+      let prefix = Array.make (n + 1) 0 in
+      for i = 0 to n - 1 do
+        prefix.(i + 1) <- prefix.(i) + d.(i)
+      done;
+      let ok = ref true in
+      for k = 1 to n do
+        if !ok then begin
+          let lhs = prefix.(k) in
+          let rhs = ref (k * (k - 1)) in
+          for i = k to n - 1 do
+            rhs := !rhs + min d.(i) k
+          done;
+          if lhs > !rhs then ok := false
+        end
+      done;
+      !ok
+    end
+  end
+
+let admits_connected degrees =
+  let n = Array.length degrees in
+  is_graphical degrees
+  &&
+  if n <= 1 then true
+  else
+    Array.for_all (fun d -> d >= 1) degrees
+    && Array.fold_left ( + ) 0 degrees >= 2 * (n - 1)
+
+let havel_hakimi degrees =
+  if not (is_graphical degrees) then
+    invalid_arg "Degree_seq.havel_hakimi: sequence is not graphical";
+  let n = Array.length degrees in
+  let b = Builder.create n in
+  (* Residual degrees; each round connect the max-degree node to the
+     next-highest nodes. *)
+  let residual = Array.copy degrees in
+  let nodes = Array.init n (fun i -> i) in
+  let by_residual_desc u v = compare (residual.(v), v) (residual.(u), u) in
+  let continue = ref true in
+  while !continue do
+    Array.sort by_residual_desc nodes;
+    let u = nodes.(0) in
+    if residual.(u) = 0 then continue := false
+    else begin
+      let need = residual.(u) in
+      residual.(u) <- 0;
+      for i = 1 to need do
+        let v = nodes.(i) in
+        (* Graphicality guarantees residual.(v) >= 1 here. *)
+        assert (residual.(v) >= 1);
+        residual.(v) <- residual.(v) - 1;
+        Builder.add_edge_exn b u v
+      done
+    end
+  done;
+  Builder.freeze b
+
+(* Degree-preserving 2-swap that merges two components: take edge (a,b)
+   in one component and (c,d) in another; replace with (a,c), (b,d).
+   Cross-component endpoints are never adjacent, so the result is
+   simple. *)
+let connect g =
+  let n = Graph.n g in
+  let degrees = Array.init n (Graph.degree g) in
+  if not (admits_connected degrees) then
+    invalid_arg "Degree_seq.connect: no connected realization exists";
+  if Traverse.is_connected g then g
+  else begin
+    let b = Builder.create n in
+    Graph.iter_edges (fun u v -> Builder.add_edge_exn b u v) g;
+    let current () = Builder.freeze b in
+    let rec repair guard =
+      if guard > 4 * n + 16 then
+        failwith "Degree_seq.connect: repair did not converge"
+      else begin
+        let snapshot = current () in
+        let label, count = Traverse.components snapshot in
+        if count <= 1 then snapshot
+        else begin
+          (* One representative edge per component (components with a
+             single degree-0 node are impossible: all degrees >= 1). *)
+          let comp_edge = Array.make count None in
+          Graph.iter_edges
+            (fun u v ->
+              let c = label.(u) in
+              if comp_edge.(c) = None then comp_edge.(c) <- Some (u, v))
+            snapshot;
+          (match (comp_edge.(0), comp_edge.(1)) with
+          | Some (a, bb), Some (c, d) ->
+            ignore (Builder.remove_edge b a bb);
+            ignore (Builder.remove_edge b c d);
+            Builder.add_edge_exn b a c;
+            Builder.add_edge_exn b bb d
+          | _ ->
+            failwith "Degree_seq.connect: component without an edge");
+          repair (guard + 1)
+        end
+      end
+    in
+    repair 0
+  end
+
+let randomize ?swaps ?(preserve_connectivity = false) rng g =
+  let n = Graph.n g in
+  let m = Graph.m g in
+  if m < 2 then g
+  else begin
+    let swaps = match swaps with Some s -> s | None -> 10 * m in
+    let b = Builder.create n in
+    Graph.iter_edges (fun u v -> Builder.add_edge_exn b u v) g;
+    let edge_arr = Array.copy (Graph.edges g) in
+    let try_swap () =
+      let i = Rng.int rng m and j = Rng.int rng m in
+      if i <> j then begin
+        let a, bb = edge_arr.(i) and c, d = edge_arr.(j) in
+        (* Orientation choice doubles the reachable swap set. *)
+        let c, d = if Rng.bool rng then (c, d) else (d, c) in
+        let distinct = a <> c && a <> d && bb <> c && bb <> d in
+        if distinct && (not (Builder.has_edge b a c)) && not (Builder.has_edge b bb d)
+        then begin
+          ignore (Builder.remove_edge b a bb);
+          ignore (Builder.remove_edge b c d);
+          Builder.add_edge_exn b a c;
+          Builder.add_edge_exn b bb d;
+          let keep =
+            (not preserve_connectivity) || Traverse.is_connected (Builder.freeze b)
+          in
+          if keep then begin
+            edge_arr.(i) <- (min a c, max a c);
+            edge_arr.(j) <- (min bb d, max bb d)
+          end
+          else begin
+            ignore (Builder.remove_edge b a c);
+            ignore (Builder.remove_edge b bb d);
+            Builder.add_edge_exn b a bb;
+            Builder.add_edge_exn b c d
+          end
+        end
+      end
+    in
+    for _ = 1 to swaps do
+      try_swap ()
+    done;
+    Builder.freeze b
+  end
+
+let realize_connected rng degrees =
+  let g = connect (havel_hakimi degrees) in
+  randomize ~swaps:(4 * Graph.m g) ~preserve_connectivity:true rng g
+
+let regular_except_one rng ~n ~d ~special_degree =
+  if n < 2 then invalid_arg "Degree_seq.regular_except_one: need n >= 2";
+  let degrees = Array.make n d in
+  degrees.(0) <- special_degree;
+  if not (admits_connected degrees) then
+    invalid_arg
+      (Printf.sprintf
+         "Degree_seq.regular_except_one: sequence (d=%d, special=%d, n=%d) \
+          has no connected realization"
+         d special_degree n);
+  realize_connected rng degrees

@@ -1,0 +1,48 @@
+(** Degree-sequence realization.
+
+    Section 5.1 of the paper needs [G(A, d1, d2)]: a connected simple
+    graph in which every node has degree [d1] except one node of degree
+    [d2].  This module provides the general machinery: the
+    Erdős–Gallai graphicality test, Havel–Hakimi construction,
+    connectivity repair by 2-swaps (possible whenever the sequence
+    admits a connected realization), and uniformising double edge
+    swaps. *)
+
+open Rumor_rng
+
+val is_graphical : int array -> bool
+(** Erdős–Gallai: does a simple graph with this degree sequence
+    exist? *)
+
+val admits_connected : int array -> bool
+(** A graphical sequence admits a connected realization iff all degrees
+    are positive and the degree sum is at least [2(n-1)]
+    (for [n >= 2]). *)
+
+val havel_hakimi : int array -> Graph.t
+(** Deterministic realization.
+    @raise Invalid_argument if the sequence is not graphical. *)
+
+val connect : Graph.t -> Graph.t
+(** Degree-preserving 2-swaps until connected.
+    @raise Invalid_argument if the degree sequence does not admit a
+    connected realization. *)
+
+val randomize : ?swaps:int -> ?preserve_connectivity:bool -> Rng.t -> Graph.t -> Graph.t
+(** [randomize rng g] applies random double edge swaps (defaults:
+    [10 * m] attempted swaps, connectivity not enforced) to
+    approximately uniformise over realizations of the same degree
+    sequence.  With [~preserve_connectivity:true], swaps that
+    disconnect the graph are rolled back. *)
+
+val realize_connected : Rng.t -> int array -> Graph.t
+(** Havel–Hakimi, then {!connect}, then a light {!randomize} preserving
+    connectivity: a random-looking connected graph with exactly the
+    given degrees.
+    @raise Invalid_argument if no connected realization exists. *)
+
+val regular_except_one : Rng.t -> n:int -> d:int -> special_degree:int -> Graph.t
+(** The paper's [G(A, d1, d2)]: [n]-node connected graph where node [0]
+    has degree [special_degree] and all others degree [d].
+    @raise Invalid_argument if the sequence is not graphical/connected
+    (e.g. odd degree sum). *)

@@ -1,0 +1,60 @@
+let to_dot ?(name = "G") ?highlight ?labels g =
+  (match highlight with
+  | Some h when Rumor_util.Bitset.capacity h <> Graph.n g ->
+    invalid_arg "Export.to_dot: highlight capacity mismatch"
+  | _ -> ());
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "graph %s {\n" name);
+  Buffer.add_string buf "  node [shape=circle];\n";
+  for u = 0 to Graph.n g - 1 do
+    let label =
+      match labels with Some f -> f u | None -> string_of_int u
+    in
+    let attrs =
+      match highlight with
+      | Some h when Rumor_util.Bitset.mem h u ->
+        Printf.sprintf " [label=\"%s\", style=filled, fillcolor=lightblue]" label
+      | _ -> Printf.sprintf " [label=\"%s\"]" label
+    in
+    Buffer.add_string buf (Printf.sprintf "  n%d%s;\n" u attrs)
+  done;
+  Graph.iter_edges
+    (fun u v -> Buffer.add_string buf (Printf.sprintf "  n%d -- n%d;\n" u v))
+    g;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let csv_field s =
+  let needs_quoting =
+    String.exists (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r') s
+  in
+  if not needs_quoting then s
+  else begin
+    let buf = Buffer.create (String.length s + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string buf "\"\"" else Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  end
+
+let csv_of_rows ~header rows =
+  let arity = List.length header in
+  let buf = Buffer.create 1024 in
+  let emit row =
+    if List.length row <> arity then
+      invalid_arg "Export.csv_of_rows: row arity mismatch";
+    Buffer.add_string buf (String.concat "," (List.map csv_field row));
+    Buffer.add_char buf '\n'
+  in
+  emit header;
+  List.iter emit rows;
+  Buffer.contents buf
+
+let write_file path contents =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc contents)

@@ -1,0 +1,25 @@
+(** Export graphs and measurement series to standard formats.
+
+    DOT output renders the paper's constructions in Graphviz for
+    inspection (e.g. the [H_{k,Delta}] string); CSV output feeds the
+    experiment tables into external plotting. *)
+
+val to_dot :
+  ?name:string ->
+  ?highlight:Rumor_util.Bitset.t ->
+  ?labels:(int -> string) ->
+  Graph.t ->
+  string
+(** [to_dot g] is an undirected Graphviz document.  Nodes in
+    [highlight] (e.g. the informed set) are filled; [labels] overrides
+    the default integer labels.
+    @raise Invalid_argument if [highlight] has the wrong capacity. *)
+
+val csv_of_rows : header:string list -> string list list -> string
+(** RFC-4180-style CSV: fields containing commas, quotes or newlines
+    are quoted, quotes doubled.
+    @raise Invalid_argument if any row's arity differs from the
+    header's. *)
+
+val write_file : string -> string -> unit
+(** [write_file path contents]. *)

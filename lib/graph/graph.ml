@@ -1,0 +1,132 @@
+type t = {
+  n : int;
+  m : int;
+  adj : int array array; (* adj.(u) sorted increasing *)
+  edges : (int * int) array Lazy.t; (* (u, v) with u < v, lex-sorted *)
+}
+
+let n g = g.n
+
+let m g = g.m
+
+let check g u =
+  if u < 0 || u >= g.n then
+    invalid_arg (Printf.sprintf "Graph: node %d out of range [0, %d)" u g.n)
+
+let degree g u =
+  check g u;
+  Array.length g.adj.(u)
+
+let neighbors g u =
+  check g u;
+  g.adj.(u)
+
+let neighbor g u i =
+  check g u;
+  let a = g.adj.(u) in
+  if i < 0 || i >= Array.length a then
+    invalid_arg (Printf.sprintf "Graph.neighbor: index %d out of range" i);
+  a.(i)
+
+let has_edge g u v =
+  check g u;
+  check g v;
+  let a = g.adj.(u) in
+  let rec bsearch lo hi =
+    if lo >= hi then false
+    else
+      let mid = (lo + hi) / 2 in
+      if a.(mid) = v then true
+      else if a.(mid) < v then bsearch (mid + 1) hi
+      else bsearch lo mid
+  in
+  bsearch 0 (Array.length a)
+
+let compute_edges nn mm adj =
+  let out = Array.make mm (0, 0) in
+  let k = ref 0 in
+  for u = 0 to nn - 1 do
+    Array.iter
+      (fun v ->
+        if u < v then begin
+          out.(!k) <- (u, v);
+          incr k
+        end)
+      adj.(u)
+  done;
+  out
+
+let edges g = Lazy.force g.edges
+
+let iter_edges f g =
+  for u = 0 to g.n - 1 do
+    Array.iter (fun v -> if u < v then f u v) g.adj.(u)
+  done
+
+let fold_edges f g init =
+  let acc = ref init in
+  iter_edges (fun u v -> acc := f u v !acc) g;
+  !acc
+
+let volume g = 2 * g.m
+
+let max_degree g =
+  Array.fold_left (fun acc a -> max acc (Array.length a)) 0 g.adj
+
+let min_degree g =
+  if g.n = 0 then 0
+  else Array.fold_left (fun acc a -> min acc (Array.length a)) max_int g.adj
+
+let is_regular g = g.n = 0 || max_degree g = min_degree g
+
+let equal a b =
+  a.n = b.n && a.m = b.m
+  &&
+  let ok = ref true in
+  for u = 0 to a.n - 1 do
+    if a.adj.(u) <> b.adj.(u) then ok := false
+  done;
+  !ok
+
+let pp fmt g =
+  Format.fprintf fmt "@[<v>graph n=%d m=%d" g.n g.m;
+  if g.n <= 32 then
+    for u = 0 to g.n - 1 do
+      Format.fprintf fmt "@,%3d: %a" u
+        (Format.pp_print_list
+           ~pp_sep:(fun fmt () -> Format.fprintf fmt " ")
+           Format.pp_print_int)
+        (Array.to_list g.adj.(u))
+    done;
+  Format.fprintf fmt "@]"
+
+let unsafe_make ~n ~adj =
+  let m = Array.fold_left (fun acc a -> acc + Array.length a) 0 adj / 2 in
+  { n; m; adj; edges = lazy (compute_edges n m adj) }
+
+let of_edges n edge_list =
+  if n < 0 then invalid_arg "Graph.of_edges: negative node count";
+  let lists = Array.make (max 1 n) [] in
+  let seen = Hashtbl.create (2 * List.length edge_list) in
+  List.iter
+    (fun (u, v) ->
+      if u < 0 || u >= n || v < 0 || v >= n then
+        invalid_arg
+          (Printf.sprintf "Graph.of_edges: edge (%d, %d) out of range" u v);
+      if u = v then
+        invalid_arg (Printf.sprintf "Graph.of_edges: self-loop at %d" u);
+      let key = (min u v, max u v) in
+      if Hashtbl.mem seen key then
+        invalid_arg
+          (Printf.sprintf "Graph.of_edges: duplicate edge (%d, %d)" u v);
+      Hashtbl.add seen key ();
+      lists.(u) <- v :: lists.(u);
+      lists.(v) <- u :: lists.(v))
+    edge_list;
+  let adj =
+    Array.init n (fun u ->
+        let a = Array.of_list lists.(u) in
+        Array.sort compare a;
+        a)
+  in
+  unsafe_make ~n ~adj

@@ -1,0 +1,69 @@
+(** Immutable simple undirected graphs.
+
+    The node universe is [{0, ..., n-1}].  Graphs are immutable once
+    built (use {!Builder} to construct them); the simulators share
+    graph values freely across Monte-Carlo repetitions.  Parallel edges
+    and self-loops are rejected at construction time: every graph in
+    the paper's model is simple (Section 2). *)
+
+type t
+
+val n : t -> int
+(** Number of nodes. *)
+
+val m : t -> int
+(** Number of edges. *)
+
+val degree : t -> int -> int
+(** [degree g u]; O(1). @raise Invalid_argument if [u] is out of
+    range. *)
+
+val neighbors : t -> int -> int array
+(** Neighbour array of [u] in increasing order.  The returned array is
+    owned by the graph: callers must not mutate it. *)
+
+val neighbor : t -> int -> int -> int
+(** [neighbor g u i] is the [i]-th neighbour of [u]; O(1).  Used by the
+    simulators to pick a uniform neighbour without allocating.
+    @raise Invalid_argument if [i >= degree g u]. *)
+
+val has_edge : t -> int -> int -> bool
+(** Adjacency test, O(log(degree)). *)
+
+val edges : t -> (int * int) array
+(** Every edge once, as [(u, v)] with [u < v], sorted
+    lexicographically.  Owned by the graph: do not mutate. *)
+
+val iter_edges : (int -> int -> unit) -> t -> unit
+(** Iterate over edges [(u, v)] with [u < v]. *)
+
+val fold_edges : (int -> int -> 'a -> 'a) -> t -> 'a -> 'a
+
+val volume : t -> int
+(** [volume g = 2 * m g]: the total degree, [vol(G)] in the paper. *)
+
+val max_degree : t -> int
+(** 0 on an edgeless graph. *)
+
+val min_degree : t -> int
+(** 0 on an edgeless graph (and on any graph with an isolated node). *)
+
+val is_regular : t -> bool
+
+val equal : t -> t -> bool
+(** Same node count and same edge set. *)
+
+val pp : Format.formatter -> t -> unit
+(** Compact [n/m] + adjacency rendering for small graphs. *)
+
+val of_edges : int -> (int * int) list -> t
+(** [of_edges n edge_list] builds a graph directly; convenience wrapper
+    over {!Builder}.  Duplicate edges (in either orientation) and
+    self-loops are rejected.
+    @raise Invalid_argument on malformed input. *)
+
+(**/**)
+
+val unsafe_make : n:int -> adj:int array array -> t
+(** Internal constructor used by {!Builder}; assumes [adj] is sorted,
+    symmetric, loop-free and duplicate-free. *)

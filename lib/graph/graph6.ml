@@ -1,0 +1,93 @@
+(* graph6: every byte encodes 6 bits as (value + 63); the header is
+   N(n), then the upper triangle x_{0,1} x_{0,2} x_{1,2} x_{0,3} ...
+   packed most-significant-bit first and zero-padded to a multiple of
+   6. *)
+
+let header n =
+  if n < 0 then invalid_arg "Graph6.encode: negative n"
+  else if n <= 62 then String.make 1 (Char.chr (n + 63))
+  else if n <= 258047 then begin
+    let b = Bytes.create 4 in
+    Bytes.set b 0 '~';
+    Bytes.set b 1 (Char.chr (((n lsr 12) land 63) + 63));
+    Bytes.set b 2 (Char.chr (((n lsr 6) land 63) + 63));
+    Bytes.set b 3 (Char.chr ((n land 63) + 63));
+    Bytes.to_string b
+  end
+  else if n <= (1 lsl 36) - 1 then begin
+    let b = Bytes.create 8 in
+    Bytes.set b 0 '~';
+    Bytes.set b 1 '~';
+    for i = 0 to 5 do
+      Bytes.set b (2 + i) (Char.chr (((n lsr ((5 - i) * 6)) land 63) + 63))
+    done;
+    Bytes.to_string b
+  end
+  else invalid_arg "Graph6.encode: graph too large"
+
+let encode g =
+  let n = Graph.n g in
+  let head = header n in
+  let nbits = n * (n - 1) / 2 in
+  let nbytes = (nbits + 5) / 6 in
+  let out = Bytes.make nbytes (Char.chr 63) in
+  let bit = ref 0 in
+  (* Column-major upper triangle: for v = 1..n-1, u = 0..v-1. *)
+  for v = 1 to n - 1 do
+    for u = 0 to v - 1 do
+      if Graph.has_edge g u v then begin
+        let byte = !bit / 6 and off = !bit mod 6 in
+        let current = Char.code (Bytes.get out byte) - 63 in
+        Bytes.set out byte (Char.chr ((current lor (1 lsl (5 - off))) + 63))
+      end;
+      incr bit
+    done
+  done;
+  head ^ Bytes.to_string out
+
+let strip s =
+  let s =
+    let prefix = ">>graph6<<" in
+    if String.length s >= String.length prefix
+       && String.sub s 0 (String.length prefix) = prefix
+    then String.sub s (String.length prefix) (String.length s - String.length prefix)
+    else s
+  in
+  String.trim s
+
+let decode input =
+  let s = strip input in
+  let len = String.length s in
+  if len = 0 then invalid_arg "Graph6.decode: empty input";
+  let byte i =
+    if i >= len then invalid_arg "Graph6.decode: truncated input";
+    let c = Char.code s.[i] - 63 in
+    if c < 0 || c > 63 then invalid_arg "Graph6.decode: invalid character";
+    c
+  in
+  let n, start =
+    if s.[0] <> '~' then (byte 0, 1)
+    else if len >= 2 && s.[1] <> '~' then
+      (((byte 1 lsl 12) lor (byte 2 lsl 6) lor byte 3), 4)
+    else begin
+      let v = ref 0 in
+      for i = 2 to 7 do
+        v := (!v lsl 6) lor byte i
+      done;
+      (!v, 8)
+    end
+  in
+  let nbits = n * (n - 1) / 2 in
+  let nbytes = (nbits + 5) / 6 in
+  if len < start + nbytes then invalid_arg "Graph6.decode: truncated adjacency";
+  let b = Builder.create n in
+  let bit = ref 0 in
+  for v = 1 to n - 1 do
+    for u = 0 to v - 1 do
+      let value = byte (start + (!bit / 6)) in
+      let off = !bit mod 6 in
+      if value land (1 lsl (5 - off)) <> 0 then Builder.add_edge_exn b u v;
+      incr bit
+    done
+  done;
+  Builder.freeze b

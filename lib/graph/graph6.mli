@@ -1,0 +1,16 @@
+(** graph6 interchange format (McKay's nauty suite).
+
+    Compact ASCII encoding of simple undirected graphs: 6 bits per
+    character, upper-triangular adjacency bitmap, column-major order.
+    Lets constructions from this library be checked against nauty /
+    networkx tooling and vice versa.  Supports the standard size
+    headers for [n <= 62], [n <= 258047] and the 8-byte long form. *)
+
+val encode : Graph.t -> string
+(** graph6 string (without the optional [">>graph6<<"] prefix).
+    @raise Invalid_argument for graphs larger than [2^36 - 1] nodes. *)
+
+val decode : string -> Graph.t
+(** Inverse of {!encode}.  Accepts an optional [">>graph6<<"] prefix
+    and trailing newline.
+    @raise Invalid_argument on malformed input. *)

@@ -1,0 +1,100 @@
+open Rumor_rng
+
+type estimate = {
+  sweep_value : float;
+  gap : float;
+  cheeger_lower : float;
+  cheeger_upper : float;
+}
+
+(* One application of the lazy walk W = (I + D^{-1} A) / 2. *)
+let apply_lazy_walk g x out =
+  let n = Graph.n g in
+  for u = 0 to n - 1 do
+    let neigh = Graph.neighbors g u in
+    let d = Array.length neigh in
+    let sum = ref 0. in
+    Array.iter (fun v -> sum := !sum +. x.(v)) neigh;
+    out.(u) <- 0.5 *. (x.(u) +. (!sum /. float_of_int d))
+  done
+
+(* Project out the component along the all-ones vector with respect to
+   the pi-weighted inner product (pi_u proportional to d_u), i.e. the
+   top eigenvector of the walk. *)
+let deflate g x =
+  let n = Graph.n g in
+  let vol = float_of_int (Graph.volume g) in
+  let mean = ref 0. in
+  for u = 0 to n - 1 do
+    mean := !mean +. (float_of_int (Graph.degree g u) /. vol *. x.(u))
+  done;
+  for u = 0 to n - 1 do
+    x.(u) <- x.(u) -. !mean
+  done
+
+let pi_norm g x =
+  let vol = float_of_int (Graph.volume g) in
+  let s = ref 0. in
+  for u = 0 to Graph.n g - 1 do
+    s := !s +. (float_of_int (Graph.degree g u) /. vol *. x.(u) *. x.(u))
+  done;
+  sqrt !s
+
+let sweep_cut g order =
+  (* Prefix sets of the ordering; track volume and cut size
+     incrementally: adding node u flips each incident edge's crossing
+     status. *)
+  let n = Graph.n g in
+  let vol_g = Graph.volume g in
+  let inside = Array.make n false in
+  let vol_s = ref 0 and cut = ref 0 in
+  let best = ref infinity in
+  Array.iteri
+    (fun idx u ->
+      inside.(u) <- true;
+      vol_s := !vol_s + Graph.degree g u;
+      Array.iter
+        (fun v -> if inside.(v) then decr cut else incr cut)
+        (Graph.neighbors g u);
+      if idx < n - 1 && !vol_s > 0 && !vol_s < vol_g then begin
+        let phi =
+          float_of_int !cut /. float_of_int (min !vol_s (vol_g - !vol_s))
+        in
+        if phi < !best then best := phi
+      end)
+    order;
+  !best
+
+let estimate ?(iterations = 300) rng g =
+  let n = Graph.n g in
+  if Graph.m g = 0 then invalid_arg "Spectral.estimate: edgeless graph";
+  if Graph.min_degree g = 0 then
+    invalid_arg "Spectral.estimate: isolated node (conductance undefined)";
+  let x = Array.init n (fun _ -> Rng.float rng -. 0.5) in
+  let y = Array.make n 0. in
+  deflate g x;
+  let norm0 = pi_norm g x in
+  if norm0 > 0. then Array.iteri (fun i v -> x.(i) <- v /. norm0) x;
+  let lambda = ref 0.5 in
+  for _ = 1 to iterations do
+    apply_lazy_walk g x y;
+    deflate g y;
+    let nrm = pi_norm g y in
+    if nrm > 1e-300 then begin
+      lambda := nrm;
+      for u = 0 to n - 1 do
+        x.(u) <- y.(u) /. nrm
+      done
+    end
+  done;
+  let gap = Float.max 0. (1. -. !lambda) in
+  let order = Array.init n (fun i -> i) in
+  Array.sort (fun a b -> compare x.(a) x.(b)) order;
+  let ascending = sweep_cut g order in
+  (* Also sweep the reversed order: the better of the two prefixes. *)
+  let rev = Array.of_list (List.rev (Array.to_list order)) in
+  let descending = sweep_cut g rev in
+  let sweep_value = Float.min ascending descending in
+  { sweep_value; gap; cheeger_lower = gap /. 2.; cheeger_upper = sqrt (2. *. gap) }
+
+let conductance_sweep ?iterations rng g = (estimate ?iterations rng g).sweep_value

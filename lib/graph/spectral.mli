@@ -1,0 +1,32 @@
+(** Spectral conductance estimation for graphs too large for
+    {!Cut.conductance_exact}.
+
+    Power iteration on the lazy random walk [W = (I + D^{-1}A)/2]
+    approximates the second eigenvalue; a sweep cut over the resulting
+    (approximate) Fiedler ordering yields a genuine conductance upper
+    bound, and Cheeger's inequality turns the spectral gap into a lower
+    bound:
+
+    [gap / 2 <= Phi(G) <= sqrt(2 * gap)]
+
+    where [gap = 1 - lambda_2(W)].  The sweep value is always an
+    attained cut, so [conductance_sweep >= Phi(G)] exactly. *)
+
+open Rumor_rng
+
+type estimate = {
+  sweep_value : float;      (** conductance of the best sweep cut (upper bound on Phi) *)
+  gap : float;              (** estimated spectral gap of the lazy walk *)
+  cheeger_lower : float;    (** gap / 2 *)
+  cheeger_upper : float;    (** sqrt(2 * gap) *)
+}
+
+val estimate : ?iterations:int -> Rng.t -> Graph.t -> estimate
+(** [estimate rng g] runs power iteration (default 300 iterations; the
+    vector is re-orthogonalised against the stationary distribution
+    every step) followed by a full sweep.
+    @raise Invalid_argument on a graph with an isolated node or no
+    edges (conductance undefined). *)
+
+val conductance_sweep : ?iterations:int -> Rng.t -> Graph.t -> float
+(** Just the sweep-cut upper bound. *)

@@ -1,0 +1,20 @@
+(** Disjoint-set forest with union by rank and path compression.
+
+    Used for incremental connectivity checks in the degree-sequence
+    repair pass and for component counting. *)
+
+type t
+
+val create : int -> t
+(** [create n] puts each of [{0, ..., n-1}] in its own class. *)
+
+val find : t -> int -> int
+(** Canonical representative. *)
+
+val union : t -> int -> int -> bool
+(** Merge the classes of the two elements; [false] if already merged. *)
+
+val same : t -> int -> int -> bool
+
+val count : t -> int
+(** Number of classes. *)

@@ -1,0 +1,92 @@
+type t = { gen : Xoshiro256.t }
+
+let create seed = { gen = Xoshiro256.of_seed (Int64.of_int seed) }
+
+(* Children are reseeded through SplitMix64 from the parent's next
+   output rather than placed with xoshiro's jump: consecutive parent
+   states are consecutive orbit positions, so jumped children would be
+   the same stream shifted by one draw — catastrophically correlated
+   Monte-Carlo repetitions.  Reseeding lands children at unrelated
+   orbit positions. *)
+let split t = { gen = Xoshiro256.of_seed (Xoshiro256.next t.gen) }
+
+let copy t = { gen = Xoshiro256.copy t.gen }
+
+let bits64 t = Xoshiro256.next t.gen
+
+(* Lemire-style rejection for unbiased bounded integers. *)
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  let bound64 = Int64.of_int bound in
+  (* Use 63 usable bits so that values are non-negative as OCaml ints. *)
+  let mask_bits =
+    let rec bits b acc = if b = 0L then acc else bits (Int64.shift_right_logical b 1) (acc + 1) in
+    bits (Int64.of_int (bound - 1)) 0
+  in
+  let mask = Int64.sub (Int64.shift_left 1L (max 1 mask_bits)) 1L in
+  let rec draw () =
+    let r = Int64.logand (bits64 t) mask in
+    if Int64.compare r bound64 < 0 then Int64.to_int r else draw ()
+  in
+  draw ()
+
+let int_in t lo hi =
+  if hi < lo then invalid_arg "Rng.int_in: hi < lo";
+  lo + int t (hi - lo + 1)
+
+let float t =
+  (* Top 53 bits -> [0, 1). *)
+  let r = Int64.shift_right_logical (bits64 t) 11 in
+  Int64.to_float r *. (1.0 /. 9007199254740992.0)
+
+let float_pos t = 1.0 -. float t
+
+let bool t = Int64.logand (bits64 t) 1L = 1L
+
+let bernoulli t p =
+  if p <= 0. then false else if p >= 1. then true else float t < p
+
+let shuffle_in_place t a =
+  let n = Array.length a in
+  for i = n - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let sample_without_replacement t k n =
+  if k < 0 || n < 0 || k > n then
+    invalid_arg "Rng.sample_without_replacement: need 0 <= k <= n";
+  if k = 0 then [||]
+  else if 2 * k >= n then begin
+    (* Dense case: partial Fisher-Yates over the full universe. *)
+    let a = Array.init n (fun i -> i) in
+    for i = 0 to k - 1 do
+      let j = int_in t i (n - 1) in
+      let tmp = a.(i) in
+      a.(i) <- a.(j);
+      a.(j) <- tmp
+    done;
+    Array.sub a 0 k
+  end
+  else begin
+    (* Sparse case: rejection into a hash set. *)
+    let seen = Hashtbl.create (2 * k) in
+    let out = Array.make k 0 in
+    let filled = ref 0 in
+    while !filled < k do
+      let x = int t n in
+      if not (Hashtbl.mem seen x) then begin
+        Hashtbl.add seen x ();
+        out.(!filled) <- x;
+        incr filled
+      end
+    done;
+    out
+  end
+
+let choose t a =
+  let n = Array.length a in
+  if n = 0 then invalid_arg "Rng.choose: empty array";
+  a.(int t n)

@@ -1,0 +1,19 @@
+(** SplitMix64 pseudo-random generator (Steele, Lea & Flood, 2014).
+
+    A tiny, fast, well-tested 64-bit generator with a trivially
+    splittable state.  We use it (a) to seed {!Xoshiro256} and (b) as
+    the source of independent child seeds for parallel Monte-Carlo
+    runs.  Outputs match the reference C implementation bit for bit
+    (see the known-answer tests in [test/test_rng.ml]). *)
+
+type t
+
+val create : int64 -> t
+(** [create seed] starts a stream at [seed]. *)
+
+val next : t -> int64
+(** Next raw 64-bit output; advances the state. *)
+
+val split : t -> t
+(** A child generator whose stream is (for all practical purposes)
+    independent of the parent's subsequent outputs. *)

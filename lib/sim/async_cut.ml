@@ -1,0 +1,175 @@
+open Rumor_util
+open Rumor_rng
+open Rumor_graph
+open Rumor_dynamic
+
+(* Cut rate carried by an uninformed node v, per protocol:
+   push-pull:  sum over informed neighbours u of (1/d_u + 1/d_v)
+   push:       sum over informed neighbours u of  1/d_u
+   pull:       sum over informed neighbours u of  1/d_v
+   The per-node clock rate multiplies uniformly. *)
+let pair_rate protocol ~du ~dv =
+  match protocol with
+  | Protocol.Push_pull -> (1. /. du) +. (1. /. dv)
+  | Protocol.Push -> 1. /. du
+  | Protocol.Pull -> 1. /. dv
+
+type event =
+  | Informed of int * float
+  | Step_boundary of int * bool
+  | Complete of float
+
+type engine = {
+  rng : Rng.t;
+  instance : Dynet.instance;
+  protocol : Protocol.t;
+  rate : float;
+  informed : Bitset.t;
+  fenwick : Fenwick.t;
+  scratch : float array;
+  times : float array;
+  mutable graph : Graph.t;
+  mutable tau : float;
+  mutable step : int;
+}
+
+let rebuild_weights e =
+  let graph = e.graph and informed = e.informed in
+  let n = Graph.n graph in
+  for v = 0 to n - 1 do
+    e.scratch.(v) <- 0.
+  done;
+  for v = 0 to n - 1 do
+    if not (Bitset.mem informed v) then begin
+      let neigh = Graph.neighbors graph v in
+      let dv = float_of_int (Array.length neigh) in
+      let w = ref 0. in
+      Array.iter
+        (fun u ->
+          if Bitset.mem informed u then
+            w :=
+              !w
+              +. pair_rate e.protocol
+                   ~du:(float_of_int (Graph.degree graph u))
+                   ~dv)
+        neigh;
+      e.scratch.(v) <- !w *. e.rate
+    end
+  done;
+  Fenwick.fill_from e.fenwick e.scratch
+
+let inform_node e v =
+  ignore (Bitset.add e.informed v);
+  e.times.(v) <- e.tau;
+  Fenwick.set e.fenwick v 0.;
+  let graph = e.graph in
+  let dv = float_of_int (Graph.degree graph v) in
+  Array.iter
+    (fun x ->
+      if not (Bitset.mem e.informed x) then
+        Fenwick.add e.fenwick x
+          (e.rate
+          *. pair_rate e.protocol ~du:dv
+               ~dv:(float_of_int (Graph.degree graph x))))
+    (Graph.neighbors graph v)
+
+let create ?(protocol = Protocol.Push_pull) ?(rate = 1.0) rng (net : Dynet.t)
+    ~source =
+  if rate <= 0. then invalid_arg "Async_cut.run: rate must be positive";
+  let n = net.n in
+  if source < 0 || source >= n then
+    invalid_arg (Printf.sprintf "Async_cut.run: source %d out of range" source);
+  let instance = net.spawn rng in
+  let informed = Bitset.create n in
+  ignore (Bitset.add informed source);
+  let times = Array.make n Float.nan in
+  times.(source) <- 0.;
+  let info = Dynet.next instance ~informed in
+  let e =
+    {
+      rng;
+      instance;
+      protocol;
+      rate;
+      informed;
+      fenwick = Fenwick.create n;
+      scratch = Array.make n 0.;
+      times;
+      graph = info.Dynet.graph;
+      tau = 0.;
+      step = 0;
+    }
+  in
+  rebuild_weights e;
+  e
+
+let time e = e.tau
+
+let informed e = e.informed
+
+let informed_count e = Bitset.cardinal e.informed
+
+let informed_times e = e.times
+
+let is_complete e = Bitset.is_full e.informed
+
+let advance_step e =
+  e.tau <- float_of_int (e.step + 1);
+  e.step <- e.step + 1;
+  let next_info = Dynet.next e.instance ~informed:e.informed in
+  e.graph <- next_info.Dynet.graph;
+  if next_info.Dynet.changed then rebuild_weights e;
+  Step_boundary (e.step, next_info.Dynet.changed)
+
+let rec next_event e =
+  if Bitset.is_full e.informed then Complete e.tau
+  else begin
+    let boundary = float_of_int (e.step + 1) in
+    let lambda = Fenwick.total e.fenwick in
+    if lambda <= 1e-300 then advance_step e
+    else begin
+      let delta = -.log (Rng.float_pos e.rng) /. lambda in
+      if e.tau +. delta >= boundary then advance_step e
+      else begin
+        e.tau <- e.tau +. delta;
+        let v = Fenwick.find e.fenwick (Rng.float e.rng *. lambda) in
+        (* Float cancellation can leave a stale zero-weight slot at a
+           sampling boundary; such a draw has probability ~0 and is
+           retried. *)
+        if Bitset.mem e.informed v then next_event e
+        else begin
+          inform_node e v;
+          Informed (v, e.tau)
+        end
+      end
+    end
+  end
+
+let run ?protocol ?rate ?(horizon = 1e7) ?(record_trace = false) rng
+    (net : Dynet.t) ~source =
+  let e = create ?protocol ?rate rng net ~source in
+  let trace = ref [] in
+  let record tau =
+    if record_trace then trace := (tau, Bitset.cardinal e.informed) :: !trace
+  in
+  record 0.;
+  let events = ref 0 in
+  let finished = ref false in
+  let out_of_time = ref false in
+  while (not !finished) && not !out_of_time do
+    match next_event e with
+    | Complete _ -> finished := true
+    | Step_boundary (_, _) -> if e.tau >= horizon then out_of_time := true
+    | Informed (_, tau) ->
+      incr events;
+      record tau
+  done;
+  {
+    Async_result.time = e.tau;
+    complete = !finished;
+    informed = e.informed;
+    events = !events;
+    steps = e.step + 1;
+    trace = Array.of_list (List.rev !trace);
+    informed_times = e.times;
+  }

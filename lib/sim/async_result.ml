@@ -1,0 +1,15 @@
+open Rumor_util
+
+type t = {
+  time : float;
+  complete : bool;
+  informed : Bitset.t;
+  events : int;
+  steps : int;
+  trace : (float * int) array;
+  informed_times : float array;
+}
+
+let spread_time_exn r =
+  if r.complete then r.time
+  else failwith "Async_result.spread_time_exn: run hit the horizon"

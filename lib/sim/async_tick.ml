@@ -1,0 +1,76 @@
+open Rumor_util
+open Rumor_rng
+open Rumor_graph
+open Rumor_dynamic
+
+let run ?(protocol = Protocol.Push_pull) ?(rate = 1.0) ?(horizon = 1e5)
+    ?(record_trace = false) rng (net : Dynet.t) ~source =
+  if rate <= 0. then invalid_arg "Async_tick.run: rate must be positive";
+  let n = net.n in
+  if source < 0 || source >= n then
+    invalid_arg (Printf.sprintf "Async_tick.run: source %d out of range" source);
+  let instance = net.spawn rng in
+  let informed = Bitset.create n in
+  ignore (Bitset.add informed source);
+  let informed_times = Array.make n Float.nan in
+  informed_times.(source) <- 0.;
+  let trace = ref [] in
+  let record tau =
+    if record_trace then trace := (tau, Bitset.cardinal informed) :: !trace
+  in
+  record 0.;
+  let graph = ref (Dynet.next instance ~informed).Dynet.graph in
+  let total_rate = float_of_int n *. rate in
+  let tau = ref 0. in
+  let step = ref 0 in
+  let ticks = ref 0 in
+  let finished = ref false in
+  let out_of_time = ref false in
+  while (not !finished) && not !out_of_time do
+    if Bitset.is_full informed then finished := true
+    else begin
+      let next_tick = !tau +. (-.log (Rng.float_pos rng) /. total_rate) in
+      (* Cross any step boundaries before the tick lands. *)
+      while
+        (not !out_of_time) && float_of_int (!step + 1) <= next_tick
+      do
+        incr step;
+        if float_of_int !step >= horizon then out_of_time := true
+        else graph := (Dynet.next instance ~informed).Dynet.graph
+      done;
+      if not !out_of_time then begin
+        tau := next_tick;
+        incr ticks;
+        let u = Rng.int rng n in
+        let deg = Graph.degree !graph u in
+        if deg > 0 then begin
+          let v = Graph.neighbor !graph u (Rng.int rng deg) in
+          let u_informed = Bitset.mem informed u
+          and v_informed = Bitset.mem informed v in
+          let u', v' =
+            Protocol.apply protocol ~caller_informed:u_informed
+              ~callee_informed:v_informed
+          in
+          let changed = ref false in
+          if u' && not u_informed then begin
+            changed := Bitset.add informed u || !changed;
+            informed_times.(u) <- !tau
+          end;
+          if v' && not v_informed then begin
+            changed := Bitset.add informed v || !changed;
+            informed_times.(v) <- !tau
+          end;
+          if !changed then record !tau
+        end
+      end
+    end
+  done;
+  {
+    Async_result.time = (if !finished then !tau else float_of_int !step);
+    complete = !finished;
+    informed;
+    events = !ticks;
+    steps = !step + 1;
+    trace = Array.of_list (List.rev !trace);
+    informed_times;
+  }

@@ -1,0 +1,31 @@
+(** Literal per-tick simulator of the asynchronous algorithm
+    (Definition 1).
+
+    Every clock tick is simulated: the superposition of [n] rate-[r]
+    exponential clocks is a Poisson process of rate [n * r] whose
+    arrivals are handed to uniformly random nodes; the ticking node
+    calls a uniformly random neighbour in the current graph and the
+    protocol exchange is applied.
+
+    Slower than {!Async_cut} (O(n * T) ticks instead of O(n) informing
+    events) but supports protocol variants — push-only, pull-only, and
+    the rate-2 push of the paper's 2-push coupling (Lemma 4.2) — and
+    serves as the ground truth the fast engine is validated against. *)
+
+open Rumor_rng
+open Rumor_dynamic
+
+val run :
+  ?protocol:Protocol.t ->
+  ?rate:float ->
+  ?horizon:float ->
+  ?record_trace:bool ->
+  Rng.t ->
+  Dynet.t ->
+  source:int ->
+  Async_result.t
+(** [run rng net ~source] with clock rate [rate] (default 1.0) per
+    node and protocol (default push–pull) until complete or [horizon]
+    (default 1e5).
+    @raise Invalid_argument if [source] is out of range or
+    [rate <= 0]. *)

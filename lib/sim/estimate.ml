@@ -1,0 +1,31 @@
+open Rumor_dynamic
+
+type t = {
+  point : float;
+  ci_low : float;
+  ci_high : float;
+  q : float;
+  samples : float array;
+  completed : int;
+  reps : int;
+}
+
+let whp_quantile ~n =
+  if n < 2 then 0.5 else Float.min 0.999 (1. -. (1. /. float_of_int n))
+
+let spread_time ?(reps = 200) ?q ?horizon ?engine ?protocol ?(level = 0.95)
+    ?source rng (net : Dynet.t) =
+  let q = match q with Some q -> q | None -> whp_quantile ~n:net.Dynet.n in
+  let mc = Run.async_spread_times ~reps ?horizon ?engine ?protocol ?source rng net in
+  let samples = mc.Run.times in
+  let point = Rumor_stats.Quantile.quantile samples q in
+  let ci_low, ci_high =
+    Rumor_stats.Bootstrap.ci rng
+      ~statistic:(fun xs -> Rumor_stats.Quantile.quantile xs q)
+      samples ~level
+  in
+  { point; ci_low; ci_high; q; samples; completed = mc.Run.completed; reps }
+
+let pp fmt t =
+  Format.fprintf fmt "q%.3f spread time %.3f [%.3f, %.3f] (%d/%d complete)"
+    t.q t.point t.ci_low t.ci_high t.completed t.reps

@@ -1,0 +1,43 @@
+(** Empirical "spread time" in the paper's sense.
+
+    The paper defines the spread time as the first time by which all
+    nodes are informed {e with high probability} (failure probability
+    [n^-c]).  Empirically that is a high quantile of the Monte-Carlo
+    spread-time sample; this module packages the estimation with a
+    bootstrap confidence interval so experiment conclusions carry
+    uncertainty. *)
+
+open Rumor_rng
+open Rumor_dynamic
+
+type t = {
+  point : float;  (** the [q]-quantile point estimate *)
+  ci_low : float;
+  ci_high : float;  (** bootstrap percentile CI for the quantile *)
+  q : float;  (** quantile used *)
+  samples : float array;  (** the underlying spread-time sample *)
+  completed : int;
+  reps : int;
+}
+
+val whp_quantile : n:int -> float
+(** The quantile matching the paper's w.h.p. convention at finite [n]:
+    [1 - 1/n], clamped to [0.999]. *)
+
+val spread_time :
+  ?reps:int ->
+  ?q:float ->
+  ?horizon:float ->
+  ?engine:Run.engine ->
+  ?protocol:Protocol.t ->
+  ?level:float ->
+  ?source:int ->
+  Rng.t ->
+  Dynet.t ->
+  t
+(** [spread_time rng net] runs [reps] (default 200) repetitions and
+    estimates the [q]-quantile (default {!whp_quantile}) with a
+    bootstrap [level] (default 0.95) confidence interval.  Incomplete
+    runs contribute the horizon, so the estimate is conservative. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,30 @@
+open Rumor_util
+open Rumor_graph
+open Rumor_dynamic
+
+type result = {
+  rounds : int;
+  complete : bool;
+  informed : Bitset.t;
+}
+
+let run ?(max_rounds = 1_000_000) rng (net : Dynet.t) ~source =
+  let n = net.n in
+  if source < 0 || source >= n then
+    invalid_arg (Printf.sprintf "Flooding.run: source %d out of range" source);
+  let instance = net.spawn rng in
+  let informed = Bitset.create n in
+  ignore (Bitset.add informed source);
+  let rounds = ref 0 in
+  let complete = ref (Bitset.is_full informed) in
+  while (not !complete) && !rounds < max_rounds do
+    let graph = (Dynet.next instance ~informed).Dynet.graph in
+    let snapshot = Bitset.copy informed in
+    Bitset.iter
+      (fun u ->
+        Array.iter (fun v -> ignore (Bitset.add informed v)) (Graph.neighbors graph u))
+      snapshot;
+    incr rounds;
+    if Bitset.is_full informed then complete := true
+  done;
+  { rounds = !rounds; complete = !complete; informed }

@@ -1,0 +1,22 @@
+(** Flooding: every informed node informs {e all} its neighbours each
+    round — the deterministic upper envelope of every gossip protocol
+    and the process studied by the related dynamic-graph work
+    ([9, 8, 3]) the paper cites.
+
+    On a static connected graph the flood time from [s] is exactly the
+    eccentricity of [s]; the test suite uses this identity. *)
+
+open Rumor_util
+open Rumor_rng
+open Rumor_dynamic
+
+type result = {
+  rounds : int;
+  complete : bool;
+  informed : Bitset.t;
+}
+
+val run : ?max_rounds:int -> Rng.t -> Dynet.t -> source:int -> result
+(** Default [max_rounds] is 1_000_000 (dynamic families may need the
+    RNG, hence the argument).
+    @raise Invalid_argument if [source] is out of range. *)

@@ -1,0 +1,25 @@
+type t = Push | Pull | Push_pull
+
+let caller_informs_callee = function
+  | Push | Push_pull -> true
+  | Pull -> false
+
+let callee_informs_caller = function
+  | Pull | Push_pull -> true
+  | Push -> false
+
+let apply t ~caller_informed ~callee_informed =
+  let callee' =
+    callee_informed || (caller_informed && caller_informs_callee t)
+  in
+  let caller' =
+    caller_informed || (callee_informed && callee_informs_caller t)
+  in
+  (caller', callee')
+
+let to_string = function
+  | Push -> "push"
+  | Pull -> "pull"
+  | Push_pull -> "push-pull"
+
+let all = [ Push; Pull; Push_pull ]

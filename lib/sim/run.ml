@@ -1,0 +1,99 @@
+open Rumor_rng
+open Rumor_dynamic
+
+type engine = Cut | Tick
+
+type mc = {
+  times : float array;
+  completed : int;
+  reps : int;
+}
+
+let source_of (net : Dynet.t) explicit =
+  match (explicit, net.source_hint) with
+  | Some s, _ -> s
+  | None, Some s -> s
+  | None, None -> 0
+
+let monte_carlo ~reps rng one =
+  let times = Array.make reps 0. in
+  let completed = ref 0 in
+  for r = 0 to reps - 1 do
+    let child = Rng.split rng in
+    let time, ok = one child in
+    times.(r) <- time;
+    if ok then incr completed
+  done;
+  { times; completed = !completed; reps }
+
+let async_spread_times ?(reps = 30) ?horizon ?(engine = Cut) ?protocol ?rate
+    ?source rng net =
+  let source = source_of net source in
+  monte_carlo ~reps rng (fun child ->
+      let result =
+        match engine with
+        | Cut -> Async_cut.run ?protocol ?rate ?horizon child net ~source
+        | Tick -> Async_tick.run ?protocol ?rate ?horizon child net ~source
+      in
+      (result.Async_result.time, result.Async_result.complete))
+
+(* Domain-parallel variant: the child RNGs are pre-split sequentially,
+   so the sample is bit-identical to the sequential runner's regardless
+   of the domain count or scheduling — repetitions share no mutable
+   state (each spawns its own Dynet instance). *)
+let async_spread_times_parallel ?(domains = 4) ?(reps = 30) ?horizon
+    ?(engine = Cut) ?protocol ?rate ?source rng net =
+  if domains < 1 then invalid_arg "Run: need at least one domain";
+  let source = source_of net source in
+  let children = Array.init reps (fun _ -> Rng.split rng) in
+  let times = Array.make reps 0. in
+  let ok = Array.make reps false in
+  let one r =
+    let result =
+      match engine with
+      | Cut -> Async_cut.run ?protocol ?rate ?horizon children.(r) net ~source
+      | Tick -> Async_tick.run ?protocol ?rate ?horizon children.(r) net ~source
+    in
+    times.(r) <- result.Async_result.time;
+    ok.(r) <- result.Async_result.complete
+  in
+  let domains = min domains reps in
+  if domains <= 1 then
+    for r = 0 to reps - 1 do
+      one r
+    done
+  else begin
+    (* Static block partition: domain d handles indices congruent to d. *)
+    let workers =
+      Array.init (domains - 1) (fun d ->
+          Domain.spawn (fun () ->
+              let r = ref (d + 1) in
+              while !r < reps do
+                one !r;
+                r := !r + domains
+              done))
+    in
+    let r = ref 0 in
+    while !r < reps do
+      one !r;
+      r := !r + domains
+    done;
+    Array.iter Domain.join workers
+  end;
+  {
+    times;
+    completed = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 ok;
+    reps;
+  }
+
+let sync_spread_rounds ?(reps = 30) ?max_rounds ?protocol ?source rng net =
+  let source = source_of net source in
+  monte_carlo ~reps rng (fun child ->
+      let result = Sync.run ?protocol ?max_rounds child net ~source in
+      (float_of_int result.Sync.rounds, result.Sync.complete))
+
+let flooding_rounds ?(reps = 30) ?max_rounds ?source rng net =
+  let source = source_of net source in
+  monte_carlo ~reps rng (fun child ->
+      let result = Flooding.run ?max_rounds child net ~source in
+      (float_of_int result.Flooding.rounds, result.Flooding.complete))

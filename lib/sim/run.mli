@@ -1,0 +1,70 @@
+(** Monte-Carlo driver: repeated independent runs over split RNG
+    streams, with spread-time samples ready for the statistics layer.
+
+    Every "with high probability" claim in the paper is validated by
+    looking at high quantiles of these samples. *)
+
+open Rumor_rng
+open Rumor_dynamic
+
+type engine = Cut | Tick
+
+type mc = {
+  times : float array;
+      (** one spread time per repetition; incomplete runs contribute
+          the horizon value *)
+  completed : int;  (** repetitions that informed every node *)
+  reps : int;
+}
+
+val source_of : Dynet.t -> int option -> int
+(** Resolve an explicit source against the network's hint (explicit
+    argument wins; hint next; node 0 otherwise). *)
+
+val async_spread_times :
+  ?reps:int ->
+  ?horizon:float ->
+  ?engine:engine ->
+  ?protocol:Protocol.t ->
+  ?rate:float ->
+  ?source:int ->
+  Rng.t ->
+  Dynet.t ->
+  mc
+(** [async_spread_times rng net] runs the asynchronous algorithm
+    [reps] (default 30) times with engine [Cut] by default; [protocol]
+    (default push-pull) and the clock [rate] (default 1) apply to
+    either engine.  Each repetition gets an independent child of [rng]
+    (via split), so results are stable under changing [reps]. *)
+
+val async_spread_times_parallel :
+  ?domains:int ->
+  ?reps:int ->
+  ?horizon:float ->
+  ?engine:engine ->
+  ?protocol:Protocol.t ->
+  ?rate:float ->
+  ?source:int ->
+  Rng.t ->
+  Dynet.t ->
+  mc
+(** Same sample as {!async_spread_times} — bit-identical for the same
+    [rng] seed — computed on up to [domains] (default 4) OCaml 5
+    domains.  Child RNGs are pre-split sequentially and repetitions
+    share no mutable state, so determinism is independent of
+    scheduling.
+    @raise Invalid_argument if [domains < 1]. *)
+
+val sync_spread_rounds :
+  ?reps:int ->
+  ?max_rounds:int ->
+  ?protocol:Protocol.t ->
+  ?source:int ->
+  Rng.t ->
+  Dynet.t ->
+  mc
+(** Same driver for the synchronous algorithm; times are round
+    counts. *)
+
+val flooding_rounds :
+  ?reps:int -> ?max_rounds:int -> ?source:int -> Rng.t -> Dynet.t -> mc

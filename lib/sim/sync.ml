@@ -1,0 +1,50 @@
+open Rumor_util
+open Rumor_rng
+open Rumor_graph
+open Rumor_dynamic
+
+type result = {
+  rounds : int;
+  complete : bool;
+  informed : Bitset.t;
+  trace : int array;
+}
+
+let run ?(protocol = Protocol.Push_pull) ?(max_rounds = 1_000_000) rng
+    (net : Dynet.t) ~source =
+  let n = net.n in
+  if source < 0 || source >= n then
+    invalid_arg (Printf.sprintf "Sync.run: source %d out of range" source);
+  let instance = net.spawn rng in
+  let informed = Bitset.create n in
+  ignore (Bitset.add informed source);
+  let trace = ref [ Bitset.cardinal informed ] in
+  let rounds = ref 0 in
+  let complete = ref (Bitset.is_full informed) in
+  while (not !complete) && !rounds < max_rounds do
+    let graph = (Dynet.next instance ~informed).Dynet.graph in
+    let snapshot = Bitset.copy informed in
+    for u = 0 to n - 1 do
+      let deg = Graph.degree graph u in
+      if deg > 0 then begin
+        let v = Graph.neighbor graph u (Rng.int rng deg) in
+        let u_informed = Bitset.mem snapshot u
+        and v_informed = Bitset.mem snapshot v in
+        let u', v' =
+          Protocol.apply protocol ~caller_informed:u_informed
+            ~callee_informed:v_informed
+        in
+        if u' then ignore (Bitset.add informed u);
+        if v' then ignore (Bitset.add informed v)
+      end
+    done;
+    incr rounds;
+    trace := Bitset.cardinal informed :: !trace;
+    if Bitset.is_full informed then complete := true
+  done;
+  {
+    rounds = !rounds;
+    complete = !complete;
+    informed;
+    trace = Array.of_list (List.rev !trace);
+  }

@@ -1,0 +1,33 @@
+(** Round-synchronous rumor spreading (the classical push–pull the
+    paper contrasts against in Section 6).
+
+    In round [t] every node simultaneously contacts one uniformly
+    random neighbour of [G(t)]; exchanges are evaluated against the
+    {e round-start} informed set, so a node informed during a round
+    cannot relay within the same round — the semantics the [T_s(G2) = n]
+    lower bound of Theorem 1.7(ii) depends on. *)
+
+open Rumor_util
+open Rumor_rng
+open Rumor_dynamic
+
+type result = {
+  rounds : int;  (** rounds executed; the spread time when [complete] *)
+  complete : bool;
+  informed : Bitset.t;
+  trace : int array;
+      (** informed count after each round, starting with the count
+          before round 0 (always recorded; one int per round is
+          cheap) *)
+}
+
+val run :
+  ?protocol:Protocol.t ->
+  ?max_rounds:int ->
+  Rng.t ->
+  Dynet.t ->
+  source:int ->
+  result
+(** [run rng net ~source] until complete or [max_rounds] (default
+    1_000_000) rounds.
+    @raise Invalid_argument if [source] is out of range. *)

@@ -1,0 +1,38 @@
+(** Analysis of informed-count trajectories.
+
+    The engines (with [~record_trace:true]) emit [(time, count)] pairs;
+    this module extracts the quantities the paper's proof of
+    Theorem 1.1 reasons about: the durations of the doubling phases of
+    [min(I_tau, U_tau)] (Lemma 3.1 bounds each phase, and there are
+    [O(log n)] of them), and times to reach fixed informed
+    fractions. *)
+
+type t = (float * int) array
+(** A trajectory as produced by the engines: strictly increasing in
+    count, non-decreasing in time, starting at the source's
+    [(0., 1)]. *)
+
+val validate : t -> n:int -> unit
+(** @raise Invalid_argument if the trajectory is empty, not monotone,
+    or exceeds [n]. *)
+
+val time_to_count : t -> int -> float option
+(** First time at which the informed count reaches the given value
+    ([None] if the run ended earlier). *)
+
+val time_to_fraction : t -> n:int -> float -> float option
+(** [time_to_fraction tr ~n frac] is the first time the informed count
+    reaches [ceil(frac * n)].
+    @raise Invalid_argument if [frac] is outside [(0, 1]]. *)
+
+val doubling_phases : t -> n:int -> float list
+(** Durations of the Lemma 3.1 phases: starting from [I = 1], each
+    phase ends when [min(I, U)] has grown (first phase: informed
+    count multiplied by 3/2; second half: uninformed count halved),
+    mirroring the proof's two-phase schedule.  Returns the list of
+    phase durations in order; their number is [O(log n)] on a complete
+    run. *)
+
+val phase_count_bound : n:int -> int
+(** The proof's phase budget [log_{3/2}(n/2) + log_2 n + 2], the
+    a-priori ceiling on [List.length (doubling_phases tr ~n)]. *)

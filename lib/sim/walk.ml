@@ -1,0 +1,61 @@
+open Rumor_util
+open Rumor_rng
+open Rumor_graph
+open Rumor_dynamic
+
+type result = {
+  steps : int;
+  visited : int;
+  complete : bool;
+}
+
+let walk ?(laziness = 0.) ?(max_steps = 10_000_000) rng (net : Dynet.t) ~start
+    ~stop =
+  if laziness < 0. || laziness >= 1. then
+    invalid_arg "Walk: laziness must lie in [0, 1)";
+  let n = net.Dynet.n in
+  if start < 0 || start >= n then invalid_arg "Walk: start out of range";
+  let instance = net.Dynet.spawn rng in
+  let visited = Bitset.create n in
+  ignore (Bitset.add visited start);
+  let position = ref start in
+  let steps = ref 0 in
+  (* The walker's token set doubles as the adaptive families' informed
+     set: a walk is a one-token rumor. *)
+  let graph = ref (Dynet.next instance ~informed:visited).Dynet.graph in
+  let finished = ref (stop visited !position) in
+  while (not !finished) && !steps < max_steps do
+    incr steps;
+    (* One walk step per unit time against the current step's graph;
+       the next step's graph is exposed at the integer boundary. *)
+    if laziness = 0. || not (Rng.bernoulli rng laziness) then begin
+      let deg = Graph.degree !graph !position in
+      if deg > 0 then position := Graph.neighbor !graph !position (Rng.int rng deg)
+    end;
+    ignore (Bitset.add visited !position);
+    if stop visited !position then finished := true
+    else graph := (Dynet.next instance ~informed:visited).Dynet.graph
+  done;
+  {
+    steps = !steps;
+    visited = Bitset.cardinal visited;
+    complete = !finished;
+  }
+
+let cover_time ?laziness ?max_steps rng net ~start =
+  walk ?laziness ?max_steps rng net ~start ~stop:(fun visited _ ->
+      Bitset.is_full visited)
+
+let hitting_time ?laziness ?max_steps rng net ~start ~target =
+  if target < 0 || target >= net.Dynet.n then
+    invalid_arg "Walk.hitting_time: target out of range";
+  walk ?laziness ?max_steps rng net ~start ~stop:(fun _ position ->
+      position = target)
+
+let mean_cover_time ?(reps = 20) ?laziness ?max_steps rng net ~start =
+  let total = ref 0. in
+  for _ = 1 to reps do
+    let r = cover_time ?laziness ?max_steps (Rng.split rng) net ~start in
+    total := !total +. float_of_int r.steps
+  done;
+  !total /. float_of_int reps

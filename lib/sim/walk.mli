@@ -1,0 +1,42 @@
+(** Random walks on static and dynamic graphs.
+
+    The paper's related work studies random walks on dynamic graphs
+    (Avin, Koucký & Lotker [2]; Sauerwald & Zanetti [23]) — cover
+    times, hitting times and return probabilities under evolving
+    topology.  This module provides the simulation counterpart: simple
+    and lazy walks stepped against a {!Rumor_dynamic.Dynet.t} (one walk
+    step per unit of continuous time, graph switching at integer
+    steps as everywhere else in this library), with cover-time and
+    hitting-time estimators used by tests and the mobile-gossip
+    example.
+
+    Classical anchors pinned by the test suite: cover time
+    [Theta(n log n)] on the clique (coupon collector),
+    [Theta(n^2)] on the cycle. *)
+
+open Rumor_rng
+open Rumor_dynamic
+
+type result = {
+  steps : int;  (** walk steps taken *)
+  visited : int;  (** distinct nodes visited *)
+  complete : bool;  (** all nodes visited (cover) / target hit (hitting) *)
+}
+
+val cover_time :
+  ?laziness:float -> ?max_steps:int -> Rng.t -> Dynet.t -> start:int -> result
+(** [cover_time rng net ~start] walks until every node has been
+    visited or [max_steps] (default 10_000_000).  [laziness] (default
+    0) is the per-step stay-put probability.  A step from an isolated
+    node stays put.
+    @raise Invalid_argument if [start] is out of range or [laziness]
+    is outside [0, 1). *)
+
+val hitting_time :
+  ?laziness:float -> ?max_steps:int -> Rng.t -> Dynet.t -> start:int -> target:int -> result
+(** Walk until [target] is first visited. *)
+
+val mean_cover_time :
+  ?reps:int -> ?laziness:float -> ?max_steps:int -> Rng.t -> Dynet.t -> start:int -> float
+(** Monte-Carlo mean of {!cover_time} (default 20 repetitions);
+    incomplete runs contribute [max_steps]. *)

@@ -1,0 +1,23 @@
+(** Percentile-bootstrap confidence intervals.
+
+    Used by the experiment harness when the Monte-Carlo sample of
+    spread times is small or skewed (so the normal approximation in
+    {!Descriptive.mean_ci95} would be dubious). *)
+
+open Rumor_rng
+
+val ci :
+  ?replicates:int ->
+  Rng.t ->
+  statistic:(float array -> float) ->
+  float array ->
+  level:float ->
+  float * float
+(** [ci rng ~statistic xs ~level] resamples [xs] with replacement
+    (default 1000 replicates), evaluates [statistic] on each resample
+    and returns the central [level] percentile interval (e.g.
+    [~level:0.95]).
+    @raise Invalid_argument on an empty sample or a level outside
+    (0, 1). *)
+
+val mean_ci : ?replicates:int -> Rng.t -> float array -> level:float -> float * float

@@ -1,0 +1,55 @@
+type t = {
+  lo : float;
+  hi : float;
+  bins : int array;
+  mutable total : int;
+  mutable under : int;
+  mutable over : int;
+}
+
+let create ~lo ~hi ~bins =
+  if hi <= lo then invalid_arg "Histogram.create: need hi > lo";
+  if bins < 1 then invalid_arg "Histogram.create: need bins >= 1";
+  { lo; hi; bins = Array.make bins 0; total = 0; under = 0; over = 0 }
+
+let add t x =
+  t.total <- t.total + 1;
+  let nbins = Array.length t.bins in
+  if x < t.lo then begin
+    t.under <- t.under + 1;
+    t.bins.(0) <- t.bins.(0) + 1
+  end
+  else if x >= t.hi then begin
+    t.over <- t.over + 1;
+    t.bins.(nbins - 1) <- t.bins.(nbins - 1) + 1
+  end
+  else begin
+    let width = (t.hi -. t.lo) /. float_of_int nbins in
+    let idx = int_of_float ((x -. t.lo) /. width) in
+    let idx = min (nbins - 1) (max 0 idx) in
+    t.bins.(idx) <- t.bins.(idx) + 1
+  end
+
+let count t = t.total
+
+let bin_counts t = Array.copy t.bins
+
+let underflow t = t.under
+
+let overflow t = t.over
+
+let bin_center t i =
+  let nbins = Array.length t.bins in
+  let width = (t.hi -. t.lo) /. float_of_int nbins in
+  t.lo +. ((float_of_int i +. 0.5) *. width)
+
+let to_rows t =
+  Array.to_list (Array.mapi (fun i c -> (bin_center t i, c)) t.bins)
+
+let empirical_tail xs x =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Histogram.empirical_tail: empty sample";
+  let c = Array.fold_left (fun acc v -> if v > x then acc + 1 else acc) 0 xs in
+  float_of_int c /. float_of_int n
+
+let empirical_cdf xs x = 1. -. empirical_tail xs x

@@ -1,0 +1,37 @@
+(** Fixed-width histograms and empirical tail probabilities.
+
+    Theorem 1.7(iii) bounds the tail [Pr(spread > 2k)] on the dynamic
+    star; experiment E8 compares the empirical tail computed here
+    against the analytic envelope. *)
+
+type t
+
+val create : lo:float -> hi:float -> bins:int -> t
+(** @raise Invalid_argument if [hi <= lo] or [bins < 1]. *)
+
+val add : t -> float -> unit
+(** Out-of-range samples land in saturated edge bins and are counted in
+    [underflow]/[overflow]. *)
+
+val count : t -> int
+(** Total samples added (including out-of-range ones). *)
+
+val bin_counts : t -> int array
+
+val underflow : t -> int
+
+val overflow : t -> int
+
+val bin_center : t -> int -> float
+
+val to_rows : t -> (float * int) list
+(** [(bin_center, count)] pairs, in order. *)
+
+(** {1 Empirical distribution helpers} *)
+
+val empirical_tail : float array -> float -> float
+(** [empirical_tail xs x] is the fraction of samples strictly greater
+    than [x]. @raise Invalid_argument on an empty sample. *)
+
+val empirical_cdf : float array -> float -> float
+(** Fraction of samples [<= x]. *)

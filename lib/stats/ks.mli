@@ -1,0 +1,22 @@
+(** Two-sample Kolmogorov–Smirnov test.
+
+    The engine-agreement validation compares the spread-time
+    {e distributions} of the cut-rate and tick engines, not just their
+    means: the KS statistic [D = sup |F1 - F2|] with the asymptotic
+    Kolmogorov p-value approximation. *)
+
+type result = {
+  statistic : float;  (** [D], the max CDF gap *)
+  p_value : float;
+      (** asymptotic two-sided p-value (Kolmogorov distribution
+          approximation; adequate for the sample sizes used here) *)
+}
+
+val two_sample : float array -> float array -> result
+(** @raise Invalid_argument if either sample is empty. *)
+
+val critical_value : n1:int -> n2:int -> alpha:float -> float
+(** The rejection threshold [c(alpha) sqrt((n1+n2)/(n1 n2))] with
+    [c(alpha) = sqrt(-ln(alpha/2)/2)].
+    @raise Invalid_argument unless [0 < alpha < 1] and both sizes are
+    positive. *)

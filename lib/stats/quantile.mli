@@ -1,0 +1,17 @@
+(** Sample quantiles (linear interpolation, type-7 as in R).
+
+    "With high probability" claims are validated by looking at high
+    quantiles of the measured spread time across Monte-Carlo seeds. *)
+
+val quantile : float array -> float -> float
+(** [quantile xs q] for [q] in [[0, 1]]; sorts a copy internally.
+    @raise Invalid_argument on an empty sample or [q] outside
+    [[0, 1]]. *)
+
+val median : float array -> float
+
+val quantiles : float array -> float list -> float list
+(** Multiple quantiles from a single sort. *)
+
+val iqr : float array -> float
+(** Interquartile range. *)

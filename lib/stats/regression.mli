@@ -1,0 +1,22 @@
+(** Least-squares fits.
+
+    The growth-shape experiments (E5, E6, E7) verify exponents by
+    fitting [log y = alpha log x + beta]: a slope near 2 confirms the
+    [Theta(n^2)] worst case of Remark 1.4, a slope near 1 confirms
+    linear dichotomy legs, etc. *)
+
+type fit = {
+  slope : float;
+  intercept : float;
+  r_squared : float;  (** 1.0 when only two points or a perfect fit *)
+}
+
+val linear : (float * float) list -> fit
+(** Ordinary least squares on [(x, y)] pairs.
+    @raise Invalid_argument with fewer than two points or zero x
+    variance. *)
+
+val log_log : (float * float) list -> fit
+(** Fit on [(log x, log y)]; the slope is the empirical growth
+    exponent.  Points with non-positive coordinates are rejected.
+    @raise Invalid_argument as {!linear}, or on non-positive data. *)

@@ -1,0 +1,32 @@
+type t = {
+  count : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  median : float;
+  q90 : float;
+  q99 : float;
+  max : float;
+}
+
+let of_samples xs =
+  if Array.length xs = 0 then invalid_arg "Summary.of_samples: empty sample";
+  let qs = Quantile.quantiles xs [ 0.5; 0.9; 0.99 ] in
+  match qs with
+  | [ median; q90; q99 ] ->
+    {
+      count = Array.length xs;
+      mean = Descriptive.mean xs;
+      stddev = Descriptive.stddev xs;
+      min = Descriptive.min xs;
+      median;
+      q90;
+      q99;
+      max = Descriptive.max xs;
+    }
+  | _ -> assert false
+
+let pp fmt s =
+  Format.fprintf fmt
+    "n=%d mean=%.3f sd=%.3f min=%.3f med=%.3f q90=%.3f q99=%.3f max=%.3f"
+    s.count s.mean s.stddev s.min s.median s.q90 s.q99 s.max

@@ -1,0 +1,18 @@
+(** One-call summary of a Monte-Carlo sample: the record every
+    experiment table row is printed from. *)
+
+type t = {
+  count : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  median : float;
+  q90 : float;
+  q99 : float;
+  max : float;
+}
+
+val of_samples : float array -> t
+(** @raise Invalid_argument on an empty sample. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,76 @@
+type series = {
+  label : char;
+  points : (float * float) list;
+}
+
+let finite x = Float.is_finite x
+
+let render ?(width = 60) ?(height = 16) ?(logx = false) ?(logy = false)
+    ?title series =
+  let tx x = if logx then log x else x in
+  let ty y = if logy then log y else y in
+  let usable (x, y) =
+    finite x && finite y && ((not logx) || x > 0.) && ((not logy) || y > 0.)
+  in
+  let pts =
+    List.concat_map
+      (fun s ->
+        List.filter_map
+          (fun p -> if usable p then Some (s.label, p) else None)
+          s.points)
+      series
+  in
+  let buf = Buffer.create 1024 in
+  (match title with
+  | Some t ->
+    Buffer.add_string buf t;
+    Buffer.add_char buf '\n'
+  | None -> ());
+  if pts = [] then begin
+    Buffer.add_string buf "(no plottable points)\n";
+    Buffer.contents buf
+  end
+  else begin
+    let xs = List.map (fun (_, (x, _)) -> tx x) pts in
+    let ys = List.map (fun (_, (_, y)) -> ty y) pts in
+    let fmin = List.fold_left min infinity and fmax = List.fold_left max neg_infinity in
+    let xmin = fmin xs and xmax = fmax xs in
+    let ymin = fmin ys and ymax = fmax ys in
+    let xspan = if xmax > xmin then xmax -. xmin else 1. in
+    let yspan = if ymax > ymin then ymax -. ymin else 1. in
+    let grid = Array.make_matrix height width ' ' in
+    let place (label, (x, y)) =
+      let col =
+        int_of_float (Float.round ((tx x -. xmin) /. xspan *. float_of_int (width - 1)))
+      in
+      let row =
+        int_of_float (Float.round ((ty y -. ymin) /. yspan *. float_of_int (height - 1)))
+      in
+      let row = height - 1 - row in
+      if row >= 0 && row < height && col >= 0 && col < width then
+        grid.(row).(col) <- label
+    in
+    List.iter place pts;
+    let axis_label v islog =
+      if islog then Printf.sprintf "%.3g" (exp v) else Printf.sprintf "%.3g" v
+    in
+    for r = 0 to height - 1 do
+      let tag =
+        if r = 0 then axis_label ymax logy
+        else if r = height - 1 then axis_label ymin logy
+        else ""
+      in
+      Buffer.add_string buf (Printf.sprintf "%10s |" tag);
+      for c = 0 to width - 1 do
+        Buffer.add_char buf grid.(r).(c)
+      done;
+      Buffer.add_char buf '\n'
+    done;
+    Buffer.add_string buf (Printf.sprintf "%10s +%s\n" "" (String.make width '-'));
+    Buffer.add_string buf
+      (Printf.sprintf "%10s  %-8s%*s\n" ""
+         (axis_label xmin logx)
+         (width - 8)
+         (axis_label xmax logx));
+    Buffer.contents buf
+  end

@@ -1,0 +1,22 @@
+(** Minimal ASCII scatter/line plots for experiment output.
+
+    Used to eyeball growth shapes (e.g. the Theta(n^2) worst case of
+    Remark 1.4) directly in terminal output without any plotting
+    dependency. *)
+
+type series = {
+  label : char;  (** one-character glyph used for this series' points *)
+  points : (float * float) list;
+}
+
+val render :
+  ?width:int ->
+  ?height:int ->
+  ?logx:bool ->
+  ?logy:bool ->
+  ?title:string ->
+  series list ->
+  string
+(** [render series] draws all series in one frame, auto-scaling axes to
+    the union of points.  Non-finite or (with log scales) non-positive
+    points are skipped.  Returns a multi-line string. *)

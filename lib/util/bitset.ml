@@ -1,0 +1,108 @@
+type t = {
+  mutable words : int array; (* 63 usable bits per word would waste one;
+                                we use 62-bit-safe 60?  No: use 63 bits
+                                of the native int, i.e. Sys.int_size. *)
+  capacity : int;
+  mutable card : int;
+}
+
+let bits_per_word = Sys.int_size
+
+let words_for n = (n + bits_per_word - 1) / bits_per_word
+
+let create n =
+  if n < 0 then invalid_arg "Bitset.create: negative capacity";
+  { words = Array.make (max 1 (words_for n)) 0; capacity = n; card = 0 }
+
+let capacity s = s.capacity
+
+let cardinal s = s.card
+
+let check s i =
+  if i < 0 || i >= s.capacity then
+    invalid_arg
+      (Printf.sprintf "Bitset: index %d out of range [0, %d)" i s.capacity)
+
+let mem s i =
+  check s i;
+  let w = i / bits_per_word and b = i mod bits_per_word in
+  s.words.(w) land (1 lsl b) <> 0
+
+let add s i =
+  check s i;
+  let w = i / bits_per_word and b = i mod bits_per_word in
+  let mask = 1 lsl b in
+  if s.words.(w) land mask <> 0 then false
+  else begin
+    s.words.(w) <- s.words.(w) lor mask;
+    s.card <- s.card + 1;
+    true
+  end
+
+let remove s i =
+  check s i;
+  let w = i / bits_per_word and b = i mod bits_per_word in
+  let mask = 1 lsl b in
+  if s.words.(w) land mask = 0 then false
+  else begin
+    s.words.(w) <- s.words.(w) land lnot mask;
+    s.card <- s.card - 1;
+    true
+  end
+
+let clear s =
+  Array.fill s.words 0 (Array.length s.words) 0;
+  s.card <- 0
+
+let copy s = { s with words = Array.copy s.words }
+
+let complement_into src dst =
+  if src.capacity <> dst.capacity then
+    invalid_arg "Bitset.complement_into: capacity mismatch";
+  let n = src.capacity in
+  for w = 0 to Array.length src.words - 1 do
+    dst.words.(w) <- lnot src.words.(w)
+  done;
+  (* Mask off the bits beyond the capacity in the last word. *)
+  let rem = n mod bits_per_word in
+  if rem <> 0 then begin
+    let last = Array.length dst.words - 1 in
+    dst.words.(last) <- dst.words.(last) land ((1 lsl rem) - 1)
+  end;
+  dst.card <- n - src.card
+
+let iter f s =
+  for i = 0 to s.capacity - 1 do
+    let w = i / bits_per_word and b = i mod bits_per_word in
+    if s.words.(w) land (1 lsl b) <> 0 then f i
+  done
+
+let fold f s init =
+  let acc = ref init in
+  iter (fun i -> acc := f i !acc) s;
+  !acc
+
+let to_list s = List.rev (fold (fun i acc -> i :: acc) s [])
+
+let of_list n members =
+  let s = create n in
+  List.iter (fun i -> ignore (add s i)) members;
+  s
+
+let is_full s = s.card = s.capacity
+
+let equal a b =
+  a.capacity = b.capacity && a.card = b.card
+  &&
+  let same = ref true in
+  for w = 0 to Array.length a.words - 1 do
+    if a.words.(w) <> b.words.(w) then same := false
+  done;
+  !same
+
+let pp fmt s =
+  Format.fprintf fmt "{@[%a@]}"
+    (Format.pp_print_list
+       ~pp_sep:(fun fmt () -> Format.fprintf fmt ";@ ")
+       Format.pp_print_int)
+    (to_list s)

@@ -1,0 +1,42 @@
+(** Fenwick (binary indexed) tree over non-negative float weights.
+
+    Backs the fast asynchronous engine: each uninformed node carries
+    its incident cut rate, and sampling the next informed node is a
+    prefix-sum search — O(log n) update and sample instead of an O(n)
+    scan per event. *)
+
+type t
+
+val create : int -> t
+(** [create n]: [n] slots, all zero. *)
+
+val size : t -> int
+
+val get : t -> int -> float
+(** Current weight of a slot. *)
+
+val set : t -> int -> float -> unit
+(** Overwrite a slot's weight. @raise Invalid_argument if the weight is
+    negative or not finite. *)
+
+val add : t -> int -> float -> unit
+(** Add to a slot's weight (the result must stay >= -1e-9; tiny
+    negative residue from float cancellation is clamped to zero). *)
+
+val total : t -> float
+(** Sum of all weights. *)
+
+val prefix_sum : t -> int -> float
+(** [prefix_sum t i] is the sum of slots [0..i] inclusive. *)
+
+val find : t -> float -> int
+(** [find t x] with [0 <= x < total t] returns the smallest index [i]
+    such that [prefix_sum t i > x] — i.e. samples proportionally when
+    [x] is uniform on [[0, total)).
+    @raise Invalid_argument if the total is zero. *)
+
+val fill_from : t -> float array -> unit
+(** Bulk-load weights in O(n). @raise Invalid_argument on a length
+    mismatch or invalid weight. *)
+
+val clear : t -> unit

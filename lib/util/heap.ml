@@ -1,0 +1,84 @@
+type 'a entry = { key : float; payload : 'a }
+
+type 'a t = {
+  mutable data : 'a entry array;
+  mutable size : int;
+}
+
+let create () = { data = [||]; size = 0 }
+
+let length h = h.size
+
+let is_empty h = h.size = 0
+
+let grow h =
+  let cap = Array.length h.data in
+  let cap' = if cap = 0 then 16 else 2 * cap in
+  let data' = Array.make cap' h.data.(0) in
+  Array.blit h.data 0 data' 0 h.size;
+  h.data <- data'
+
+let swap h i j =
+  let tmp = h.data.(i) in
+  h.data.(i) <- h.data.(j);
+  h.data.(j) <- tmp
+
+let rec sift_up h i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if h.data.(i).key < h.data.(parent).key then begin
+      swap h i parent;
+      sift_up h parent
+    end
+  end
+
+let rec sift_down h i =
+  let left = (2 * i) + 1 in
+  let right = left + 1 in
+  let smallest = ref i in
+  if left < h.size && h.data.(left).key < h.data.(!smallest).key then
+    smallest := left;
+  if right < h.size && h.data.(right).key < h.data.(!smallest).key then
+    smallest := right;
+  if !smallest <> i then begin
+    swap h i !smallest;
+    sift_down h !smallest
+  end
+
+let push h key payload =
+  if h.size = 0 && Array.length h.data = 0 then
+    h.data <- Array.make 16 { key; payload }
+  else if h.size = Array.length h.data then grow h;
+  h.data.(h.size) <- { key; payload };
+  h.size <- h.size + 1;
+  sift_up h (h.size - 1)
+
+let peek h =
+  if h.size = 0 then None
+  else
+    let e = h.data.(0) in
+    Some (e.key, e.payload)
+
+let pop h =
+  if h.size = 0 then None
+  else begin
+    let e = h.data.(0) in
+    h.size <- h.size - 1;
+    if h.size > 0 then begin
+      h.data.(0) <- h.data.(h.size);
+      sift_down h 0
+    end;
+    Some (e.key, e.payload)
+  end
+
+let pop_exn h =
+  match pop h with
+  | Some e -> e
+  | None -> invalid_arg "Heap.pop_exn: empty heap"
+
+let clear h = h.size <- 0
+
+let of_list entries =
+  let h = create () in
+  List.iter (fun (k, p) -> push h k p) entries;
+  h

@@ -1,0 +1,32 @@
+(** Imperative binary min-heap keyed by floats.
+
+    A general event-queue utility (the shipped engines sample the
+    exponential-clock superposition directly, which is equivalent and
+    allocation-free, but schedulers built on this library typically
+    need a queue).  O(log n) push/pop; a [decrease]-free design: stale
+    entries are lazily skipped by the caller via the payload. *)
+
+type 'a t
+
+val create : unit -> 'a t
+(** Fresh empty heap. *)
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val push : 'a t -> float -> 'a -> unit
+(** [push h key payload] inserts an entry. *)
+
+val peek : 'a t -> (float * 'a) option
+(** Minimum-key entry, if any, without removing it. *)
+
+val pop : 'a t -> (float * 'a) option
+(** Remove and return the minimum-key entry. *)
+
+val pop_exn : 'a t -> float * 'a
+(** @raise Invalid_argument on an empty heap. *)
+
+val clear : 'a t -> unit
+
+val of_list : (float * 'a) list -> 'a t

@@ -1,0 +1,37 @@
+(** Aligned plain-text tables for experiment output.
+
+    Every experiment in the harness renders its rows through this module
+    so that [bench/main.exe] and the CLI produce uniform, diffable
+    tables (also pasted into EXPERIMENTS.md). *)
+
+type align = Left | Right
+
+type t
+
+val create : ?aligns:align list -> string list -> t
+(** [create headers] starts a table.  [aligns] defaults to [Right] for
+    every column.
+    @raise Invalid_argument if [aligns] is given with a length different
+    from [headers]. *)
+
+val add_row : t -> string list -> unit
+(** @raise Invalid_argument on arity mismatch with the header. *)
+
+val add_rows : t -> string list list -> unit
+
+val render : t -> string
+(** Multi-line rendering with a header separator, ready to print. *)
+
+val print : ?title:string -> t -> unit
+(** [print t] writes the rendered table (preceded by [title], if any)
+    to stdout, followed by a blank line. *)
+
+(** Cell formatting helpers used across experiments. *)
+
+val cell_f : ?digits:int -> float -> string
+(** Fixed-point float cell, default 2 digits. NaN renders as ["-"]. *)
+
+val cell_g : float -> string
+(** Compact significant-digit float cell. *)
+
+val cell_i : int -> string

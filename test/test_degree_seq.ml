@@ -1,0 +1,168 @@
+(* Tests for degree-sequence realization: Erdős–Gallai, Havel–Hakimi,
+   connectivity repair, swap randomization, and the paper's
+   G(A, d1, d2) gadget. *)
+
+open Rumor_core.Rumor
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+let int = Alcotest.int
+
+let degrees g = Array.init (Graph.n g) (Graph.degree g)
+
+let test_erdos_gallai_positive () =
+  List.iter
+    (fun seq -> check bool "graphical" true (Degree_seq.is_graphical (Array.of_list seq)))
+    [
+      [ 0 ];
+      [ 1; 1 ];
+      [ 2; 2; 2 ];
+      [ 3; 3; 3; 3 ];
+      [ 4; 4; 4; 4; 4 ];
+      [ 3; 2; 2; 2; 1 ];
+      [ 5; 4; 3; 3; 2; 2; 1 ];
+    ]
+
+let test_erdos_gallai_negative () =
+  List.iter
+    (fun seq ->
+      check bool "not graphical" false (Degree_seq.is_graphical (Array.of_list seq)))
+    [
+      [ 1 ] (* odd sum *);
+      [ 13; 11; 11; 11 ] (* degrees exceed n-1 *);
+      [ 2; 2; 1 ] (* odd sum *);
+      [ 4; 4; 4; 1; 1 ] (* fails Erdos-Gallai at k = 3 *);
+    ]
+
+let test_havel_hakimi_realizes () =
+  List.iter
+    (fun seq ->
+      let arr = Array.of_list seq in
+      let g = Degree_seq.havel_hakimi arr in
+      let got = degrees g in
+      let want = Array.copy arr in
+      Array.sort compare got;
+      Array.sort compare want;
+      check (Alcotest.array int) "degrees realized" want got)
+    [
+      [ 1; 1 ];
+      [ 2; 2; 2 ];
+      [ 3; 3; 2; 2; 2 ];
+      [ 4; 4; 4; 4; 4; 4 ];
+      [ 6; 4; 4; 4; 4; 2; 2; 2 ];
+      [ 1; 1; 1; 1; 2; 2 ];
+    ]
+
+let test_havel_hakimi_rejects () =
+  Alcotest.check_raises "not graphical"
+    (Invalid_argument "Degree_seq.havel_hakimi: sequence is not graphical")
+    (fun () -> ignore (Degree_seq.havel_hakimi [| 3; 1 |]))
+
+let test_admits_connected () =
+  check bool "cycle degrees" true (Degree_seq.admits_connected [| 2; 2; 2 |]);
+  (* Two disjoint edges: graphical but sum < 2(n-1). *)
+  check bool "matching cannot connect" false
+    (Degree_seq.admits_connected [| 1; 1; 1; 1 |]);
+  (* A zero degree can never be connected for n >= 2. *)
+  check bool "isolated node" false (Degree_seq.admits_connected [| 0; 2; 2; 2 |])
+
+let test_connect_repairs () =
+  (* [2;2;2;2;2;2] realized by Havel-Hakimi can split into two
+     triangles; connect must merge them while preserving degrees. *)
+  let seq = [| 2; 2; 2; 2; 2; 2 |] in
+  let g = Degree_seq.havel_hakimi seq in
+  let connected = Degree_seq.connect g in
+  check bool "connected" true (Traverse.is_connected connected);
+  let got = degrees connected in
+  check (Alcotest.array int) "degrees preserved" seq got
+
+let test_connect_rejects_impossible () =
+  let g = Degree_seq.havel_hakimi [| 1; 1; 1; 1 |] in
+  if not (Traverse.is_connected g) then
+    Alcotest.check_raises "impossible"
+      (Invalid_argument "Degree_seq.connect: no connected realization exists")
+      (fun () -> ignore (Degree_seq.connect g))
+  else
+    (* Havel-Hakimi happened to produce a connected realization of a
+       different instance; the invariant under test is encoded in
+       admits_connected, already covered. *)
+    ()
+
+let test_randomize_preserves () =
+  let rng = Rng.create 41 in
+  let g = Gen.random_connected_regular rng 30 4 in
+  let r = Degree_seq.randomize ~swaps:200 ~preserve_connectivity:true rng g in
+  check bool "still connected" true (Traverse.is_connected r);
+  check (Alcotest.array int) "degrees preserved" (degrees g) (degrees r);
+  let r2 = Degree_seq.randomize ~swaps:200 rng g in
+  check (Alcotest.array int) "degrees preserved unconditionally" (degrees g)
+    (degrees r2)
+
+let test_randomize_changes_graph () =
+  let rng = Rng.create 42 in
+  let g = Gen.circulant 20 [ 1; 2 ] in
+  let r = Degree_seq.randomize ~swaps:400 rng g in
+  check bool "edge set changed" false (Graph.equal g r)
+
+let test_realize_connected () =
+  let rng = Rng.create 43 in
+  let seq = [| 6; 4; 4; 4; 4; 4; 2; 2; 2; 2 |] in
+  let g = Degree_seq.realize_connected rng seq in
+  check bool "connected" true (Traverse.is_connected g);
+  let got = degrees g in
+  let want = Array.copy seq in
+  Array.sort compare got;
+  Array.sort compare want;
+  check (Alcotest.array int) "degrees" want got
+
+let test_regular_except_one () =
+  let rng = Rng.create 44 in
+  List.iter
+    (fun (n, d, special) ->
+      let g = Degree_seq.regular_except_one rng ~n ~d ~special_degree:special in
+      check bool "connected" true (Traverse.is_connected g);
+      check int "special degree" special (Graph.degree g 0);
+      for u = 1 to n - 1 do
+        check int "regular degree" d (Graph.degree g u)
+      done)
+    [ (20, 4, 8); (30, 4, 2); (25, 4, 10) ]
+
+let test_regular_except_one_rejects () =
+  let rng = Rng.create 45 in
+  Alcotest.check_raises "odd sum"
+    (Invalid_argument
+       "Degree_seq.regular_except_one: sequence (d=4, special=3, n=10) has \
+        no connected realization") (fun () ->
+      ignore (Degree_seq.regular_except_one rng ~n:10 ~d:4 ~special_degree:3))
+
+let () =
+  Alcotest.run "degree_seq"
+    [
+      ( "erdos-gallai",
+        [
+          Alcotest.test_case "graphical sequences" `Quick test_erdos_gallai_positive;
+          Alcotest.test_case "non-graphical sequences" `Quick
+            test_erdos_gallai_negative;
+          Alcotest.test_case "admits connected" `Quick test_admits_connected;
+        ] );
+      ( "havel-hakimi",
+        [
+          Alcotest.test_case "realizes" `Quick test_havel_hakimi_realizes;
+          Alcotest.test_case "rejects" `Quick test_havel_hakimi_rejects;
+        ] );
+      ( "repair/randomize",
+        [
+          Alcotest.test_case "connect repairs" `Quick test_connect_repairs;
+          Alcotest.test_case "connect rejects impossible" `Quick
+            test_connect_rejects_impossible;
+          Alcotest.test_case "randomize preserves" `Quick test_randomize_preserves;
+          Alcotest.test_case "randomize changes graph" `Quick
+            test_randomize_changes_graph;
+          Alcotest.test_case "realize connected" `Quick test_realize_connected;
+        ] );
+      ( "regular-except-one",
+        [
+          Alcotest.test_case "realizes G(A, d1, d2)" `Quick test_regular_except_one;
+          Alcotest.test_case "rejects" `Quick test_regular_except_one_rejects;
+        ] );
+    ]

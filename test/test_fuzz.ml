@@ -1,0 +1,79 @@
+(* Cross-family fuzz: random combinations of network family, engine,
+   protocol and seed must never raise, and the universal invariants
+   must hold (monotone informed set containing the source, event
+   accounting, horizon discipline).  This is the safety net for the
+   interactions the per-module suites cannot enumerate. *)
+
+open Rumor_core.Rumor
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+
+let pick_family rng =
+  let n = 16 + Rng.int rng 48 in
+  match Rng.int rng 11 with
+  | 0 -> Dynet.of_static (Gen.clique n)
+  | 1 -> Dynet.of_static (Gen.cycle (max 3 n))
+  | 2 -> Dynet.of_static (Gen.erdos_renyi rng n 0.2)
+  | 3 -> Dichotomy.g1 ~n:(max 4 n)
+  | 4 -> Dichotomy.g2 ~n:(max 2 n)
+  | 5 -> Markovian.network ~n ~p:0.2 ~q:0.3 ()
+  | 6 -> Mobile.network ~agents:n ~width:8 ~height:8 ~radius:2
+  | 7 ->
+    Combinators.intermittent
+      ~every:(1 + Rng.int rng 3)
+      (Dynet.of_static (Gen.cycle (max 3 n)))
+  | 8 ->
+    Combinators.with_edge_dropout
+      ~p:(Rng.float rng *. 0.7)
+      (Dynet.of_static (Gen.clique n))
+  | 9 ->
+    let nn = max 8 n in
+    Adversary.greedy_min_cut ~n:nn ~degree_budget:(2 + (2 * Rng.int rng 3))
+  | 10 ->
+    Combinators.with_node_outage
+      ~p:(Rng.float rng *. 0.5)
+      (Dynet.of_static (Gen.clique n))
+  | _ -> assert false
+
+let run_one rng =
+  let net = pick_family rng in
+  let n = net.Dynet.n in
+  let source = Rng.int rng n in
+  let seed = Rng.int rng 1_000_000 in
+  let child = Rng.create seed in
+  match Rng.int rng 4 with
+  | 0 ->
+    let protocol = Rng.choose rng [| Protocol.Push; Protocol.Pull; Protocol.Push_pull |] in
+    let r = Async_cut.run ~protocol ~horizon:200. child net ~source in
+    let informed = r.Async_result.informed in
+    Bitset.mem informed source
+    && Bitset.cardinal informed >= 1
+    && r.Async_result.time <= 200. +. 1.
+    && (not r.Async_result.complete) = (Bitset.cardinal informed < n)
+  | 1 ->
+    let r = Async_tick.run ~horizon:100. child net ~source in
+    Bitset.mem r.Async_result.informed source
+  | 2 ->
+    let r = Sync.run ~max_rounds:300 child net ~source in
+    Bitset.mem r.Sync.informed source
+    && Array.length r.Sync.trace = r.Sync.rounds + 1
+  | 3 ->
+    let r = Flooding.run ~max_rounds:300 child net ~source in
+    Bitset.mem r.Flooding.informed source
+  | _ -> assert false
+
+let test_fuzz () =
+  let rng = Rng.create 20260706 in
+  for i = 1 to 300 do
+    let ok =
+      try run_one rng
+      with e ->
+        Alcotest.failf "fuzz iteration %d raised %s" i (Printexc.to_string e)
+    in
+    check bool (Printf.sprintf "invariants at iteration %d" i) true ok
+  done
+
+let () =
+  Alcotest.run "fuzz"
+    [ ("cross-family", [ Alcotest.test_case "300 random runs" `Slow test_fuzz ]) ]

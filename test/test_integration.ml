@@ -1,0 +1,157 @@
+(* Integration tests: small-scale end-to-end checks of the paper's
+   headline claims, tying the dynamic families, the engines and the
+   bound calculators together (the experiment harness runs the same
+   claims at larger scale). *)
+
+open Rumor_core.Rumor
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+let int = Alcotest.int
+
+let mean_async ?horizon ?(reps = 40) seed net =
+  let mc = Rumor_sim.Run.async_spread_times ?horizon ~reps (Rng.create seed) net in
+  (Descriptive.mean mc.Rumor_sim.Run.times, mc.Rumor_sim.Run.completed)
+
+(* Theorem 1.1 at small scale: measured q-max under the bound. *)
+let test_thm11_small () =
+  let n = 64 in
+  let net = Dynet.of_static ~phi:0.5 ~rho:1.0 (Gen.clique n) in
+  let mc = Rumor_sim.Run.async_spread_times ~reps:50 (Rng.create 1) net in
+  let worst = Descriptive.max mc.Rumor_sim.Run.times in
+  let bound = Bounds.theorem_1_1_closed_form ~c:1. ~n ~phi_rho:0.5 in
+  check bool "max sample under T(G,1)" true (worst <= bound)
+
+(* Theorem 1.3 at small scale. *)
+let test_thm13_small () =
+  let n = 32 in
+  let net = Dynet.of_static (Gen.cycle n) in
+  let mc = Rumor_sim.Run.async_spread_times ~reps:50 (Rng.create 2) net in
+  let worst = Descriptive.max mc.Rumor_sim.Run.times in
+  let bound = Bounds.theorem_1_3_closed_form ~n ~rho_abs:0.5 in
+  check bool "max sample under T_abs" true (worst <= bound)
+
+(* Theorem 1.7(i): on G1 async is slower than sync by a growing
+   factor. *)
+let test_dichotomy_g1_small () =
+  let n = 128 in
+  let net = Dichotomy.g1 ~n in
+  let mc_a = Rumor_sim.Run.async_spread_times ~reps:60 (Rng.create 3) net in
+  let q90 = Quantile.quantile mc_a.Rumor_sim.Run.times 0.9 in
+  let mc_s = Rumor_sim.Run.sync_spread_rounds ~reps:20 (Rng.create 4) net in
+  let sync_mean = Descriptive.mean mc_s.Rumor_sim.Run.times in
+  check bool "async q90 >> sync mean" true (q90 > 2. *. sync_mean);
+  check bool "async q90 = Omega(n) scale" true (q90 > float_of_int n /. 16.)
+
+(* Theorem 1.7(ii): sync on G2 is exactly n rounds; async is tiny. *)
+let test_dichotomy_g2_small () =
+  let n = 64 in
+  let net = Dichotomy.g2 ~n in
+  let mc_s = Rumor_sim.Run.sync_spread_rounds ~reps:5 (Rng.create 5) net in
+  Array.iter
+    (fun r -> check (Alcotest.float 1e-9) "exactly n rounds" (float_of_int n) r)
+    mc_s.Rumor_sim.Run.times;
+  let mean_a, completed = mean_async 6 net in
+  check int "async all complete" 40 completed;
+  check bool "async logarithmic scale" true (mean_a < 4. *. log (float_of_int n))
+
+(* Theorem 1.2 family at small scale: spread lands between the scaled
+   lower bound and the Theorem 1.1 upper bound. *)
+let test_diligent_sandwich () =
+  let n = 256 and rho = 0.25 in
+  let k = Paper_h.default_k n in
+  let net = Diligent.network ~k ~n ~rho () in
+  let mean, completed = mean_async ~reps:10 7 net in
+  check int "complete" 10 completed;
+  let lower = Diligent.spread_lower_bound ~n ~rho ~k in
+  let p = (Bounds.profile ~steps:1 (Rng.create 8) net).(0) in
+  let upper =
+    Bounds.theorem_1_1_closed_form ~c:1. ~n ~phi_rho:(p.Bounds.phi *. p.Bounds.rho)
+  in
+  check bool "above scaled lower bound" true (mean > lower /. 8.);
+  check bool "below upper bound" true (mean < upper)
+
+(* Theorem 1.5 family at small scale. *)
+let test_absolute_sandwich () =
+  let n = 180 and rho = 0.1 in
+  let net = Absolute.network ~n ~rho in
+  let mean, completed = mean_async ~horizon:1e6 ~reps:6 9 net in
+  check int "complete" 6 completed;
+  check bool "above scaled lower bound" true
+    (mean > Absolute.spread_lower_bound ~n ~rho /. 4.);
+  let delta = Absolute.delta_of_rho rho in
+  check bool "below T_abs" true
+    (mean < Bounds.theorem_1_3_closed_form ~n ~rho_abs:(1. /. float_of_int (delta + 1)))
+
+(* The experiment registry itself: every experiment is registered and
+   findable. *)
+let test_registry () =
+  check int "19 experiments" 19 (List.length Rumor_experiments.Registry.all);
+  List.iter
+    (fun id ->
+      match Rumor_experiments.Registry.find id with
+      | Some e ->
+        check Alcotest.string "id round-trip" (String.uppercase_ascii id)
+          (String.uppercase_ascii e.Rumor_experiments.Experiment.id)
+      | None -> Alcotest.failf "experiment %s not found" id)
+    [ "e1"; "E2"; "e3"; "E4"; "e5"; "E6"; "e7"; "E8"; "e9"; "E10"; "f1"; "l" ];
+  check bool "unknown id" true (Rumor_experiments.Registry.find "E99" = None)
+
+(* Figure 1 invariants run green end to end. *)
+let test_f1_green () =
+  let out =
+    Rumor_experiments.F1_figure1.experiment.Rumor_experiments.Experiment.run
+      ~full:false (Rng.create 10)
+  in
+  let last_note = List.nth out.Rumor_experiments.Experiment.notes
+      (List.length out.Rumor_experiments.Experiment.notes - 1) in
+  check bool "F1 invariants pass" true
+    (String.length last_note > 0 && not (String.contains last_note '!'))
+
+(* Mobile + Markovian end to end: the async algorithm tolerates
+   disconnected steps (rho = 0 / ceil(phi) = 0 convention). *)
+let test_disconnected_tolerance () =
+  let net = Mobile.network ~agents:20 ~width:6 ~height:6 ~radius:2 in
+  let r = Async_cut.run ~horizon:500. (Rng.create 11) net ~source:0 in
+  (* Either completes or hits the horizon; must not raise and must
+     never lose informed nodes. *)
+  check bool "informed non-empty" true (Bitset.cardinal r.Async_result.informed >= 1);
+  let net2 = Markovian.network ~n:24 ~p:0.3 ~q:0.3 () in
+  let r2 = Async_cut.run ~horizon:500. (Rng.create 12) net2 ~source:0 in
+  check bool "markovian run completes" true r2.Async_result.complete
+
+(* Corollary 1.6: the combined bound is never worse than either
+   part, evaluated on a real profile. *)
+let test_corollary_combined () =
+  let net = Dynet.of_static (Gen.hypercube 4) in
+  let profiles = Bounds.profile ~steps:4096 (Rng.create 13) net in
+  let n = 16 in
+  let t11 = Bounds.theorem_1_1_time ~c:1. ~n profiles in
+  let t13 = Bounds.theorem_1_3_time ~n profiles in
+  let c = Bounds.corollary_1_6_time ~c:1. ~n profiles in
+  (match (t11, t13, c) with
+  | Some a, Some b, Some m ->
+    check int "corollary is the min" (min a b) m
+  | _ -> Alcotest.fail "bounds did not cross on hypercube profile")
+
+let () =
+  Alcotest.run "integration"
+    [
+      ( "theorems small-scale",
+        [
+          Alcotest.test_case "thm 1.1 holds" `Quick test_thm11_small;
+          Alcotest.test_case "thm 1.3 holds" `Quick test_thm13_small;
+          Alcotest.test_case "thm 1.7(i) G1" `Quick test_dichotomy_g1_small;
+          Alcotest.test_case "thm 1.7(ii) G2" `Quick test_dichotomy_g2_small;
+          Alcotest.test_case "thm 1.2 sandwich" `Slow test_diligent_sandwich;
+          Alcotest.test_case "thm 1.5 sandwich" `Slow test_absolute_sandwich;
+        ] );
+      ( "harness",
+        [
+          Alcotest.test_case "registry" `Quick test_registry;
+          Alcotest.test_case "figure 1 green" `Quick test_f1_green;
+          Alcotest.test_case "disconnected tolerance" `Quick
+            test_disconnected_tolerance;
+          Alcotest.test_case "corollary 1.6 combined" `Quick test_corollary_combined;
+        ] );
+    ]

@@ -1,0 +1,259 @@
+(* Tests for the exact eigensolver, graph6 serialization, and random
+   walks — the second wave of substrate. *)
+
+open Rumor_core.Rumor
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+let int = Alcotest.int
+let flt6 = Alcotest.float 1e-6
+let flt3 = Alcotest.float 1e-3
+
+(* --- Jacobi eigensolver --- *)
+
+let test_jacobi_2x2 () =
+  (* [[2, 1], [1, 2]] has eigenvalues 1 and 3. *)
+  let eig = Eigen.jacobi [| [| 2.; 1. |]; [| 1.; 2. |] |] in
+  check flt6 "lambda_1" 1. eig.(0);
+  check flt6 "lambda_2" 3. eig.(1)
+
+let test_jacobi_diagonal () =
+  let eig = Eigen.jacobi [| [| 5.; 0. |]; [| 0.; -2. |] |] in
+  check flt6 "sorted" (-2.) eig.(0);
+  check flt6 "sorted hi" 5. eig.(1)
+
+let test_jacobi_rejects () =
+  Alcotest.check_raises "asymmetric" (Invalid_argument "Eigen.jacobi: asymmetric matrix")
+    (fun () -> ignore (Eigen.jacobi [| [| 1.; 2. |]; [| 3.; 1. |] |]));
+  Alcotest.check_raises "empty" (Invalid_argument "Eigen.jacobi: empty matrix")
+    (fun () -> ignore (Eigen.jacobi [||]))
+
+let test_jacobi_trace_invariant () =
+  let rng = Rng.create 1 in
+  for _ = 1 to 10 do
+    let n = 6 in
+    let a = Array.make_matrix n n 0. in
+    for i = 0 to n - 1 do
+      for j = i to n - 1 do
+        let v = Rng.float rng -. 0.5 in
+        a.(i).(j) <- v;
+        a.(j).(i) <- v
+      done
+    done;
+    let trace = ref 0. in
+    for i = 0 to n - 1 do
+      trace := !trace +. a.(i).(i)
+    done;
+    let eig = Eigen.jacobi a in
+    let sum = Array.fold_left ( +. ) 0. eig in
+    check flt6 "eigenvalue sum = trace" !trace sum
+  done
+
+(* --- known graph spectra --- *)
+
+let test_spectrum_complete_graph () =
+  (* K_n normalized adjacency: 1 once, -1/(n-1) with multiplicity n-1. *)
+  let n = 7 in
+  let eig = Eigen.normalized_adjacency_spectrum (Gen.clique n) in
+  check flt6 "top" 1. eig.(n - 1);
+  for i = 0 to n - 2 do
+    check flt6 "bulk" (-1. /. float_of_int (n - 1)) eig.(i)
+  done
+
+let test_spectrum_cycle () =
+  (* C_n: eigenvalues cos(2 pi k / n). *)
+  let n = 8 in
+  let eig = Eigen.normalized_adjacency_spectrum (Gen.cycle n) in
+  let expected =
+    Array.init n (fun k -> cos (2. *. Float.pi *. float_of_int k /. float_of_int n))
+  in
+  Array.sort compare expected;
+  Array.iteri (fun i e -> check flt6 "cycle eigenvalue" expected.(i) e) eig
+
+let test_spectrum_complete_bipartite () =
+  (* K_{a,b} normalized adjacency: +-1 and 0s. *)
+  let eig = Eigen.normalized_adjacency_spectrum (Gen.complete_bipartite 3 4) in
+  check flt6 "top 1" 1. eig.(6);
+  check flt6 "bottom -1" (-1.) eig.(0);
+  for i = 1 to 5 do
+    check flt6 "zeros" 0. eig.(i)
+  done
+
+let test_spectrum_hypercube_gap () =
+  (* Q_d: adjacency eigenvalues (d - 2i)/d; lambda_2 = 1 - 2/d, so the
+     normalized Laplacian gap is 2/d. *)
+  let d = 4 in
+  let gap = Eigen.spectral_gap (Gen.hypercube d) in
+  check flt6 "hypercube gap 2/d" (2. /. float_of_int d) gap
+
+let test_cheeger_sandwich_exact () =
+  List.iter
+    (fun g ->
+      let lo, hi = Eigen.cheeger_bounds g in
+      let phi = Cut.conductance_exact g in
+      check bool "lower" true (lo <= phi +. 1e-9);
+      check bool "upper" true (hi >= phi -. 1e-9))
+    [ Gen.cycle 12; Gen.clique 8; Gen.hypercube 3; Gen.barbell 6; Gen.star 9 ]
+
+let test_eigen_vs_power_iteration () =
+  (* The exact gap and the power-iteration estimate agree on the lazy
+     walk's lambda_2 (Spectral uses the lazy operator: its gap is half
+     the Laplacian gap). *)
+  let rng = Rng.create 2 in
+  let g = Gen.random_connected_regular rng 40 4 in
+  let exact_lazy_gap = Eigen.spectral_gap g /. 2. in
+  let est = Spectral.estimate ~iterations:3000 rng g in
+  check flt3 "gap agreement" exact_lazy_gap est.Spectral.gap
+
+(* --- graph6 --- *)
+
+let test_graph6_known_encodings () =
+  (* K_3 is "Bw" and P_3 (path 0-1-2) is "Bg" per the nauty spec
+     examples. *)
+  check Alcotest.string "K3" "Bw" (Graph6.encode (Gen.clique 3));
+  let p3 = Graph.of_edges 3 [ (0, 1); (1, 2) ] in
+  check Alcotest.string "P3" "Bg" (Graph6.encode p3);
+  check Alcotest.string "K1" "@" (Graph6.encode (Gen.empty 1))
+
+let test_graph6_roundtrip () =
+  let rng = Rng.create 3 in
+  List.iter
+    (fun g ->
+      let decoded = Graph6.decode (Graph6.encode g) in
+      check bool "roundtrip" true (Graph.equal g decoded))
+    [
+      Gen.empty 5;
+      Gen.clique 10;
+      Gen.star 17;
+      Gen.cycle 63 (* crosses the 62-node short-header boundary *);
+      Gen.cycle 64;
+      Gen.erdos_renyi rng 30 0.3;
+      Gen.hypercube 5;
+    ]
+
+let test_graph6_long_header () =
+  let g = Gen.cycle 100 in
+  let s = Graph6.encode g in
+  check bool "long header" true (s.[0] = '~');
+  check bool "roundtrip" true (Graph.equal g (Graph6.decode s))
+
+let test_graph6_prefix_and_whitespace () =
+  let g = Gen.clique 4 in
+  let s = ">>graph6<<" ^ Graph6.encode g ^ "\n" in
+  check bool "prefix accepted" true (Graph.equal g (Graph6.decode s))
+
+let test_graph6_rejects () =
+  Alcotest.check_raises "empty" (Invalid_argument "Graph6.decode: empty input")
+    (fun () -> ignore (Graph6.decode ""));
+  Alcotest.check_raises "truncated"
+    (Invalid_argument "Graph6.decode: truncated adjacency") (fun () ->
+      ignore (Graph6.decode "D"))
+
+(* --- random walks --- *)
+
+let test_cover_time_clique_coupon_collector () =
+  (* Cover time of K_n is ~ n H_n (coupon collector). *)
+  let n = 32 in
+  let net = Dynet.of_static (Gen.clique n) in
+  let mean = Walk.mean_cover_time ~reps:60 (Rng.create 4) net ~start:0 in
+  let harmonic =
+    Array.fold_left ( +. ) 0. (Array.init n (fun i -> 1. /. float_of_int (i + 1)))
+  in
+  let expected = float_of_int (n - 1) *. harmonic in
+  check bool "within 25% of n H_n" true
+    (abs_float (mean -. expected) < 0.25 *. expected)
+
+let test_cover_time_cycle_quadratic () =
+  (* Cover time of C_n is n(n-1)/2 exactly in expectation. *)
+  let n = 24 in
+  let net = Dynet.of_static (Gen.cycle n) in
+  let mean = Walk.mean_cover_time ~reps:80 (Rng.create 5) net ~start:0 in
+  let expected = float_of_int (n * (n - 1)) /. 2. in
+  check bool "within 25% of n(n-1)/2" true
+    (abs_float (mean -. expected) < 0.25 *. expected)
+
+let test_hitting_time_path_end () =
+  (* On a path, hitting the far end from the start is n^2-ish; just
+     check completion and sanity. *)
+  let net = Dynet.of_static (Gen.path 10) in
+  let r = Walk.hitting_time (Rng.create 6) net ~start:0 ~target:9 in
+  check bool "complete" true r.Walk.complete;
+  check bool "at least distance" true (r.Walk.steps >= 9)
+
+let test_walk_bounds_checks () =
+  let net = Dynet.of_static (Gen.cycle 5) in
+  Alcotest.check_raises "bad start" (Invalid_argument "Walk: start out of range")
+    (fun () -> ignore (Walk.cover_time (Rng.create 7) net ~start:9));
+  Alcotest.check_raises "bad laziness"
+    (Invalid_argument "Walk: laziness must lie in [0, 1)") (fun () ->
+      ignore (Walk.cover_time ~laziness:1.0 (Rng.create 7) net ~start:0))
+
+let test_walk_max_steps () =
+  (* Disconnected: can never cover. *)
+  let g = Graph.of_edges 4 [ (0, 1) ] in
+  let net = Dynet.of_static g in
+  let r = Walk.cover_time ~max_steps:100 (Rng.create 8) net ~start:0 in
+  check bool "incomplete" false r.Walk.complete;
+  check int "capped" 100 r.Walk.steps;
+  check int "visited only component" 2 r.Walk.visited
+
+let test_walk_on_dynamic () =
+  (* On the re-centering star the walker still covers: every node is
+     adjacent to the centre each step. *)
+  let net = Dichotomy.g2 ~n:12 in
+  let r = Walk.cover_time ~max_steps:100_000 (Rng.create 9) net ~start:0 in
+  check bool "covers the dynamic star" true r.Walk.complete
+
+let test_lazy_walk_slower () =
+  let net = Dynet.of_static (Gen.cycle 16) in
+  let fast = Walk.mean_cover_time ~reps:200 (Rng.create 10) net ~start:0 in
+  let lazy_ =
+    Walk.mean_cover_time ~reps:200 ~laziness:0.5 (Rng.create 11) net ~start:0
+  in
+  check bool "laziness roughly doubles cover time" true
+    (lazy_ > 1.5 *. fast && lazy_ < 2.7 *. fast)
+
+let () =
+  Alcotest.run "spectral_walk"
+    [
+      ( "jacobi",
+        [
+          Alcotest.test_case "2x2" `Quick test_jacobi_2x2;
+          Alcotest.test_case "diagonal" `Quick test_jacobi_diagonal;
+          Alcotest.test_case "rejects" `Quick test_jacobi_rejects;
+          Alcotest.test_case "trace invariant" `Quick test_jacobi_trace_invariant;
+        ] );
+      ( "known spectra",
+        [
+          Alcotest.test_case "complete graph" `Quick test_spectrum_complete_graph;
+          Alcotest.test_case "cycle" `Quick test_spectrum_cycle;
+          Alcotest.test_case "complete bipartite" `Quick
+            test_spectrum_complete_bipartite;
+          Alcotest.test_case "hypercube gap" `Quick test_spectrum_hypercube_gap;
+          Alcotest.test_case "cheeger sandwich (exact)" `Quick
+            test_cheeger_sandwich_exact;
+          Alcotest.test_case "eigen vs power iteration" `Quick
+            test_eigen_vs_power_iteration;
+        ] );
+      ( "graph6",
+        [
+          Alcotest.test_case "known encodings" `Quick test_graph6_known_encodings;
+          Alcotest.test_case "roundtrip" `Quick test_graph6_roundtrip;
+          Alcotest.test_case "long header" `Quick test_graph6_long_header;
+          Alcotest.test_case "prefix/whitespace" `Quick
+            test_graph6_prefix_and_whitespace;
+          Alcotest.test_case "rejects malformed" `Quick test_graph6_rejects;
+        ] );
+      ( "random walks",
+        [
+          Alcotest.test_case "clique cover = coupon collector" `Slow
+            test_cover_time_clique_coupon_collector;
+          Alcotest.test_case "cycle cover quadratic" `Slow
+            test_cover_time_cycle_quadratic;
+          Alcotest.test_case "hitting time on path" `Quick test_hitting_time_path_end;
+          Alcotest.test_case "bounds checks" `Quick test_walk_bounds_checks;
+          Alcotest.test_case "max steps cap" `Quick test_walk_max_steps;
+          Alcotest.test_case "dynamic star cover" `Quick test_walk_on_dynamic;
+          Alcotest.test_case "lazy walk slower" `Slow test_lazy_walk_slower;
+        ] );
+    ]

@@ -1,0 +1,265 @@
+(* Unit tests for the utility substrate: Bitset, Heap, Fenwick, Table,
+   Ascii_plot. *)
+
+open Rumor_core.Rumor
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+let int = Alcotest.int
+let flt = Alcotest.float 1e-9
+
+(* --- Bitset --- *)
+
+let test_bitset_basic () =
+  let s = Bitset.create 100 in
+  check int "empty cardinal" 0 (Bitset.cardinal s);
+  check bool "add new" true (Bitset.add s 5);
+  check bool "add dup" false (Bitset.add s 5);
+  check bool "mem" true (Bitset.mem s 5);
+  check bool "not mem" false (Bitset.mem s 6);
+  check int "cardinal after add" 1 (Bitset.cardinal s);
+  check bool "remove" true (Bitset.remove s 5);
+  check bool "remove absent" false (Bitset.remove s 5);
+  check int "cardinal after remove" 0 (Bitset.cardinal s)
+
+let test_bitset_bounds () =
+  let s = Bitset.create 10 in
+  Alcotest.check_raises "mem out of range"
+    (Invalid_argument "Bitset: index 10 out of range [0, 10)") (fun () ->
+      ignore (Bitset.mem s 10));
+  Alcotest.check_raises "negative"
+    (Invalid_argument "Bitset: index -1 out of range [0, 10)") (fun () ->
+      ignore (Bitset.add s (-1)))
+
+let test_bitset_word_boundaries () =
+  (* Exercise indices straddling the 63-bit word boundary. *)
+  let s = Bitset.create 200 in
+  List.iter
+    (fun i -> ignore (Bitset.add s i))
+    [ 0; 62; 63; 64; 125; 126; 127; 199 ];
+  check int "cardinal" 8 (Bitset.cardinal s);
+  check (Alcotest.list int) "to_list sorted"
+    [ 0; 62; 63; 64; 125; 126; 127; 199 ]
+    (Bitset.to_list s)
+
+let test_bitset_complement () =
+  let s = Bitset.of_list 130 [ 0; 1; 2; 129 ] in
+  let c = Bitset.create 130 in
+  Bitset.complement_into s c;
+  check int "complement cardinal" 126 (Bitset.cardinal c);
+  check bool "0 not in complement" false (Bitset.mem c 0);
+  check bool "3 in complement" true (Bitset.mem c 3);
+  check bool "129 not in complement" false (Bitset.mem c 129);
+  (* No stray bits above capacity: complement twice is identity. *)
+  let s2 = Bitset.create 130 in
+  Bitset.complement_into c s2;
+  check bool "double complement" true (Bitset.equal s s2)
+
+let test_bitset_copy_independent () =
+  let s = Bitset.of_list 16 [ 3; 7 ] in
+  let c = Bitset.copy s in
+  ignore (Bitset.add c 9);
+  check bool "copy add does not leak" false (Bitset.mem s 9);
+  check int "original unchanged" 2 (Bitset.cardinal s)
+
+let test_bitset_full () =
+  let s = Bitset.create 3 in
+  check bool "not full" false (Bitset.is_full s);
+  List.iter (fun i -> ignore (Bitset.add s i)) [ 0; 1; 2 ];
+  check bool "full" true (Bitset.is_full s);
+  let zero = Bitset.create 0 in
+  check bool "empty universe is full" true (Bitset.is_full zero)
+
+let test_bitset_fold () =
+  let s = Bitset.of_list 50 [ 10; 20; 30 ] in
+  check int "fold sum" 60 (Bitset.fold ( + ) s 0)
+
+(* --- Heap --- *)
+
+let test_heap_order () =
+  let h = Heap.create () in
+  List.iter (fun k -> Heap.push h k (int_of_float k)) [ 5.; 1.; 4.; 2.; 3. ];
+  let out = ref [] in
+  let rec drain () =
+    match Heap.pop h with
+    | Some (k, _) ->
+      out := k :: !out;
+      drain ()
+    | None -> ()
+  in
+  drain ();
+  check (Alcotest.list flt) "sorted ascending" [ 1.; 2.; 3.; 4.; 5. ]
+    (List.rev !out)
+
+let test_heap_empty () =
+  let h : int Heap.t = Heap.create () in
+  check bool "is_empty" true (Heap.is_empty h);
+  check bool "pop None" true (Heap.pop h = None);
+  Alcotest.check_raises "pop_exn raises"
+    (Invalid_argument "Heap.pop_exn: empty heap") (fun () ->
+      ignore (Heap.pop_exn h))
+
+let test_heap_duplicates_and_payloads () =
+  let h = Heap.create () in
+  Heap.push h 1.0 "a";
+  Heap.push h 1.0 "b";
+  Heap.push h 0.5 "c";
+  check int "length" 3 (Heap.length h);
+  let k, p = Heap.pop_exn h in
+  check flt "min key" 0.5 k;
+  check Alcotest.string "min payload" "c" p;
+  ignore (Heap.pop_exn h);
+  ignore (Heap.pop_exn h);
+  check bool "drained" true (Heap.is_empty h)
+
+let test_heap_random_against_sort () =
+  let rng = Rng.create 7 in
+  let keys = Array.init 500 (fun _ -> Rng.float rng) in
+  let h = Heap.of_list (Array.to_list (Array.map (fun k -> (k, ())) keys)) in
+  let sorted = Array.copy keys in
+  Array.sort compare sorted;
+  Array.iter
+    (fun expected ->
+      let k, () = Heap.pop_exn h in
+      check flt "heap matches sort" expected k)
+    sorted
+
+(* --- Fenwick --- *)
+
+let test_fenwick_prefix_sums () =
+  let f = Fenwick.create 8 in
+  Fenwick.fill_from f [| 1.; 2.; 3.; 4.; 5.; 6.; 7.; 8. |];
+  check flt "total" 36. (Fenwick.total f);
+  check flt "prefix 0" 1. (Fenwick.prefix_sum f 0);
+  check flt "prefix 3" 10. (Fenwick.prefix_sum f 3);
+  check flt "prefix 7" 36. (Fenwick.prefix_sum f 7)
+
+let test_fenwick_find () =
+  let f = Fenwick.create 4 in
+  Fenwick.fill_from f [| 1.; 0.; 2.; 1. |];
+  check int "find 0.0" 0 (Fenwick.find f 0.0);
+  check int "find 0.99" 0 (Fenwick.find f 0.99);
+  check int "find 1.0 skips zero slot" 2 (Fenwick.find f 1.0);
+  check int "find 2.99" 2 (Fenwick.find f 2.99);
+  check int "find 3.5" 3 (Fenwick.find f 3.5);
+  check int "find at total clamps" 3 (Fenwick.find f 4.0)
+
+let test_fenwick_set_add () =
+  let f = Fenwick.create 5 in
+  Fenwick.set f 2 3.0;
+  Fenwick.add f 2 1.5;
+  Fenwick.add f 4 2.0;
+  check flt "get" 4.5 (Fenwick.get f 2);
+  check flt "total" 6.5 (Fenwick.total f);
+  Fenwick.set f 2 0.;
+  check flt "cleared slot" 0. (Fenwick.get f 2);
+  check flt "total after clear" 2.0 (Fenwick.total f)
+
+let test_fenwick_negative_clamp () =
+  let f = Fenwick.create 2 in
+  Fenwick.set f 0 1.0;
+  Fenwick.add f 0 (-1.0000000001);
+  check bool "clamped to >= 0" true (Fenwick.get f 0 >= 0.)
+
+let test_fenwick_sampling_frequencies () =
+  (* find over uniform x must land proportionally to weights. *)
+  let f = Fenwick.create 3 in
+  Fenwick.fill_from f [| 1.; 2.; 7. |];
+  let rng = Rng.create 11 in
+  let counts = Array.make 3 0 in
+  let trials = 20_000 in
+  for _ = 1 to trials do
+    let i = Fenwick.find f (Rng.float rng *. Fenwick.total f) in
+    counts.(i) <- counts.(i) + 1
+  done;
+  let frac i = float_of_int counts.(i) /. float_of_int trials in
+  check bool "slot0 ~ 0.1" true (abs_float (frac 0 -. 0.1) < 0.02);
+  check bool "slot1 ~ 0.2" true (abs_float (frac 1 -. 0.2) < 0.02);
+  check bool "slot2 ~ 0.7" true (abs_float (frac 2 -. 0.7) < 0.02)
+
+(* --- Table --- *)
+
+let test_table_render () =
+  let t = Table.create ~aligns:[ Table.Left; Table.Right ] [ "name"; "value" ] in
+  Table.add_row t [ "alpha"; "1" ];
+  Table.add_row t [ "b"; "22" ];
+  let rendered = Table.render t in
+  check bool "contains header" true
+    (String.length rendered > 0
+    && String.sub rendered 0 4 = "name");
+  (* Right-aligned numeric column. *)
+  check bool "right aligned" true
+    (let lines = String.split_on_char '\n' rendered in
+     match lines with
+     | _header :: _sep :: row1 :: _ -> String.length row1 > 0
+     | _ -> false)
+
+let test_table_arity_mismatch () =
+  let t = Table.create [ "a"; "b" ] in
+  Alcotest.check_raises "arity"
+    (Invalid_argument "Table.add_row: expected 2 cells, got 1") (fun () ->
+      Table.add_row t [ "only" ])
+
+let test_table_cells () =
+  check Alcotest.string "cell_f" "3.14" (Table.cell_f 3.14159);
+  check Alcotest.string "cell_f nan" "-" (Table.cell_f Float.nan);
+  check Alcotest.string "cell_i" "42" (Table.cell_i 42)
+
+(* --- Ascii_plot --- *)
+
+let test_plot_renders () =
+  let s =
+    Ascii_plot.render ~width:20 ~height:5
+      [ { Ascii_plot.label = 'x'; points = [ (1., 1.); (2., 4.); (3., 9.) ] } ]
+  in
+  check bool "nonempty" true (String.length s > 0);
+  check bool "contains glyph" true (String.contains s 'x')
+
+let test_plot_log_skips_nonpositive () =
+  let s =
+    Ascii_plot.render ~logx:true ~logy:true
+      [ { Ascii_plot.label = 'z'; points = [ (0., 1.); (-1., 2.) ] } ]
+  in
+  check bool "no plottable points message" true
+    (String.length s > 0 && String.contains s '(')
+
+let () =
+  Alcotest.run "util"
+    [
+      ( "bitset",
+        [
+          Alcotest.test_case "basic" `Quick test_bitset_basic;
+          Alcotest.test_case "bounds" `Quick test_bitset_bounds;
+          Alcotest.test_case "word boundaries" `Quick test_bitset_word_boundaries;
+          Alcotest.test_case "complement" `Quick test_bitset_complement;
+          Alcotest.test_case "copy independent" `Quick test_bitset_copy_independent;
+          Alcotest.test_case "is_full" `Quick test_bitset_full;
+          Alcotest.test_case "fold" `Quick test_bitset_fold;
+        ] );
+      ( "heap",
+        [
+          Alcotest.test_case "order" `Quick test_heap_order;
+          Alcotest.test_case "empty" `Quick test_heap_empty;
+          Alcotest.test_case "duplicates/payloads" `Quick test_heap_duplicates_and_payloads;
+          Alcotest.test_case "random vs sort" `Quick test_heap_random_against_sort;
+        ] );
+      ( "fenwick",
+        [
+          Alcotest.test_case "prefix sums" `Quick test_fenwick_prefix_sums;
+          Alcotest.test_case "find" `Quick test_fenwick_find;
+          Alcotest.test_case "set/add" `Quick test_fenwick_set_add;
+          Alcotest.test_case "negative clamp" `Quick test_fenwick_negative_clamp;
+          Alcotest.test_case "sampling frequencies" `Quick test_fenwick_sampling_frequencies;
+        ] );
+      ( "table",
+        [
+          Alcotest.test_case "render" `Quick test_table_render;
+          Alcotest.test_case "arity mismatch" `Quick test_table_arity_mismatch;
+          Alcotest.test_case "cells" `Quick test_table_cells;
+        ] );
+      ( "ascii_plot",
+        [
+          Alcotest.test_case "renders" `Quick test_plot_renders;
+          Alcotest.test_case "log skips nonpositive" `Quick test_plot_log_skips_nonpositive;
+        ] );
+    ]
