@@ -1,6 +1,6 @@
 (* Benchmark harness.
 
-   Part 1 regenerates every paper-validation table (experiments E1-E12,
+   Part 1 regenerates every paper-validation table (experiments E1-E13,
    the ablations A1/A2/O1/B1/R1, F1 and L; DESIGN.md carries the
    per-experiment index): quick sizes
    by default, full sweeps with RUMOR_BENCH_FULL=1, a single experiment
@@ -73,6 +73,16 @@ let bench_tests () =
     (* E2 workhorse: the adaptive diligent family (graph rebuilds on the
        hot path). *)
     test_async_cut "async-cut/diligent-512" diligent 0;
+    (* E13 workhorse: the faulty cut path — loss rejection + churn
+       bookkeeping per event.  Compare with async-cut/clique-256 for the
+       fault-machinery overhead. *)
+    Test.make ~name:"async-cut/clique-256-faulty"
+      (let faults =
+         Rumor.Fault_plan.make ~loss:0.25 ~churn:{ crash = 0.02; recover = 0.3 }
+           ()
+       in
+       Staged.stage (fun () ->
+           ignore (Rumor.Async_cut.run ~faults (fresh_rng ()) clique_net ~source:0)));
     (* Substrates: generators, spectral sweep, weighted sampling. *)
     Test.make ~name:"gen/random-regular-8-256"
       (Staged.stage (fun () -> ignore (Rumor.Gen.random_regular (fresh_rng ()) n 8)));

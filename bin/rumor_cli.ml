@@ -6,7 +6,10 @@
      bound       evaluate the paper's spread-time bounds on a network
      sweep       sweep the node count and fit the growth exponent
      trace       one traced run: milestones, phases, CSV/DOT export
-     experiment  run a registered paper-validation experiment (E1..E12,
+     faults      hardened Monte-Carlo sweep under injected faults
+                 (message loss, churn, slow nodes, partitions) with
+                 exception isolation, watchdog and checkpoint/resume
+     experiment  run a registered paper-validation experiment (E1..E13,
                  A1, A2, O1, B1, R1, F1, L)
 
    Network specifications (-N/--network):
@@ -419,6 +422,169 @@ let trace_cmd =
        ~doc:"Run once with trajectory recording; print milestones and phases.")
     Term.(const trace $ params_term $ horizon $ csv $ dot)
 
+(* --- faults --- *)
+
+let faults_cmd_run params engine reps horizon loss crash recover slow_frac
+    slow_rate part_from part_until part_frac max_events checkpoint domains =
+  let net = build_network params in
+  let rng = Rng.create params.seed in
+  let n = net.Dynet.n in
+  let engine =
+    match engine with
+    | "cut" -> Rumor_sim.Run.Cut
+    | "tick" -> Rumor_sim.Run.Tick
+    | other -> failwith (Printf.sprintf "unknown engine %S" other)
+  in
+  let churn =
+    if crash > 0. || recover > 0. then
+      Some { Fault_plan.crash; recover }
+    else None
+  in
+  let node_rate =
+    if slow_frac > 0. then begin
+      let cutoff = int_of_float (Float.round (slow_frac *. float_of_int n)) in
+      Some (fun u -> if u < cutoff then slow_rate else 1.0)
+    end
+    else None
+  in
+  let partitions =
+    if part_until > part_from then begin
+      let cutoff = int_of_float (Float.round (part_frac *. float_of_int n)) in
+      [
+        {
+          Fault_plan.from_step = part_from;
+          until_step = part_until;
+          side = (fun u -> u < cutoff);
+        };
+      ]
+    end
+    else []
+  in
+  let plan = Fault_plan.make ~loss ?node_rate ?churn ~partitions () in
+  let sweep =
+    Rumor_sim.Run.async_spread_sweep ~domains ~reps ~horizon ~engine ~faults:plan
+      ?max_events ?checkpoint rng net
+  in
+  let finished, censored, failed = Rumor_sim.Run.sweep_counts sweep in
+  Printf.printf "faulty async on %s (n = %d, engine %s):\n" net.Dynet.name n
+    (match engine with Rumor_sim.Run.Cut -> "cut" | Tick -> "tick");
+  Printf.printf "  plan: loss %.2f%s%s%s\n" loss
+    (match churn with
+    | Some { Fault_plan.crash; recover } ->
+      Printf.sprintf ", churn crash %.2f / recover %.2f (availability %.2f)"
+        crash recover
+        (Fault_plan.availability { Fault_plan.crash; recover })
+    | None -> "")
+    (if slow_frac > 0. then
+       Printf.sprintf ", %.0f%% of nodes at relative rate %.2f"
+         (100. *. slow_frac) slow_rate
+     else "")
+    (if partitions <> [] then
+       Printf.sprintf ", partition of the first %.0f%% during steps [%d, %d)"
+         (100. *. part_frac) part_from part_until
+     else "");
+  Printf.printf "  outcomes: %d finished, %d censored, %d failed\n" finished
+    censored failed;
+  (match Rumor_sim.Run.first_failure sweep with
+  | Some msg -> Printf.printf "  first failure: %s\n" msg
+  | None -> ());
+  let usable = Rumor_sim.Run.usable_times sweep in
+  if Array.length usable > 0 then
+    Printf.printf "  spread time over finished runs: %s\n"
+      (Format.asprintf "%a" Summary.pp (Summary.of_samples usable))
+  else Printf.printf "  no replicate finished before the horizon/budget.\n";
+  match checkpoint with
+  | Some path ->
+    Printf.printf "  checkpoint written to %s (re-run to resume/extend)\n" path
+  | None -> ()
+
+let faults_cmd =
+  let engine =
+    Arg.(
+      value & opt string "cut"
+      & info [ "engine" ] ~docv:"ENGINE" ~doc:"Async engine: cut or tick.")
+  in
+  let reps =
+    Arg.(value & opt int 30 & info [ "reps" ] ~docv:"R" ~doc:"Monte-Carlo repetitions.")
+  in
+  let horizon =
+    Arg.(
+      value & opt float 1e5
+      & info [ "horizon" ] ~docv:"H" ~doc:"Time budget per run.")
+  in
+  let loss =
+    Arg.(
+      value & opt float 0.
+      & info [ "loss" ] ~docv:"P"
+          ~doc:"Per-message loss probability (thinning: equivalent to rate 1-P).")
+  in
+  let crash =
+    Arg.(
+      value & opt float 0.
+      & info [ "crash" ] ~docv:"P" ~doc:"Per-step crash probability (churn).")
+  in
+  let recover =
+    Arg.(
+      value & opt float 0.
+      & info [ "recover" ] ~docv:"P" ~doc:"Per-step recovery probability (churn).")
+  in
+  let slow_frac =
+    Arg.(
+      value & opt float 0.
+      & info [ "slow-frac" ] ~docv:"F"
+          ~doc:"Fraction of nodes whose clock runs at --slow-rate.")
+  in
+  let slow_rate =
+    Arg.(
+      value & opt float 0.5
+      & info [ "slow-rate" ] ~docv:"R"
+          ~doc:"Relative clock rate of the slow nodes.")
+  in
+  let part_from =
+    Arg.(
+      value & opt int 0
+      & info [ "partition-from" ] ~docv:"T" ~doc:"First step of the partition window.")
+  in
+  let part_until =
+    Arg.(
+      value & opt int 0
+      & info [ "partition-until" ] ~docv:"T"
+          ~doc:"First step after the partition window (0 = no partition).")
+  in
+  let part_frac =
+    Arg.(
+      value & opt float 0.5
+      & info [ "partition-frac" ] ~docv:"F"
+          ~doc:"Fraction of nodes cut off by the partition.")
+  in
+  let max_events =
+    Arg.(
+      value & opt (some int) None
+      & info [ "max-events" ] ~docv:"B"
+          ~doc:"Watchdog: per-replicate event budget; overruns are censored.")
+  in
+  let checkpoint =
+    Arg.(
+      value & opt (some string) None
+      & info [ "checkpoint" ] ~docv:"PATH"
+          ~doc:"Checkpoint replicate outcomes here; resumes if the file exists.")
+  in
+  let domains =
+    Arg.(
+      value & opt int 1
+      & info [ "domains" ] ~docv:"D" ~doc:"Worker domains (bit-identical samples).")
+  in
+  Cmd.v
+    (Cmd.info "faults"
+       ~doc:
+         "Hardened Monte-Carlo sweep under injected faults: message loss, \
+          crash/recovery churn, slow clocks, partition windows; replicate \
+          failures are isolated, runaways censored, outcomes checkpointed.")
+    Term.(
+      const faults_cmd_run $ params_term $ engine $ reps $ horizon $ loss
+      $ crash $ recover $ slow_frac $ slow_rate $ part_from $ part_until
+      $ part_frac $ max_events $ checkpoint $ domains)
+
 (* --- experiment --- *)
 
 let experiment id full seed =
@@ -461,4 +627,12 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ describe_cmd; simulate_cmd; bound_cmd; sweep_cmd; trace_cmd; experiment_cmd ]))
+          [
+            describe_cmd;
+            simulate_cmd;
+            bound_cmd;
+            sweep_cmd;
+            trace_cmd;
+            faults_cmd;
+            experiment_cmd;
+          ]))

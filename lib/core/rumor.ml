@@ -49,6 +49,11 @@ module Markovian = Rumor_dynamic.Markovian
 module Mobile = Rumor_dynamic.Mobile
 module Adversary = Rumor_dynamic.Adversary
 
+(* Faults & hardened harness *)
+module Fault_plan = Rumor_faults.Fault_plan
+module Checkpoint = Rumor_faults.Checkpoint
+module Inject = Rumor_faults.Inject
+
 (* Simulation *)
 module Protocol = Rumor_sim.Protocol
 module Async_result = Rumor_sim.Async_result

@@ -75,6 +75,72 @@ let with_node_outage ~p (base : Dynet.t) =
             Dynet.info_of_graph ~changed:true (Builder.freeze b)))
   }
 
+let with_churn ~crash ~recover (base : Dynet.t) =
+  if crash < 0. || crash > 1. then
+    invalid_arg "Combinators.with_churn: crash outside [0, 1]";
+  if recover < 0. || recover > 1. then
+    invalid_arg "Combinators.with_churn: recover outside [0, 1]";
+  let n = base.Dynet.n in
+  {
+    Dynet.n;
+    name = Printf.sprintf "churn(%.2g, %.2g, %s)" crash recover base.Dynet.name;
+    source_hint = base.Dynet.source_hint;
+    spawn =
+      (fun rng ->
+        let inner = base.Dynet.spawn rng in
+        (* Persistent per-node crash/recovery Markov chain (unlike
+           with_node_outage's memoryless resampling): everyone starts
+           online, each step boundary flips each node with its
+           transition probability.  A crashed node keeps its rumor but
+           loses every edge, so it neither spreads nor receives. *)
+        let offline = Array.make n false in
+        Dynet.make_instance (fun ~step ~informed ->
+            let info = Dynet.next inner ~informed in
+            if step > 0 then
+              for u = 0 to n - 1 do
+                if offline.(u) then begin
+                  if Rng.bernoulli rng recover then offline.(u) <- false
+                end
+                else if Rng.bernoulli rng crash then offline.(u) <- true
+              done;
+            let g = info.Dynet.graph in
+            let b = Builder.create (Graph.n g) in
+            Graph.iter_edges
+              (fun u v ->
+                if (not offline.(u)) && not offline.(v) then
+                  Builder.add_edge_exn b u v)
+              g;
+            Dynet.info_of_graph ~changed:true (Builder.freeze b)))
+  }
+
+let with_partition ~from_step ~until_step ~side (base : Dynet.t) =
+  if until_step <= from_step then
+    invalid_arg "Combinators.with_partition: empty window";
+  {
+    Dynet.n = base.Dynet.n;
+    name =
+      Printf.sprintf "partition([%d, %d), %s)" from_step until_step
+        base.Dynet.name;
+    source_hint = base.Dynet.source_hint;
+    spawn =
+      (fun rng ->
+        let inner = base.Dynet.spawn rng in
+        Dynet.make_instance (fun ~step ~informed ->
+            let info = Dynet.next inner ~informed in
+            if step >= from_step && step < until_step then begin
+              let g = info.Dynet.graph in
+              let b = Builder.create (Graph.n g) in
+              Graph.iter_edges
+                (fun u v -> if side u = side v then Builder.add_edge_exn b u v)
+                g;
+              Dynet.info_of_graph ~changed:true (Builder.freeze b)
+            end
+            else
+              (* Leaving the window restores the cross edges even when
+                 the base graph itself did not change. *)
+              { info with Dynet.changed = info.Dynet.changed || step = until_step }))
+  }
+
 let interleave nets =
   match nets with
   | [] -> invalid_arg "Combinators.interleave: empty list"

@@ -34,6 +34,28 @@ val with_node_outage : p:float -> Dynet.t -> Dynet.t
     cites gossip for).  Resampled every step.
     @raise Invalid_argument if [p] is outside [[0, 1]]. *)
 
+val with_churn : crash:float -> recover:float -> Dynet.t -> Dynet.t
+(** [with_churn ~crash ~recover net] runs a persistent per-node
+    two-state Markov chain over the steps: an online node crashes with
+    probability [crash] at each step boundary, a crashed one recovers
+    with probability [recover] (contrast {!with_node_outage}, which
+    resamples memorylessly).  A crashed node keeps its rumor but loses
+    all its edges until it recovers.  Everyone starts online.  The
+    graph-level counterpart of [Rumor_faults.Fault_plan] churn — here
+    the surviving nodes' {e degrees} shrink (their contact rates
+    concentrate on live neighbours), whereas the engine-level model
+    keeps degrees and silently drops contacts with crashed nodes; both
+    are legitimate crash semantics, so E13 reports them separately.
+    @raise Invalid_argument if a probability is outside [[0, 1]]. *)
+
+val with_partition :
+  from_step:int -> until_step:int -> side:(int -> bool) -> Dynet.t -> Dynet.t
+(** [with_partition ~from_step ~until_step ~side net] removes every
+    edge crossing the [side] bipartition during steps
+    [from_step <= t < until_step] — a timed network split that heals
+    when the window closes.
+    @raise Invalid_argument if the window is empty. *)
+
 val interleave : Dynet.t list -> Dynet.t
 (** [interleave nets] exposes [nets] round-robin: step [t] shows the
     next graph of [nets.(t mod length)].  All networks must share the

@@ -12,6 +12,7 @@ let all =
     E10_static_anchors.experiment;
     E11_corollary.experiment;
     E12_intermittent.experiment;
+    E13_faults.experiment;
     A1_protocols.experiment;
     A2_adversary.experiment;
     O1_observation.experiment;

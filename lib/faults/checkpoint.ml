@@ -1,0 +1,78 @@
+type outcome =
+  | Finished of float
+  | Censored of float
+  | Failed of string
+
+let magic = "rumor-checkpoint v1"
+
+let fingerprint rng = Rumor_rng.Rng.bits64 (Rumor_rng.Rng.copy rng)
+
+let save path ~seeds ~outcomes =
+  if Array.length seeds <> Array.length outcomes then
+    invalid_arg "Checkpoint.save: seeds/outcomes length mismatch";
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf magic;
+  Buffer.add_char buf '\n';
+  Array.iteri
+    (fun i o ->
+      match o with
+      | None -> ()
+      | Some (Finished t) ->
+        Buffer.add_string buf (Printf.sprintf "%Lx finished %h\n" seeds.(i) t)
+      | Some (Censored t) ->
+        Buffer.add_string buf (Printf.sprintf "%Lx censored %h\n" seeds.(i) t)
+      | Some (Failed msg) ->
+        Buffer.add_string buf
+          (Printf.sprintf "%Lx failed %s\n" seeds.(i) (String.escaped msg)))
+    outcomes;
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (Buffer.contents buf));
+  Sys.rename tmp path
+
+let parse_line line =
+  match String.index_opt line ' ' with
+  | None -> None
+  | Some i -> (
+    let seed = String.sub line 0 i in
+    let rest = String.sub line (i + 1) (String.length line - i - 1) in
+    let kind, payload =
+      match String.index_opt rest ' ' with
+      | None -> (rest, "")
+      | Some j ->
+        (String.sub rest 0 j, String.sub rest (j + 1) (String.length rest - j - 1))
+    in
+    match Int64.of_string_opt ("0x" ^ seed) with
+    | None -> None
+    | Some seed -> (
+      match kind with
+      | "finished" ->
+        Option.map (fun t -> (seed, Finished t)) (float_of_string_opt payload)
+      | "censored" ->
+        Option.map (fun t -> (seed, Censored t)) (float_of_string_opt payload)
+      | "failed" -> (
+        match Scanf.unescaped payload with
+        | msg -> Some (seed, Failed msg)
+        | exception _ -> Some (seed, Failed payload))
+      | _ -> None))
+
+let load path =
+  let table = Hashtbl.create 64 in
+  if Sys.file_exists path then begin
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        try
+          while true do
+            let line = input_line ic in
+            if line <> magic then
+              match parse_line line with
+              | Some (seed, o) -> Hashtbl.replace table seed o
+              | None -> ()
+          done
+        with End_of_file -> ())
+  end;
+  table

@@ -1,0 +1,42 @@
+(** Checkpoint/resume of partially completed Monte-Carlo sweeps.
+
+    Each replicate of a sweep is keyed by the 64-bit fingerprint of its
+    split child RNG (the first output of a {e copy} of the child, so the
+    key never perturbs the stream).  Because child streams are pre-split
+    sequentially from the sweep's parent RNG, the keys — and hence the
+    cached outcomes — are stable across interrupted and resumed runs:
+    a resumed sweep reproduces bit-identical samples to an
+    uninterrupted one.
+
+    Times are serialized as hexadecimal floats ([%h]) so the round trip
+    through disk is exact.  The format is line-oriented text:
+
+    {v
+    rumor-checkpoint v1
+    <seed-hex> finished <time-hex>
+    <seed-hex> censored <time-hex>
+    <seed-hex> failed <escaped message>
+    v}
+
+    Loading is tolerant: malformed lines are skipped (a torn write
+    loses at most its own replicate), and {!save} writes through a
+    temporary file renamed into place. *)
+
+type outcome =
+  | Finished of float  (** every node informed at this time *)
+  | Censored of float
+      (** horizon or event budget hit; the time reached (the true
+          spread time exceeds it) *)
+  | Failed of string  (** the replicate raised; printed exception *)
+
+val fingerprint : Rumor_rng.Rng.t -> int64
+(** Stable 64-bit key of an RNG state, without advancing it. *)
+
+val save : string -> seeds:int64 array -> outcomes:outcome option array -> unit
+(** Write every decided outcome ([Some _]) keyed by its seed.  Pending
+    replicates ([None]) are omitted and will be re-run on resume.
+    @raise Invalid_argument if the arrays' lengths differ. *)
+
+val load : string -> (int64, outcome) Hashtbl.t
+(** Read a checkpoint file back; skips lines it cannot parse.  Returns
+    an empty table if the file does not exist. *)

@@ -1,0 +1,24 @@
+open Rumor_dynamic
+
+exception Injected_failure of int
+
+let () =
+  Printexc.register_printer (function
+    | Injected_failure i -> Some (Printf.sprintf "Inject.Injected_failure(%d)" i)
+    | _ -> None)
+
+let failing ?(after_step = 0) ~spawns (base : Dynet.t) =
+  let counter = Atomic.make 0 in
+  {
+    base with
+    Dynet.name = Printf.sprintf "failing(%s)" base.Dynet.name;
+    spawn =
+      (fun rng ->
+        let idx = Atomic.fetch_and_add counter 1 in
+        let inner = base.Dynet.spawn rng in
+        if List.mem idx spawns then
+          Dynet.make_instance (fun ~step ~informed ->
+              if step >= after_step then raise (Injected_failure idx)
+              else Dynet.next inner ~informed)
+        else inner);
+  }

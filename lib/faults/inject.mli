@@ -1,0 +1,17 @@
+(** Chaos injection for testing the hardened harness itself.
+
+    Wraps a dynamic network so that chosen Monte-Carlo replicates blow
+    up: the sweep runner must record them as failed without losing the
+    other replicates, crashing, or leaking domains. *)
+
+open Rumor_dynamic
+
+exception Injected_failure of int
+(** Carries the spawn index that was told to fail. *)
+
+val failing : ?after_step:int -> spawns:int list -> Dynet.t -> Dynet.t
+(** [failing ~spawns net] behaves like [net], except that the [i]-th
+    call to [spawn] (0-based, counted atomically across domains) raises
+    {!Injected_failure} from its step function when [List.mem i spawns]
+    — at the first step by default, or at step [after_step] so a
+    replicate can die mid-run. *)

@@ -2,17 +2,24 @@ open Rumor_util
 open Rumor_rng
 open Rumor_graph
 open Rumor_dynamic
+open Rumor_faults
 
 (* Cut rate carried by an uninformed node v, per protocol:
-   push-pull:  sum over informed neighbours u of (1/d_u + 1/d_v)
-   push:       sum over informed neighbours u of  1/d_u
-   pull:       sum over informed neighbours u of  1/d_v
-   The per-node clock rate multiplies uniformly. *)
-let pair_rate protocol ~du ~dv =
+   push-pull:  sum over informed neighbours u of (r_u/d_u + r_v/d_v)
+   push:       sum over informed neighbours u of  r_u/d_u
+   pull:       sum over informed neighbours u of  r_v/d_v
+   where r_u is the node's fault-plan clock multiplier (1 without
+   faults).  The global clock rate multiplies uniformly.  Crashed and
+   partition-separated pairs contribute nothing; message loss is
+   injected downstream by rejection (see next_event), which keeps the
+   cut weights loss-free — the thinning identity makes both views
+   distribution-identical, and rejection exercises a genuinely
+   different code path than the rate-rescale it must agree with. *)
+let pair_rate protocol ~du ~dv ~ru ~rv =
   match protocol with
-  | Protocol.Push_pull -> (1. /. du) +. (1. /. dv)
-  | Protocol.Push -> 1. /. du
-  | Protocol.Pull -> 1. /. dv
+  | Protocol.Push_pull -> (ru /. du) +. (rv /. dv)
+  | Protocol.Push -> ru /. du
+  | Protocol.Pull -> rv /. dv
 
 type event =
   | Informed of int * float
@@ -24,6 +31,7 @@ type engine = {
   instance : Dynet.instance;
   protocol : Protocol.t;
   rate : float;
+  faults : Fault_plan.state;
   informed : Bitset.t;
   fenwick : Fenwick.t;
   scratch : float array;
@@ -31,6 +39,7 @@ type engine = {
   mutable graph : Graph.t;
   mutable tau : float;
   mutable step : int;
+  mutable lost : int;
 }
 
 let rebuild_weights e =
@@ -40,18 +49,20 @@ let rebuild_weights e =
     e.scratch.(v) <- 0.
   done;
   for v = 0 to n - 1 do
-    if not (Bitset.mem informed v) then begin
+    if (not (Bitset.mem informed v)) && Fault_plan.alive e.faults v then begin
       let neigh = Graph.neighbors graph v in
       let dv = float_of_int (Array.length neigh) in
+      let rv = Fault_plan.rate e.faults v in
       let w = ref 0. in
       Array.iter
         (fun u ->
-          if Bitset.mem informed u then
+          if Bitset.mem informed u && Fault_plan.allows e.faults u v then
             w :=
               !w
               +. pair_rate e.protocol
                    ~du:(float_of_int (Graph.degree graph u))
-                   ~dv)
+                   ~ru:(Fault_plan.rate e.faults u)
+                   ~dv ~rv)
         neigh;
       e.scratch.(v) <- !w *. e.rate
     end
@@ -64,21 +75,24 @@ let inform_node e v =
   Fenwick.set e.fenwick v 0.;
   let graph = e.graph in
   let dv = float_of_int (Graph.degree graph v) in
+  let rv = Fault_plan.rate e.faults v in
   Array.iter
     (fun x ->
-      if not (Bitset.mem e.informed x) then
+      if (not (Bitset.mem e.informed x)) && Fault_plan.allows e.faults v x then
         Fenwick.add e.fenwick x
           (e.rate
-          *. pair_rate e.protocol ~du:dv
-               ~dv:(float_of_int (Graph.degree graph x))))
+          *. pair_rate e.protocol ~du:dv ~ru:rv
+               ~dv:(float_of_int (Graph.degree graph x))
+               ~rv:(Fault_plan.rate e.faults x)))
     (Graph.neighbors graph v)
 
-let create ?(protocol = Protocol.Push_pull) ?(rate = 1.0) rng (net : Dynet.t)
-    ~source =
+let create ?(protocol = Protocol.Push_pull) ?(rate = 1.0)
+    ?(faults = Fault_plan.none) rng (net : Dynet.t) ~source =
   if rate <= 0. then invalid_arg "Async_cut.run: rate must be positive";
   let n = net.n in
   if source < 0 || source >= n then
     invalid_arg (Printf.sprintf "Async_cut.run: source %d out of range" source);
+  let faults = Fault_plan.init faults ~n in
   let instance = net.spawn rng in
   let informed = Bitset.create n in
   ignore (Bitset.add informed source);
@@ -91,6 +105,7 @@ let create ?(protocol = Protocol.Push_pull) ?(rate = 1.0) rng (net : Dynet.t)
       instance;
       protocol;
       rate;
+      faults;
       informed;
       fenwick = Fenwick.create n;
       scratch = Array.make n 0.;
@@ -98,6 +113,7 @@ let create ?(protocol = Protocol.Push_pull) ?(rate = 1.0) rng (net : Dynet.t)
       graph = info.Dynet.graph;
       tau = 0.;
       step = 0;
+      lost = 0;
     }
   in
   rebuild_weights e;
@@ -113,12 +129,15 @@ let informed_times e = e.times
 
 let is_complete e = Bitset.is_full e.informed
 
+let lost_count e = e.lost
+
 let advance_step e =
   e.tau <- float_of_int (e.step + 1);
   e.step <- e.step + 1;
   let next_info = Dynet.next e.instance ~informed:e.informed in
   e.graph <- next_info.Dynet.graph;
-  if next_info.Dynet.changed then rebuild_weights e;
+  let faults_changed = Fault_plan.advance e.faults e.rng ~step:e.step in
+  if next_info.Dynet.changed || faults_changed then rebuild_weights e;
   Step_boundary (e.step, next_info.Dynet.changed)
 
 let rec next_event e =
@@ -137,6 +156,13 @@ let rec next_event e =
            sampling boundary; such a draw has probability ~0 and is
            retried. *)
         if Bitset.mem e.informed v then next_event e
+        else if not (Fault_plan.deliver e.faults e.rng) then begin
+          (* The contact happened but its message was lost: time has
+             advanced, no state changed — the rejection half of the
+             thinning identity. *)
+          e.lost <- e.lost + 1;
+          next_event e
+        end
         else begin
           inform_node e v;
           Informed (v, e.tau)
@@ -145,24 +171,36 @@ let rec next_event e =
     end
   end
 
-let run ?protocol ?rate ?(horizon = 1e7) ?(record_trace = false) rng
-    (net : Dynet.t) ~source =
-  let e = create ?protocol ?rate rng net ~source in
+let run ?protocol ?rate ?faults ?(horizon = 1e7) ?max_events
+    ?(record_trace = false) rng (net : Dynet.t) ~source =
+  let budget =
+    match max_events with
+    | None -> max_int
+    | Some b ->
+      if b < 1 then invalid_arg "Async_cut.run: max_events must be positive";
+      b
+  in
+  let e = create ?protocol ?rate ?faults rng net ~source in
   let trace = ref [] in
   let record tau =
     if record_trace then trace := (tau, Bitset.cardinal e.informed) :: !trace
   in
   record 0.;
   let events = ref 0 in
+  let work = ref 0 in
   let finished = ref false in
   let out_of_time = ref false in
   while (not !finished) && not !out_of_time do
-    match next_event e with
+    (match next_event e with
     | Complete _ -> finished := true
     | Step_boundary (_, _) -> if e.tau >= horizon then out_of_time := true
     | Informed (_, tau) ->
       incr events;
-      record tau
+      record tau);
+    incr work;
+    (* Watchdog: bound the total work (informing events, lost messages
+       and step boundaries) and degrade to a censored result. *)
+    if (not !finished) && !work + e.lost >= budget then out_of_time := true
   done;
   {
     Async_result.time = e.tau;
@@ -170,6 +208,7 @@ let run ?protocol ?rate ?(horizon = 1e7) ?(record_trace = false) rng
     informed = e.informed;
     events = !events;
     steps = e.step + 1;
+    lost = e.lost;
     trace = Array.of_list (List.rev !trace);
     informed_times = e.times;
   }

@@ -31,13 +31,16 @@
 open Rumor_util
 open Rumor_rng
 open Rumor_dynamic
+open Rumor_faults
 
 (** {1 One-shot driver} *)
 
 val run :
   ?protocol:Protocol.t ->
   ?rate:float ->
+  ?faults:Fault_plan.t ->
   ?horizon:float ->
+  ?max_events:int ->
   ?record_trace:bool ->
   Rng.t ->
   Dynet.t ->
@@ -49,8 +52,22 @@ val run :
     cut: push-only contributes [1/d_u] per informed neighbour [u],
     pull-only [1/d_v], push–pull their sum.  [rate] (default 1)
     scales every node clock uniformly (e.g. the paper's 2-push).
-    @raise Invalid_argument if [source] is out of range or
-    [rate <= 0]. *)
+
+    [faults] (default {!Fault_plan.none}) injects message loss (by
+    per-arrival rejection — distribution-identical to a rate rescale by
+    the thinning identity of Eq. 1, but via a different mechanism, so
+    the E13 self-check is non-trivial), node crash/recovery churn,
+    per-node clock rates and partition windows.  With the trivial plan
+    the engine consumes exactly the pre-fault random-draw sequence.
+
+    [max_events] is a watchdog: when the total processed work
+    (informing events + lost messages + step boundaries) reaches it,
+    the run degrades gracefully to a censored, incomplete result
+    instead of spinning — e.g. under churn that never lets the last
+    node recover.
+
+    @raise Invalid_argument if [source] is out of range, [rate <= 0]
+    or [max_events < 1]. *)
 
 (** {1 Stepping interface} *)
 
@@ -67,6 +84,7 @@ type event =
 val create :
   ?protocol:Protocol.t ->
   ?rate:float ->
+  ?faults:Fault_plan.t ->
   Rng.t ->
   Dynet.t ->
   source:int ->
@@ -94,3 +112,6 @@ val informed_times : engine -> float array
     mutate. *)
 
 val is_complete : engine -> bool
+
+val lost_count : engine -> int
+(** Messages dropped so far by the fault plan (0 without faults). *)

@@ -2,16 +2,26 @@
 
 open Rumor_util
 
+exception Horizon_exceeded of { horizon : float; informed : int }
+(** Raised by {!spread_time_exn} on an incomplete run: [horizon] is the
+    time the run reached before it was cut off (time horizon or event
+    budget), [informed] how many nodes had the rumor by then.  Carrying
+    both lets callers degrade gracefully — e.g. fall back to a censored
+    sample — instead of parsing a [Failure] string. *)
+
 type t = {
   time : float;
       (** spread time when [complete]; time reached when the horizon
-          cut the run short *)
+          or event budget cut the run short *)
   complete : bool;  (** did every node get informed before the horizon *)
   informed : Bitset.t;  (** final informed set *)
   events : int;
       (** informing contacts (cut engine) or clock ticks (tick
           engine) processed *)
   steps : int;  (** discrete network steps consumed *)
+  lost : int;
+      (** rumor-carrying messages dropped by an injected
+          {!Rumor_faults.Fault_plan} ([0] without faults) *)
   trace : (float * int) array;
       (** [(time, informed-count)] trajectory; empty unless tracing was
           requested.  Always starts with [(0., 1)] when recorded. *)
@@ -22,4 +32,4 @@ type t = {
 }
 
 val spread_time_exn : t -> float
-(** @raise Failure if the run did not complete. *)
+(** @raise Horizon_exceeded if the run did not complete. *)

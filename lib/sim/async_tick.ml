@@ -2,13 +2,23 @@ open Rumor_util
 open Rumor_rng
 open Rumor_graph
 open Rumor_dynamic
+open Rumor_faults
 
-let run ?(protocol = Protocol.Push_pull) ?(rate = 1.0) ?(horizon = 1e5)
+let run ?(protocol = Protocol.Push_pull) ?(rate = 1.0)
+    ?(faults = Fault_plan.none) ?(horizon = 1e5) ?max_events
     ?(record_trace = false) rng (net : Dynet.t) ~source =
   if rate <= 0. then invalid_arg "Async_tick.run: rate must be positive";
   let n = net.n in
   if source < 0 || source >= n then
     invalid_arg (Printf.sprintf "Async_tick.run: source %d out of range" source);
+  let budget =
+    match max_events with
+    | None -> max_int
+    | Some b ->
+      if b < 1 then invalid_arg "Async_tick.run: max_events must be positive";
+      b
+  in
+  let fstate = Fault_plan.init faults ~n in
   let instance = net.spawn rng in
   let informed = Bitset.create n in
   ignore (Bitset.add informed source);
@@ -20,7 +30,32 @@ let run ?(protocol = Protocol.Push_pull) ?(rate = 1.0) ?(horizon = 1e5)
   in
   record 0.;
   let graph = ref (Dynet.next instance ~informed).Dynet.graph in
-  let total_rate = float_of_int n *. rate in
+  (* Heterogeneous clocks: the superposition still ticks at the summed
+     rate; the ticking node is the rates' categorical sample (an alias
+     table, since the rates are fixed for the whole run).  Crashed
+     nodes keep "ticking" at their nominal rate but their ticks are
+     ignored — thinning again, so no resampling is needed when the
+     alive set churns. *)
+  let pick_node, total_rate =
+    match Fault_plan.node_rates fstate with
+    | None -> ((fun () -> Rng.int rng n), float_of_int n *. rate)
+    | Some rates ->
+      let alias = Alias.create rates in
+      ( (fun () -> Alias.sample alias rng),
+        rate *. Array.fold_left ( +. ) 0. rates )
+  in
+  let push_ok = Protocol.caller_informs_callee protocol in
+  let pull_ok = Protocol.callee_informs_caller protocol in
+  let lost = ref 0 in
+  (* One delivery trial per rumor-carrying message (drawn lazily: a
+     message that would not change anything needs no trial). *)
+  let send () =
+    if Fault_plan.deliver fstate rng then true
+    else begin
+      incr lost;
+      false
+    end
+  in
   let tau = ref 0. in
   let step = ref 0 in
   let ticks = ref 0 in
@@ -31,46 +66,54 @@ let run ?(protocol = Protocol.Push_pull) ?(rate = 1.0) ?(horizon = 1e5)
     else begin
       let next_tick = !tau +. (-.log (Rng.float_pos rng) /. total_rate) in
       (* Cross any step boundaries before the tick lands. *)
-      while
-        (not !out_of_time) && float_of_int (!step + 1) <= next_tick
-      do
+      while (not !out_of_time) && float_of_int (!step + 1) <= next_tick do
         incr step;
         if float_of_int !step >= horizon then out_of_time := true
-        else graph := (Dynet.next instance ~informed).Dynet.graph
+        else begin
+          graph := (Dynet.next instance ~informed).Dynet.graph;
+          ignore (Fault_plan.advance fstate rng ~step:!step)
+        end
       done;
       if not !out_of_time then begin
         tau := next_tick;
         incr ticks;
-        let u = Rng.int rng n in
-        let deg = Graph.degree !graph u in
-        if deg > 0 then begin
-          let v = Graph.neighbor !graph u (Rng.int rng deg) in
-          let u_informed = Bitset.mem informed u
-          and v_informed = Bitset.mem informed v in
-          let u', v' =
-            Protocol.apply protocol ~caller_informed:u_informed
-              ~callee_informed:v_informed
-          in
-          let changed = ref false in
-          if u' && not u_informed then begin
-            changed := Bitset.add informed u || !changed;
-            informed_times.(u) <- !tau
-          end;
-          if v' && not v_informed then begin
-            changed := Bitset.add informed v || !changed;
-            informed_times.(v) <- !tau
-          end;
-          if !changed then record !tau
-        end
+        let u = pick_node () in
+        if Fault_plan.alive fstate u then begin
+          let deg = Graph.degree !graph u in
+          if deg > 0 then begin
+            let v = Graph.neighbor !graph u (Rng.int rng deg) in
+            if Fault_plan.allows fstate u v then begin
+              let u_informed = Bitset.mem informed u
+              and v_informed = Bitset.mem informed v in
+              let v' = v_informed || (u_informed && push_ok && send ()) in
+              let u' = u_informed || (v_informed && pull_ok && send ()) in
+              let changed = ref false in
+              if u' && not u_informed then begin
+                changed := Bitset.add informed u || !changed;
+                informed_times.(u) <- !tau
+              end;
+              if v' && not v_informed then begin
+                changed := Bitset.add informed v || !changed;
+                informed_times.(v) <- !tau
+              end;
+              if !changed then record !tau
+            end
+          end
+        end;
+        if !ticks >= budget then out_of_time := true
       end
     end
   done;
   {
-    Async_result.time = (if !finished then !tau else float_of_int !step);
+    (* Horizon stops land on the step boundary (tau <= step); budget
+       stops land mid-step (tau >= step) — either way report the
+       furthest time actually reached. *)
+    Async_result.time = (if !finished then !tau else Float.max !tau (float_of_int !step));
     complete = !finished;
     informed;
     events = !ticks;
     steps = !step + 1;
+    lost = !lost;
     trace = Array.of_list (List.rev !trace);
     informed_times;
   }

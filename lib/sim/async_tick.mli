@@ -14,11 +14,14 @@
 
 open Rumor_rng
 open Rumor_dynamic
+open Rumor_faults
 
 val run :
   ?protocol:Protocol.t ->
   ?rate:float ->
+  ?faults:Fault_plan.t ->
   ?horizon:float ->
+  ?max_events:int ->
   ?record_trace:bool ->
   Rng.t ->
   Dynet.t ->
@@ -27,5 +30,17 @@ val run :
 (** [run rng net ~source] with clock rate [rate] (default 1.0) per
     node and protocol (default push–pull) until complete or [horizon]
     (default 1e5).
-    @raise Invalid_argument if [source] is out of range or
-    [rate <= 0]. *)
+
+    [faults] (default {!Fault_plan.none}) injects per-message loss (one
+    Bernoulli trial per rumor-carrying message — push and pull trials
+    of one contact are independent), crash/recovery churn (a crashed
+    node's ticks are ignored and contacts with it do nothing),
+    heterogeneous clock rates (the ticking node becomes the rates'
+    categorical sample) and partition windows.  With the trivial plan
+    the engine consumes exactly the pre-fault random-draw sequence.
+
+    [max_events] caps the number of clock ticks, degrading to a
+    censored result.
+
+    @raise Invalid_argument if [source] is out of range, [rate <= 0]
+    or [max_events < 1]. *)

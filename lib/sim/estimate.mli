@@ -9,14 +9,24 @@
 
 open Rumor_rng
 open Rumor_dynamic
+open Rumor_faults
 
 type t = {
-  point : float;  (** the [q]-quantile point estimate *)
+  point : float;
+      (** the [q]-quantile point estimate; [infinity] when the
+          requested quantile falls inside the censored mass (see
+          below) *)
   ci_low : float;
-  ci_high : float;  (** bootstrap percentile CI for the quantile *)
+      (** bootstrap lower bound; when [point] is infinite this is the
+          finite sample quantile — a lower confidence bound for the
+          unknown spread time *)
+  ci_high : float;  (** bootstrap upper bound ([infinity] when flagged) *)
   q : float;  (** quantile used *)
   samples : float array;  (** the underlying spread-time sample *)
   completed : int;
+  censored : int;
+      (** horizon-censored (incomplete) repetitions: their recorded
+          times understate the true spread time *)
   reps : int;
 }
 
@@ -30,6 +40,8 @@ val spread_time :
   ?horizon:float ->
   ?engine:Run.engine ->
   ?protocol:Protocol.t ->
+  ?rate:float ->
+  ?faults:Fault_plan.t ->
   ?level:float ->
   ?source:int ->
   Rng.t ->
@@ -37,7 +49,16 @@ val spread_time :
   t
 (** [spread_time rng net] runs [reps] (default 200) repetitions and
     estimates the [q]-quantile (default {!whp_quantile}) with a
-    bootstrap [level] (default 0.95) confidence interval.  Incomplete
-    runs contribute the horizon, so the estimate is conservative. *)
+    bootstrap [level] (default 0.95) confidence interval.  [rate] and
+    [faults] are forwarded to the engine (the E13 thinning self-check
+    compares loss [p] against rate [1-p]).
+
+    Horizon-censored repetitions are right-censored samples, {e not}
+    observations: when the requested quantile's interpolation touches
+    the censored mass the point estimate is flagged as [infinity]
+    (with [ci_low] the finite sample quantile, a lower bound) instead
+    of silently understating the spread time; otherwise censoring
+    cannot move the quantile and the usual estimate is returned with
+    [censored] surfaced. *)
 
 val pp : Format.formatter -> t -> unit

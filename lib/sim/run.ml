@@ -1,5 +1,6 @@
 open Rumor_rng
 open Rumor_dynamic
+open Rumor_faults
 
 type engine = Cut | Tick
 
@@ -7,6 +8,16 @@ type mc = {
   times : float array;
   completed : int;
   reps : int;
+}
+
+type outcome = Checkpoint.outcome =
+  | Finished of float
+  | Censored of float
+  | Failed of string
+
+type sweep = {
+  outcomes : outcome array;
+  seeds : int64 array;
 }
 
 let source_of (net : Dynet.t) explicit =
@@ -27,13 +38,13 @@ let monte_carlo ~reps rng one =
   { times; completed = !completed; reps }
 
 let async_spread_times ?(reps = 30) ?horizon ?(engine = Cut) ?protocol ?rate
-    ?source rng net =
+    ?faults ?source rng net =
   let source = source_of net source in
   monte_carlo ~reps rng (fun child ->
       let result =
         match engine with
-        | Cut -> Async_cut.run ?protocol ?rate ?horizon child net ~source
-        | Tick -> Async_tick.run ?protocol ?rate ?horizon child net ~source
+        | Cut -> Async_cut.run ?protocol ?rate ?faults ?horizon child net ~source
+        | Tick -> Async_tick.run ?protocol ?rate ?faults ?horizon child net ~source
       in
       (result.Async_result.time, result.Async_result.complete))
 
@@ -42,7 +53,7 @@ let async_spread_times ?(reps = 30) ?horizon ?(engine = Cut) ?protocol ?rate
    of the domain count or scheduling — repetitions share no mutable
    state (each spawns its own Dynet instance). *)
 let async_spread_times_parallel ?(domains = 4) ?(reps = 30) ?horizon
-    ?(engine = Cut) ?protocol ?rate ?source rng net =
+    ?(engine = Cut) ?protocol ?rate ?faults ?source rng net =
   if domains < 1 then invalid_arg "Run: need at least one domain";
   let source = source_of net source in
   let children = Array.init reps (fun _ -> Rng.split rng) in
@@ -51,8 +62,10 @@ let async_spread_times_parallel ?(domains = 4) ?(reps = 30) ?horizon
   let one r =
     let result =
       match engine with
-      | Cut -> Async_cut.run ?protocol ?rate ?horizon children.(r) net ~source
-      | Tick -> Async_tick.run ?protocol ?rate ?horizon children.(r) net ~source
+      | Cut ->
+        Async_cut.run ?protocol ?rate ?faults ?horizon children.(r) net ~source
+      | Tick ->
+        Async_tick.run ?protocol ?rate ?faults ?horizon children.(r) net ~source
     in
     times.(r) <- result.Async_result.time;
     ok.(r) <- result.Async_result.complete
@@ -73,12 +86,26 @@ let async_spread_times_parallel ?(domains = 4) ?(reps = 30) ?horizon
                 r := !r + domains
               done))
     in
-    let r = ref 0 in
-    while !r < reps do
-      one !r;
-      r := !r + domains
-    done;
-    Array.iter Domain.join workers
+    (* Every spawned domain is joined even when a main-domain replicate
+       raises; a worker's own exception is re-raised only after every
+       domain is accounted for, so no domain is ever leaked. *)
+    let worker_exn = ref None in
+    Fun.protect
+      ~finally:(fun () ->
+        Array.iter
+          (fun d ->
+            match Domain.join d with
+            | () -> ()
+            | exception e ->
+              if Option.is_none !worker_exn then worker_exn := Some e)
+          workers)
+      (fun () ->
+        let r = ref 0 in
+        while !r < reps do
+          one !r;
+          r := !r + domains
+        done);
+    match !worker_exn with Some e -> raise e | None -> ()
   end;
   {
     times;
@@ -86,10 +113,136 @@ let async_spread_times_parallel ?(domains = 4) ?(reps = 30) ?horizon
     reps;
   }
 
-let sync_spread_rounds ?(reps = 30) ?max_rounds ?protocol ?source rng net =
+(* --- hardened sweep --- *)
+
+let async_spread_sweep ?(domains = 1) ?(reps = 30) ?horizon ?(engine = Cut)
+    ?protocol ?rate ?faults ?source ?max_events ?checkpoint rng net =
+  if domains < 1 then invalid_arg "Run: need at least one domain";
+  if reps < 1 then invalid_arg "Run: need at least one repetition";
+  let source = source_of net source in
+  let children = Array.init reps (fun _ -> Rng.split rng) in
+  let seeds = Array.map Checkpoint.fingerprint children in
+  let outcomes : outcome option array = Array.make reps None in
+  (* Resume: replicate outcomes are keyed by the child RNG fingerprint,
+     and the split sequence is prefix-stable, so cached outcomes line
+     up whatever [reps] the interrupted sweep used. *)
+  (match checkpoint with
+  | Some path ->
+    let cached = Checkpoint.load path in
+    Array.iteri
+      (fun i seed ->
+        match Hashtbl.find_opt cached seed with
+        | Some o -> outcomes.(i) <- Some o
+        | None -> ())
+      seeds
+  | None -> ());
+  let save () =
+    match checkpoint with
+    | Some path -> Checkpoint.save path ~seeds ~outcomes
+    | None -> ()
+  in
+  (* Exception isolation: a raising replicate becomes a [Failed]
+     outcome; the sweep itself never raises because of one. *)
+  let one r =
+    if Option.is_none outcomes.(r) then begin
+      let o =
+        match
+          match engine with
+          | Cut ->
+            Async_cut.run ?protocol ?rate ?faults ?horizon ?max_events
+              children.(r) net ~source
+          | Tick ->
+            Async_tick.run ?protocol ?rate ?faults ?horizon ?max_events
+              children.(r) net ~source
+        with
+        | result ->
+          if result.Async_result.complete then
+            Finished result.Async_result.time
+          else Censored result.Async_result.time
+        | exception e -> Failed (Printexc.to_string e)
+      in
+      outcomes.(r) <- Some o
+    end
+  in
+  let domains = min domains reps in
+  Fun.protect ~finally:save (fun () ->
+      if domains <= 1 then
+        for r = 0 to reps - 1 do
+          one r;
+          (* Cheap incremental checkpointing keeps the file current so
+             an interrupted sweep loses at most the replicate in
+             flight. *)
+          if Option.is_some checkpoint && (r + 1) mod 32 = 0 then save ()
+        done
+      else begin
+        let workers =
+          Array.init (domains - 1) (fun d ->
+              Domain.spawn (fun () ->
+                  let r = ref (d + 1) in
+                  while !r < reps do
+                    one !r;
+                    r := !r + domains
+                  done))
+        in
+        Fun.protect
+          ~finally:(fun () ->
+            Array.iter
+              (fun d ->
+                (* [one] isolates every replicate exception, so a worker
+                   can only die of something fatal; even then the sweep
+                   result (partial outcomes) survives. *)
+                match Domain.join d with () -> () | exception _ -> ())
+              workers)
+          (fun () ->
+            let r = ref 0 in
+            while !r < reps do
+              one !r;
+              r := !r + domains
+            done)
+      end);
+  {
+    outcomes =
+      Array.map
+        (function Some o -> o | None -> Failed "replicate never ran")
+        outcomes;
+    seeds;
+  }
+
+let sweep_counts s =
+  Array.fold_left
+    (fun (f, c, x) -> function
+      | Finished _ -> (f + 1, c, x)
+      | Censored _ -> (f, c + 1, x)
+      | Failed _ -> (f, c, x + 1))
+    (0, 0, 0) s.outcomes
+
+let usable_times s =
+  Array.of_seq
+    (Seq.filter_map
+       (function Finished t -> Some t | Censored _ | Failed _ -> None)
+       (Array.to_seq s.outcomes))
+
+let first_failure s =
+  Array.fold_left
+    (fun acc o ->
+      match (acc, o) with None, Failed m -> Some m | _ -> acc)
+    None s.outcomes
+
+let mc_of_sweep s =
+  let times =
+    Array.of_seq
+      (Seq.filter_map
+         (function Finished t | Censored t -> Some t | Failed _ -> None)
+         (Array.to_seq s.outcomes))
+  in
+  let completed, _, _ = sweep_counts s in
+  { times; completed; reps = Array.length times }
+
+let sync_spread_rounds ?(reps = 30) ?max_rounds ?protocol ?faults ?source rng
+    net =
   let source = source_of net source in
   monte_carlo ~reps rng (fun child ->
-      let result = Sync.run ?protocol ?max_rounds child net ~source in
+      let result = Sync.run ?protocol ?max_rounds ?faults child net ~source in
       (float_of_int result.Sync.rounds, result.Sync.complete))
 
 let flooding_rounds ?(reps = 30) ?max_rounds ?source rng net =

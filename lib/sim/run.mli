@@ -2,10 +2,21 @@
     streams, with spread-time samples ready for the statistics layer.
 
     Every "with high probability" claim in the paper is validated by
-    looking at high quantiles of these samples. *)
+    looking at high quantiles of these samples.
+
+    Two tiers of runner:
+
+    - The classic samplers ({!async_spread_times} and friends) return a
+      bare {!mc}; a raising replicate propagates.
+    - The {e hardened} sweep ({!async_spread_sweep}) isolates replicate
+      exceptions as [Failed] outcomes, caps runaway replicates through
+      the engines' event-budget watchdog, and checkpoints replicate
+      outcomes to disk keyed by split-RNG seed so an interrupted sweep
+      resumes bit-identically. *)
 
 open Rumor_rng
 open Rumor_dynamic
+open Rumor_faults
 
 type engine = Cut | Tick
 
@@ -15,6 +26,16 @@ type mc = {
           the horizon value *)
   completed : int;  (** repetitions that informed every node *)
   reps : int;
+}
+
+type outcome = Checkpoint.outcome =
+  | Finished of float
+  | Censored of float
+  | Failed of string
+
+type sweep = {
+  outcomes : outcome array;  (** one per repetition, in repetition order *)
+  seeds : int64 array;  (** checkpoint key of each repetition's RNG *)
 }
 
 val source_of : Dynet.t -> int option -> int
@@ -27,15 +48,17 @@ val async_spread_times :
   ?engine:engine ->
   ?protocol:Protocol.t ->
   ?rate:float ->
+  ?faults:Fault_plan.t ->
   ?source:int ->
   Rng.t ->
   Dynet.t ->
   mc
 (** [async_spread_times rng net] runs the asynchronous algorithm
     [reps] (default 30) times with engine [Cut] by default; [protocol]
-    (default push-pull) and the clock [rate] (default 1) apply to
-    either engine.  Each repetition gets an independent child of [rng]
-    (via split), so results are stable under changing [reps]. *)
+    (default push-pull), the clock [rate] (default 1) and the fault
+    plan apply to either engine.  Each repetition gets an independent
+    child of [rng] (via split), so results are stable under changing
+    [reps]. *)
 
 val async_spread_times_parallel :
   ?domains:int ->
@@ -44,6 +67,7 @@ val async_spread_times_parallel :
   ?engine:engine ->
   ?protocol:Protocol.t ->
   ?rate:float ->
+  ?faults:Fault_plan.t ->
   ?source:int ->
   Rng.t ->
   Dynet.t ->
@@ -52,13 +76,66 @@ val async_spread_times_parallel :
     [rng] seed — computed on up to [domains] (default 4) OCaml 5
     domains.  Child RNGs are pre-split sequentially and repetitions
     share no mutable state, so determinism is independent of
-    scheduling.
+    scheduling.  Every spawned domain is joined even if a replicate
+    raises (on any domain); the first worker exception is re-raised
+    once all domains are accounted for.
     @raise Invalid_argument if [domains < 1]. *)
+
+val async_spread_sweep :
+  ?domains:int ->
+  ?reps:int ->
+  ?horizon:float ->
+  ?engine:engine ->
+  ?protocol:Protocol.t ->
+  ?rate:float ->
+  ?faults:Fault_plan.t ->
+  ?source:int ->
+  ?max_events:int ->
+  ?checkpoint:string ->
+  Rng.t ->
+  Dynet.t ->
+  sweep
+(** Hardened Monte-Carlo sweep (default sequential; [domains] > 1 for
+    the parallel variant with the same bit-identical-sample guarantee
+    as {!async_spread_times_parallel}):
+
+    - {b exception isolation} — a replicate that raises is recorded as
+      [Failed] with the printed exception and the sweep carries on; the
+      sweep itself never raises because of a replicate, and spawned
+      domains are always joined ([Fun.protect]).
+    - {b watchdog} — [max_events] bounds each replicate's event count
+      (see the engines' [max_events]); a capped replicate degrades to a
+      [Censored] outcome carrying the time it reached.
+    - {b checkpoint/resume} — with [checkpoint:path], decided outcomes
+      are serialized to [path] keyed by each replicate's split-RNG
+      fingerprint (incrementally in sequential mode, and always on the
+      way out — including the exception path).  A later sweep with the
+      same parent RNG seed reuses them and re-runs only the missing
+      replicates, reproducing bit-identical samples to an
+      uninterrupted sweep.
+
+    @raise Invalid_argument if [domains < 1] or [reps < 1]. *)
+
+val sweep_counts : sweep -> int * int * int
+(** [(finished, censored, failed)] outcome counts. *)
+
+val usable_times : sweep -> float array
+(** Spread times of the [Finished] replicates, in repetition order. *)
+
+val first_failure : sweep -> string option
+(** The first recorded [Failed] message, if any. *)
+
+val mc_of_sweep : sweep -> mc
+(** Collapse to the classic sample: [Finished] and [Censored] times
+    (censored replicates contribute the time they reached, as the
+    classic runner's horizon convention does); [Failed] replicates are
+    dropped, so [reps] shrinks accordingly. *)
 
 val sync_spread_rounds :
   ?reps:int ->
   ?max_rounds:int ->
   ?protocol:Protocol.t ->
+  ?faults:Fault_plan.t ->
   ?source:int ->
   Rng.t ->
   Dynet.t ->

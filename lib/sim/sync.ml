@@ -2,6 +2,7 @@ open Rumor_util
 open Rumor_rng
 open Rumor_graph
 open Rumor_dynamic
+open Rumor_faults
 
 type result = {
   rounds : int;
@@ -10,11 +11,14 @@ type result = {
   trace : int array;
 }
 
-let run ?(protocol = Protocol.Push_pull) ?(max_rounds = 1_000_000) rng
-    (net : Dynet.t) ~source =
+let run ?(protocol = Protocol.Push_pull) ?(max_rounds = 1_000_000)
+    ?(faults = Fault_plan.none) rng (net : Dynet.t) ~source =
   let n = net.n in
   if source < 0 || source >= n then
     invalid_arg (Printf.sprintf "Sync.run: source %d out of range" source);
+  let fstate = Fault_plan.init faults ~n in
+  let push_ok = Protocol.caller_informs_callee protocol in
+  let pull_ok = Protocol.callee_informs_caller protocol in
   let instance = net.spawn rng in
   let informed = Bitset.create n in
   ignore (Bitset.add informed source);
@@ -23,19 +27,29 @@ let run ?(protocol = Protocol.Push_pull) ?(max_rounds = 1_000_000) rng
   let complete = ref (Bitset.is_full informed) in
   while (not !complete) && !rounds < max_rounds do
     let graph = (Dynet.next instance ~informed).Dynet.graph in
+    (* Round r consumes graph step r; the fault chain advances in
+       lockstep (node_rate has no meaning without clocks and is
+       ignored here). *)
+    if !rounds > 0 then ignore (Fault_plan.advance fstate rng ~step:!rounds);
     let snapshot = Bitset.copy informed in
     for u = 0 to n - 1 do
-      let deg = Graph.degree graph u in
-      if deg > 0 then begin
-        let v = Graph.neighbor graph u (Rng.int rng deg) in
-        let u_informed = Bitset.mem snapshot u
-        and v_informed = Bitset.mem snapshot v in
-        let u', v' =
-          Protocol.apply protocol ~caller_informed:u_informed
-            ~callee_informed:v_informed
-        in
-        if u' then ignore (Bitset.add informed u);
-        if v' then ignore (Bitset.add informed v)
+      if Fault_plan.alive fstate u then begin
+        let deg = Graph.degree graph u in
+        if deg > 0 then begin
+          let v = Graph.neighbor graph u (Rng.int rng deg) in
+          if Fault_plan.allows fstate u v then begin
+            let u_informed = Bitset.mem snapshot u
+            and v_informed = Bitset.mem snapshot v in
+            if
+              (not v_informed) && u_informed && push_ok
+              && Fault_plan.deliver fstate rng
+            then ignore (Bitset.add informed v);
+            if
+              (not u_informed) && v_informed && pull_ok
+              && Fault_plan.deliver fstate rng
+            then ignore (Bitset.add informed u)
+          end
+        end
       end
     done;
     incr rounds;

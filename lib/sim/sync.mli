@@ -10,6 +10,7 @@
 open Rumor_util
 open Rumor_rng
 open Rumor_dynamic
+open Rumor_faults
 
 type result = {
   rounds : int;  (** rounds executed; the spread time when [complete] *)
@@ -24,10 +25,18 @@ type result = {
 val run :
   ?protocol:Protocol.t ->
   ?max_rounds:int ->
+  ?faults:Fault_plan.t ->
   Rng.t ->
   Dynet.t ->
   source:int ->
   result
 (** [run rng net ~source] until complete or [max_rounds] (default
     1_000_000) rounds.
+
+    [faults] (default {!Fault_plan.none}) injects per-message loss,
+    crash/recovery churn (a crashed node does not contact anyone and
+    contacts with it do nothing; the churn chain advances once per
+    round) and partition windows.  [node_rate] heterogeneity is
+    meaningless without clocks and is ignored by this engine.
+
     @raise Invalid_argument if [source] is out of range. *)

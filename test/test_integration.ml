@@ -86,7 +86,7 @@ let test_absolute_sandwich () =
 (* The experiment registry itself: every experiment is registered and
    findable. *)
 let test_registry () =
-  check int "19 experiments" 19 (List.length Rumor_experiments.Registry.all);
+  check int "20 experiments" 20 (List.length Rumor_experiments.Registry.all);
   List.iter
     (fun id ->
       match Rumor_experiments.Registry.find id with
@@ -94,7 +94,10 @@ let test_registry () =
         check Alcotest.string "id round-trip" (String.uppercase_ascii id)
           (String.uppercase_ascii e.Rumor_experiments.Experiment.id)
       | None -> Alcotest.failf "experiment %s not found" id)
-    [ "e1"; "E2"; "e3"; "E4"; "e5"; "E6"; "e7"; "E8"; "e9"; "E10"; "f1"; "l" ];
+    [
+      "e1"; "E2"; "e3"; "E4"; "e5"; "E6"; "e7"; "E8"; "e9"; "E10"; "e13";
+      "f1"; "l";
+    ];
   check bool "unknown id" true (Rumor_experiments.Registry.find "E99" = None)
 
 (* Figure 1 invariants run green end to end. *)
