@@ -13,17 +13,16 @@
    statistical output. *)
 
 open Bechamel
+module Env = Rumor_util.Env
+module Obs = Rumor_obs
 
-let env_flag name =
-  match Sys.getenv_opt name with Some ("1" | "true") -> true | _ -> false
+let env_flag = Env.flag
+
+let bench_seed () = Env.int ~default:2020 "RUMOR_BENCH_SEED"
 
 let run_experiments () =
   let full = env_flag "RUMOR_BENCH_FULL" in
-  let seed =
-    match Sys.getenv_opt "RUMOR_BENCH_SEED" with
-    | Some s -> (try int_of_string s with _ -> 2020)
-    | None -> 2020
-  in
+  let seed = bench_seed () in
   Printf.printf
     "mode: %s, seed %d (RUMOR_BENCH_FULL=1 for full sweeps, RUMOR_BENCH_SEED \
      to vary)\n\n%!"
@@ -134,14 +133,55 @@ let run_benchmarks () =
         (name, est) :: acc)
       results []
   in
+  let rows = List.sort compare rows in
   List.iter
     (fun (name, est) ->
       if Float.is_nan est then Printf.printf "%-36s (no estimate)\n" name
       else if est >= 1e6 then Printf.printf "%-36s %10.2f ms/run\n" name (est /. 1e6)
       else if est >= 1e3 then Printf.printf "%-36s %10.2f us/run\n" name (est /. 1e3)
       else Printf.printf "%-36s %10.0f ns/run\n" name est)
-    (List.sort compare rows)
+    rows;
+  rows
+
+(* The machine-readable counterpart of the printed tables: Bechamel
+   estimates + the metric-registry counters accumulated during this
+   process (experiments and micro-benches both run the engines), as a
+   schema-versioned BENCH_<rev>.json.  RUMOR_BENCH_REV labels the
+   report (default "dev"); RUMOR_BENCH_OUT overrides the path;
+   compare two reports with `rumor obs compare`. *)
+let write_report rows =
+  let rev =
+    match Env.string "RUMOR_BENCH_REV" with
+    | Some r -> Obs.Sink.sanitize r
+    | None -> "dev"
+  in
+  let path =
+    match Env.string "RUMOR_BENCH_OUT" with
+    | Some p -> p
+    | None -> Printf.sprintf "BENCH_%s.json" rev
+  in
+  let mode = if env_flag "RUMOR_BENCH_FULL" then "full" else "quick" in
+  let report =
+    Obs.Bench_report.make ~rev ~seed:(bench_seed ()) ~mode
+      ~entries:(List.filter (fun (_, est) -> not (Float.is_nan est)) rows)
+      ~counters:(Obs.Metrics.counters ())
+      ~spans:(Obs.Span.totals ()) ()
+  in
+  Obs.Bench_report.write path report;
+  Printf.printf "\nbench report (%s) written to %s\n" Obs.Bench_report.schema
+    path
 
 let () =
+  (* Engine telemetry is on for the whole bench run so the report
+     carries per-engine event counters; it never perturbs seeded
+     results (recording does not touch any RNG).  RUMOR_BENCH_NO_OBS=1
+     restores the bare-metal configuration. *)
+  if not (env_flag "RUMOR_BENCH_NO_OBS") then Obs.Metrics.enable ();
+  (match Env.string "RUMOR_OBS_OUT" with
+  | Some dir -> Obs.Sink.set_dir (Some dir)
+  | None -> ());
   if not (env_flag "RUMOR_BENCH_SKIP_EXPERIMENTS") then run_experiments ();
-  if not (env_flag "RUMOR_BENCH_SKIP_MICRO") then run_benchmarks ()
+  if not (env_flag "RUMOR_BENCH_SKIP_MICRO") then begin
+    let rows = run_benchmarks () in
+    if not (env_flag "RUMOR_BENCH_NO_REPORT") then write_report rows
+  end

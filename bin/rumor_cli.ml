@@ -11,6 +11,12 @@
                  exception isolation, watchdog and checkpoint/resume
      experiment  run a registered paper-validation experiment (E1..E13,
                  A1, A2, O1, B1, R1, F1, L)
+     obs         observability utilities: dump the metric registry,
+                 compare BENCH_*.json reports (exit 1 on regression)
+
+   Every run subcommand takes --obs-out DIR (or RUMOR_OBS_OUT) to
+   mirror its results as structured artifacts: a run manifest with the
+   metric-registry snapshot, plus JSONL/CSV rows where applicable.
 
    Network specifications (-N/--network):
      clique | star | cycle | path | hypercube | regular | er |
@@ -69,6 +75,38 @@ let build_network params =
     Mobile.network ~agents:n ~width:side ~height:side ~radius:2
   | other -> failwith (Printf.sprintf "unknown network family %S" other)
 
+(* --- observability --- *)
+
+let obs_out_arg =
+  let doc =
+    "Write observability artifacts under $(docv): a run manifest (seed, \
+     engine, network, wall time, metric-registry snapshot) per command, \
+     plus structured JSONL rows from experiments.  Also enables metric \
+     collection.  Falls back to $(b,RUMOR_OBS_OUT) when the flag is absent."
+  in
+  Arg.(value & opt (some string) None & info [ "obs-out" ] ~docv:"DIR" ~doc)
+
+let setup_obs obs_out =
+  match
+    (match obs_out with Some d -> Some d | None -> Env.string "RUMOR_OBS_OUT")
+  with
+  | Some dir ->
+    Obs.Metrics.enable ();
+    Obs.Sink.set_dir (Some dir)
+  | None -> ()
+
+(* Evaluated before every subcommand body: each command term below
+   composes [$ obs_term] first. *)
+let obs_term = Term.(const setup_obs $ obs_out_arg)
+
+(* One provenance record per CLI invocation; no-op without a sink. *)
+let write_manifest ~kind ~id ?engine ?n ?reps ?extra ~network params wall_s =
+  if Obs.Sink.active () then
+    Obs.Run_manifest.write
+      (Obs.Run_manifest.make ~kind ~id ~seed:params.seed
+         ~rng_fingerprint:(Checkpoint.fingerprint (Rng.create params.seed))
+         ?engine ~network ?n ?reps ?extra ~wall_s ())
+
 (* --- common options --- *)
 
 let family_arg =
@@ -108,7 +146,7 @@ let params_term =
 
 (* --- describe --- *)
 
-let describe params steps =
+let describe () params steps =
   let net = build_network params in
   let rng = Rng.create params.seed in
   Printf.printf "network: %s (n = %d)\n" net.Dynet.name net.Dynet.n;
@@ -154,14 +192,15 @@ let describe_cmd =
   in
   Cmd.v
     (Cmd.info "describe" ~doc:"Build a network and print per-step parameters.")
-    Term.(const describe $ params_term $ steps)
+    Term.(const describe $ obs_term $ params_term $ steps)
 
 (* --- simulate --- *)
 
-let simulate params algorithm engine reps horizon source =
+let simulate () params algorithm engine reps horizon source =
   let net = build_network params in
   let rng = Rng.create params.seed in
   let source = match source with -1 -> None | s -> Some s in
+  let t0 = Obs.Clock.now_s () in
   let mc =
     match algorithm with
     | "async" ->
@@ -180,10 +219,17 @@ let simulate params algorithm engine reps horizon source =
       Run.flooding_rounds ~reps ~max_rounds:(int_of_float horizon) ?source rng net
     | other -> failwith (Printf.sprintf "unknown algorithm %S" other)
   in
+  let wall_s = Obs.Clock.now_s () -. t0 in
   Printf.printf "%s on %s: %d/%d runs completed\n" algorithm net.Dynet.name
     mc.Run.completed mc.Run.reps;
   Printf.printf "spread time: %s\n"
-    (Format.asprintf "%a" Summary.pp (Summary.of_samples mc.Run.times))
+    (Format.asprintf "%a" Summary.pp (Summary.of_samples mc.Run.times));
+  write_manifest ~kind:"simulate"
+    ~id:(Printf.sprintf "simulate-%s-%s" algorithm net.Dynet.name)
+    ~engine:(if algorithm = "async" then engine else algorithm)
+    ~n:net.Dynet.n ~reps ~network:net.Dynet.name
+    ~extra:[ ("completed", Obs.Json.Int mc.Run.completed) ]
+    params wall_s
 
 let simulate_cmd =
   let algorithm =
@@ -213,11 +259,12 @@ let simulate_cmd =
   Cmd.v
     (Cmd.info "simulate" ~doc:"Run a rumor-spreading algorithm, Monte-Carlo style.")
     Term.(
-      const simulate $ params_term $ algorithm $ engine $ reps $ horizon $ source)
+      const simulate $ obs_term $ params_term $ algorithm $ engine $ reps
+      $ horizon $ source)
 
 (* --- bound --- *)
 
-let bound params c steps =
+let bound () params c steps =
   let net = build_network params in
   let rng = Rng.create params.seed in
   let n = net.Dynet.n in
@@ -261,11 +308,11 @@ let bound_cmd =
   in
   Cmd.v
     (Cmd.info "bound" ~doc:"Evaluate the paper's spread-time bounds on a network.")
-    Term.(const bound $ params_term $ c $ steps)
+    Term.(const bound $ obs_term $ params_term $ c $ steps)
 
 (* --- sweep --- *)
 
-let sweep params sizes reps algorithm csv_path =
+let sweep () params sizes reps algorithm csv_path =
   let sizes =
     List.map
       (fun s ->
@@ -275,6 +322,7 @@ let sweep params sizes reps algorithm csv_path =
       (String.split_on_char ',' sizes)
   in
   let rows = ref [] in
+  let t0 = Obs.Clock.now_s () in
   let table =
     Table.create
       ~aligns:Table.[ Right; Right; Right; Right; Right; Right ]
@@ -321,14 +369,27 @@ let sweep params sizes reps algorithm csv_path =
     Printf.printf "log-log growth exponent of the median: %.3f (R^2 = %.3f)\n"
       fit.Regression.slope fit.Regression.r_squared
   | _ -> ());
-  match csv_path with
+  (match csv_path with
   | Some path ->
     Export.write_file path
       (Export.csv_of_rows
          ~header:[ "n"; "mean"; "median"; "q90"; "q99"; "completed" ]
          (List.rev !rows));
     Printf.printf "rows written to %s\n" path
-  | None -> ()
+  | None -> ());
+  (* Mirror the table into the sink alongside the manifest. *)
+  if Obs.Sink.active () then
+    Obs.Sink.write_csv
+      (Printf.sprintf "sweep-%s-%s.csv" algorithm params.family)
+      ~header:[ "n"; "mean"; "median"; "q90"; "q99"; "completed" ]
+      (List.rev !rows);
+  write_manifest ~kind:"sweep"
+    ~id:(Printf.sprintf "sweep-%s-%s" algorithm params.family)
+    ~engine:algorithm ~reps ~network:params.family
+    ~extra:
+      [ ("sizes", Obs.Json.List (List.map (fun n -> Obs.Json.Int n) sizes)) ]
+    params
+    (Obs.Clock.now_s () -. t0)
 
 let sweep_cmd =
   let sizes =
@@ -353,15 +414,17 @@ let sweep_cmd =
   in
   Cmd.v
     (Cmd.info "sweep" ~doc:"Sweep the node count and fit the growth exponent.")
-    Term.(const sweep $ params_term $ sizes $ reps $ algorithm $ csv)
+    Term.(const sweep $ obs_term $ params_term $ sizes $ reps $ algorithm $ csv)
 
 (* --- trace --- *)
 
-let trace params horizon csv_path dot_path =
+let trace () params horizon csv_path dot_path =
   let net = build_network params in
   let rng = Rng.create params.seed in
   let source = Run.source_of net None in
+  let t0 = Obs.Clock.now_s () in
   let result = Async_cut.run ~horizon ~record_trace:true rng net ~source in
+  let wall_s = Obs.Clock.now_s () -. t0 in
   Printf.printf "%s: %s at time %.4f (%d informing events, %d steps)\n"
     net.Dynet.name
     (if result.Async_result.complete then "complete" else "incomplete")
@@ -390,7 +453,7 @@ let trace params horizon csv_path dot_path =
     Export.write_file path (Export.csv_of_rows ~header:[ "time"; "informed" ] rows);
     Printf.printf "  trajectory written to %s\n" path
   | None -> ());
-  match dot_path with
+  (match dot_path with
   | Some path ->
     (* Final graph snapshot with the informed set highlighted. *)
     let inst = net.Dynet.spawn (Rng.create params.seed) in
@@ -398,7 +461,35 @@ let trace params horizon csv_path dot_path =
     Export.write_file path
       (Export.to_dot ~name:"rumor" ~highlight:result.Async_result.informed g);
     Printf.printf "  DOT snapshot written to %s\n" path
-  | None -> ()
+  | None -> ());
+  (* Per-step progress deltas + manifest into the sink. *)
+  if Obs.Sink.active () then begin
+    let informed = ref 1 in
+    Array.iteri
+      (fun step delta ->
+        informed := !informed + delta;
+        Obs.Sink.append_jsonl
+          (Printf.sprintf "trace-%s.jsonl" net.Dynet.name)
+          (Obs.Json.Obj
+             [
+               ("network", Obs.Json.String net.Dynet.name);
+               ("step", Obs.Json.Int step);
+               ("delta", Obs.Json.Int delta);
+               ("informed", Obs.Json.Int !informed);
+             ]))
+      (Trace.per_step_progress tr)
+  end;
+  write_manifest ~kind:"trace"
+    ~id:(Printf.sprintf "trace-%s" net.Dynet.name)
+    ~engine:"cut" ~n:net.Dynet.n ~network:net.Dynet.name
+    ~extra:
+      [
+        ("complete", Obs.Json.Bool result.Async_result.complete);
+        ("time", Obs.Json.Float result.Async_result.time);
+        ("events", Obs.Json.Int result.Async_result.events);
+        ("steps", Obs.Json.Int result.Async_result.steps);
+      ]
+    params wall_s
 
 let trace_cmd =
   let horizon =
@@ -420,11 +511,11 @@ let trace_cmd =
   Cmd.v
     (Cmd.info "trace"
        ~doc:"Run once with trajectory recording; print milestones and phases.")
-    Term.(const trace $ params_term $ horizon $ csv $ dot)
+    Term.(const trace $ obs_term $ params_term $ horizon $ csv $ dot)
 
 (* --- faults --- *)
 
-let faults_cmd_run params engine reps horizon loss crash recover slow_frac
+let faults_cmd_run () params engine reps horizon loss crash recover slow_frac
     slow_rate part_from part_until part_frac max_events checkpoint domains =
   let net = build_network params in
   let rng = Rng.create params.seed in
@@ -461,10 +552,12 @@ let faults_cmd_run params engine reps horizon loss crash recover slow_frac
     else []
   in
   let plan = Fault_plan.make ~loss ?node_rate ?churn ~partitions () in
+  let t0 = Obs.Clock.now_s () in
   let sweep =
     Rumor_sim.Run.async_spread_sweep ~domains ~reps ~horizon ~engine ~faults:plan
       ?max_events ?checkpoint rng net
   in
+  let wall_s = Obs.Clock.now_s () -. t0 in
   let finished, censored, failed = Rumor_sim.Run.sweep_counts sweep in
   Printf.printf "faulty async on %s (n = %d, engine %s):\n" net.Dynet.name n
     (match engine with Rumor_sim.Run.Cut -> "cut" | Tick -> "tick");
@@ -493,10 +586,23 @@ let faults_cmd_run params engine reps horizon loss crash recover slow_frac
     Printf.printf "  spread time over finished runs: %s\n"
       (Format.asprintf "%a" Summary.pp (Summary.of_samples usable))
   else Printf.printf "  no replicate finished before the horizon/budget.\n";
-  match checkpoint with
+  (match checkpoint with
   | Some path ->
     Printf.printf "  checkpoint written to %s (re-run to resume/extend)\n" path
-  | None -> ()
+  | None -> ());
+  write_manifest ~kind:"faults"
+    ~id:(Printf.sprintf "faults-%s" net.Dynet.name)
+    ~engine:(match engine with Rumor_sim.Run.Cut -> "cut" | Tick -> "tick")
+    ~n ~reps ~network:net.Dynet.name
+    ~extra:
+      [
+        ("loss", Obs.Json.Float loss);
+        ("finished", Obs.Json.Int finished);
+        ("censored", Obs.Json.Int censored);
+        ("failed", Obs.Json.Int failed);
+        ("domains", Obs.Json.Int domains);
+      ]
+    params wall_s
 
 let faults_cmd =
   let engine =
@@ -581,13 +687,14 @@ let faults_cmd =
           crash/recovery churn, slow clocks, partition windows; replicate \
           failures are isolated, runaways censored, outcomes checkpointed.")
     Term.(
-      const faults_cmd_run $ params_term $ engine $ reps $ horizon $ loss
+      const faults_cmd_run $ obs_term $ params_term $ engine $ reps $ horizon
+      $ loss
       $ crash $ recover $ slow_frac $ slow_rate $ part_from $ part_until
       $ part_frac $ max_events $ checkpoint $ domains)
 
 (* --- experiment --- *)
 
-let experiment id full seed =
+let experiment () id full seed =
   match String.lowercase_ascii id with
   | "all" -> Rumor_experiments.Registry.run_all ~full ~seed ()
   | id -> (
@@ -613,7 +720,123 @@ let experiment_cmd =
   let seed = seed_arg in
   Cmd.v
     (Cmd.info "experiment" ~doc:"Run a registered paper-validation experiment.")
-    Term.(const experiment $ id $ full $ seed)
+    Term.(const experiment $ obs_term $ id $ full $ seed)
+
+(* --- obs --- *)
+
+let obs_dump () =
+  (* The engines register their counters at module initialisation, so
+     the dump shows the full registry shape (values are zero unless a
+     command ran in this process). *)
+  Obs.Metrics.enable ();
+  print_endline
+    (Obs.Json.to_string ~pretty:true
+       (Obs.Json.Obj
+          [
+            ("metrics", Obs.Metrics.snapshot ());
+            ("spans", Obs.Span.snapshot ());
+          ]))
+
+let obs_dump_cmd =
+  Cmd.v
+    (Cmd.info "dump"
+       ~doc:
+         "Print the metric registry (counters, gauges, histograms, spans) as \
+          JSON.")
+    Term.(const obs_dump $ const ())
+
+let obs_compare base_path current_path tolerance =
+  let load path =
+    match Obs.Bench_report.load path with
+    | Ok r -> r
+    | Error msg ->
+      Printf.eprintf "cannot load %s: %s\n" path msg;
+      exit 2
+  in
+  let baseline = load base_path in
+  let current = load current_path in
+  let cmp : Obs.Bench_report.comparison =
+    Obs.Bench_report.compare ~tolerance ~baseline ~current ()
+  in
+  let table =
+    Table.create
+      ~aligns:Table.[ Left; Right; Right; Right; Left ]
+      [ "entry"; "base"; "current"; "ratio"; "status" ]
+  in
+  let fmt_ns ns =
+    if ns >= 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+    else if ns >= 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)
+    else Printf.sprintf "%.0f ns" ns
+  in
+  let add status (d : Obs.Bench_report.delta) =
+    Table.add_row table
+      [
+        d.entry; fmt_ns d.base_ns; fmt_ns d.current_ns;
+        Printf.sprintf "%.3f" d.ratio; status;
+      ]
+  in
+  List.iter (add "REGRESSION") cmp.regressions;
+  List.iter (add "improved") cmp.improvements;
+  List.iter (add "ok") cmp.stable;
+  Table.print
+    ~title:
+      (Printf.sprintf "bench comparison: %s (rev %s) -> %s (rev %s)" base_path
+         baseline.Obs.Bench_report.rev current_path
+         current.Obs.Bench_report.rev)
+    table;
+  List.iter (Printf.printf "only in baseline: %s\n") cmp.only_base;
+  List.iter (Printf.printf "no baseline for: %s\n") cmp.only_current;
+  (match cmp.counter_drift with
+  | [] -> ()
+  | drift ->
+    print_endline
+      "counter drift (informational — same-seed runs are deterministic, so \
+       the code path changed):";
+    List.iter
+      (fun (name, b, c) -> Printf.printf "  %-40s %d -> %d\n" name b c)
+      drift);
+  if Obs.Bench_report.has_regression cmp then begin
+    Printf.printf "RESULT: %d entr%s slower than %.0f%% tolerance\n"
+      (List.length cmp.regressions)
+      (if List.length cmp.regressions = 1 then "y is" else "ies are")
+      (100. *. tolerance);
+    exit 1
+  end
+  else
+    Printf.printf "RESULT: no regression beyond %.0f%% tolerance\n"
+      (100. *. tolerance)
+
+let obs_compare_cmd =
+  let base =
+    Arg.(
+      required & pos 0 (some file) None
+      & info [] ~docv:"BASELINE" ~doc:"Baseline BENCH_*.json report.")
+  in
+  let current =
+    Arg.(
+      required & pos 1 (some file) None
+      & info [] ~docv:"CURRENT" ~doc:"Current BENCH_*.json report.")
+  in
+  let tolerance =
+    Arg.(
+      value & opt float 0.25
+      & info [ "tolerance" ] ~docv:"T"
+          ~doc:"Slowdown fraction that flags a regression (0.25 = 25%).")
+  in
+  Cmd.v
+    (Cmd.info "compare"
+       ~doc:
+         "Compare two bench reports; exit 1 when an entry slowed beyond the \
+          tolerance.")
+    Term.(const obs_compare $ base $ current $ tolerance)
+
+let obs_cmd =
+  Cmd.group
+    (Cmd.info "obs"
+       ~doc:
+         "Observability utilities: dump the metric registry, compare bench \
+          reports.")
+    [ obs_dump_cmd; obs_compare_cmd ]
 
 (* --- main --- *)
 
@@ -635,4 +858,5 @@ let () =
             trace_cmd;
             faults_cmd;
             experiment_cmd;
+            obs_cmd;
           ]))

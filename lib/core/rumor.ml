@@ -10,6 +10,7 @@ module Heap = Rumor_util.Heap
 module Fenwick = Rumor_util.Fenwick
 module Table = Rumor_util.Table
 module Ascii_plot = Rumor_util.Ascii_plot
+module Env = Rumor_util.Env
 
 (* Randomness *)
 module Rng = Rumor_rng.Rng
@@ -67,6 +68,11 @@ module Run = Rumor_sim.Run
 module Bounds = Rumor_bounds.Bounds
 module Giakkoupis = Rumor_bounds.Giakkoupis
 module Static_bounds = Rumor_bounds.Static_bounds
+
+(* Observability: Obs.Metrics, Obs.Span, Obs.Sink, Obs.Run_manifest,
+   Obs.Bench_report, Obs.Json, Obs.Clock.  (Not flattened into this
+   namespace: [Metrics] already names the graph-metrics module.) *)
+module Obs = Rumor_obs
 
 (* Extensions *)
 module Combinators = Rumor_dynamic.Combinators

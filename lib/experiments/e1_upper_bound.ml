@@ -9,6 +9,48 @@
 open Rumor_util
 open Rumor_bounds
 
+(* With an observability sink configured, one traced run per case is
+   exported as per-step JSONL rows (informed-count delta per dynamic
+   step, with the running Phi-rho account), so the Theorem 1.1
+   [sum Phi rho >= C log n] stopping rule can be overlaid on measured
+   trajectories.  The traced runs draw from a *copy* of the
+   experiment's RNG: the printed tables are byte-identical with the
+   sink on or off. *)
+let export_progress rng cases =
+  if Rumor_obs.Sink.active () then begin
+    let trng = Rumor_rng.Rng.copy rng in
+    List.iter
+      (fun (label, n, phi_rho, net) ->
+        let source = Rumor_sim.Run.source_of net None in
+        let result =
+          Rumor_sim.Async_cut.run ~record_trace:true (Rumor_rng.Rng.split trng)
+            net ~source
+        in
+        let deltas =
+          Rumor_sim.Trace.per_step_progress result.Rumor_sim.Async_result.trace
+        in
+        let informed = ref 1 in
+        Array.iteri
+          (fun step delta ->
+            informed := !informed + delta;
+            Rumor_obs.Sink.append_jsonl "E1_progress.jsonl"
+              (Rumor_obs.Json.Obj
+                 [
+                   ("experiment", Rumor_obs.Json.String "E1");
+                   ("network", Rumor_obs.Json.String label);
+                   ("n", Rumor_obs.Json.Int n);
+                   ("step", Rumor_obs.Json.Int step);
+                   ("delta", Rumor_obs.Json.Int delta);
+                   ("informed", Rumor_obs.Json.Int !informed);
+                   ("phi_rho", Rumor_obs.Json.Float phi_rho);
+                   ( "phi_rho_sum",
+                     Rumor_obs.Json.Float (phi_rho *. float_of_int (step + 1))
+                   );
+                 ]))
+          deltas)
+      (List.rev cases)
+  end
+
 let run ~full rng =
   let reps = if full then 100 else 30 in
   let table =
@@ -18,11 +60,13 @@ let run ~full rng =
   in
   let violations = ref 0 in
   let shape_points = ref [] in
-  let add_case label n phi_rho (m : Workloads.measured) =
+  let traced = ref [] in
+  let add_case label n phi_rho net (m : Workloads.measured) =
     let bound = Bounds.theorem_1_1_closed_form ~c:1. ~n ~phi_rho in
     let shape = log (float_of_int n) /. phi_rho in
     let holds = m.summary.Rumor_stats.Summary.q99 <= bound in
     if not holds then incr violations;
+    traced := (label, n, phi_rho, net) :: !traced;
     shape_points := (shape, m.summary.Rumor_stats.Summary.mean) :: !shape_points;
     Table.add_row table
       [
@@ -40,12 +84,12 @@ let run ~full rng =
   List.iter
     (fun (case : Workloads.static_case) ->
       let m = Workloads.measure_async ~reps rng case.net in
-      add_case case.label case.n (case.phi *. case.rho) m)
+      add_case case.label case.n (case.phi *. case.rho) case.net m)
     (Workloads.static_zoo ~full rng);
   (* Dynamic families with analytic parameters. *)
   let n_dyn = if full then 512 else 128 in
   let g2 = Rumor_dynamic.Dichotomy.g2 ~n:n_dyn in
-  add_case "G2 (dynamic star)" (n_dyn + 1) 1.0
+  add_case "G2 (dynamic star)" (n_dyn + 1) 1.0 g2
     (Workloads.measure_async ~reps rng g2);
   let rho = 0.25 in
   let dil = Rumor_dynamic.Diligent.network ~n:(4 * n_dyn) ~rho () in
@@ -54,7 +98,9 @@ let run ~full rng =
   add_case
     (Printf.sprintf "G(n,rho=%.2f) (Thm 1.2 family)" rho)
     (4 * n_dyn) (p.Bounds.phi *. p.Bounds.rho)
+    dil
     (Workloads.measure_async ~reps:(max 10 (reps / 3)) rng dil);
+  export_progress rng !traced;
   let out = Experiment.output_empty in
   let out = Experiment.add_table out "measured asynchronous spread vs Theorem 1.1 bound" table in
   let fit =

@@ -1,4 +1,5 @@
 open Rumor_util
+module Obs = Rumor_obs
 
 type output = {
   tables : (string * Table.t) list;
@@ -22,12 +23,66 @@ let add_note out note = { out with notes = out.notes @ [ note ] }
 
 let add_plot out plot = { out with plots = out.plots @ [ plot ] }
 
+(* Structured mirror of the printed output: one JSONL row per table
+   row (cells keyed by header) and per note, plus a run manifest with
+   the metric registry — written only when a sink directory is
+   configured, so the printed output is untouched either way. *)
+let emit_structured exp ~full ~seed ~wall_s out =
+  if Obs.Sink.active () then begin
+    let file = exp.id ^ ".jsonl" in
+    List.iteri
+      (fun table_index (caption, table) ->
+        let headers = Table.headers table in
+        List.iteri
+          (fun row_index row ->
+            Obs.Sink.append_jsonl file
+              (Obs.Json.Obj
+                 [
+                   ("experiment", Obs.Json.String exp.id);
+                   ("table", Obs.Json.String caption);
+                   ("table_index", Obs.Json.Int table_index);
+                   ("row_index", Obs.Json.Int row_index);
+                   ( "cells",
+                     Obs.Json.Obj
+                       (List.map2
+                          (fun h c -> (h, Obs.Json.String c))
+                          headers row) );
+                 ]))
+          (Table.rows table))
+      out.tables;
+    List.iteri
+      (fun i note ->
+        Obs.Sink.append_jsonl file
+          (Obs.Json.Obj
+             [
+               ("experiment", Obs.Json.String exp.id);
+               ("note_index", Obs.Json.Int i);
+               ("note", Obs.Json.String note);
+             ]))
+      out.notes;
+    Obs.Run_manifest.write
+      (Obs.Run_manifest.make ~kind:"experiment" ~id:exp.id ~seed
+         ~mode:(if full then "full" else "quick")
+         ~extra:
+           [
+             ("title", Obs.Json.String exp.title);
+             ("claim", Obs.Json.String exp.claim);
+             ("tables", Obs.Json.Int (List.length out.tables));
+             ("notes", Obs.Json.Int (List.length out.notes));
+           ]
+         ~wall_s ())
+  end
+
 let print ?(full = false) ?(seed = 2020) exp =
   Printf.printf "=== %s: %s ===\n" exp.id exp.title;
   Printf.printf "claim: %s\n\n" exp.claim;
   let rng = Rumor_rng.Rng.create seed in
-  let out = exp.run ~full rng in
+  let span = Obs.Span.create ("experiment." ^ exp.id) in
+  let t0 = Obs.Clock.now_s () in
+  let out = Obs.Span.time span (fun () -> exp.run ~full rng) in
+  let wall_s = Obs.Clock.now_s () -. t0 in
   List.iter (fun (caption, table) -> Table.print ~title:caption table) out.tables;
   List.iter (fun plot -> print_string plot) out.plots;
   List.iter (fun note -> Printf.printf "-> %s\n" note) out.notes;
-  print_newline ()
+  print_newline ();
+  emit_structured exp ~full ~seed ~wall_s out

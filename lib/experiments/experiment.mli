@@ -21,7 +21,15 @@ type t = {
 
 val print : ?full:bool -> ?seed:int -> t -> unit
 (** Run and pretty-print one experiment (default quick mode,
-    seed 2020). *)
+    seed 2020).
+
+    When an observability sink is configured
+    ({!Rumor_obs.Sink.set_dir}, via the CLI's [--obs-out] or
+    [RUMOR_OBS_OUT]), the printed output is additionally mirrored as
+    structured artifacts: every table row and note becomes a JSONL
+    record in [<id>.jsonl], and a [<id>.manifest.json] records seed,
+    mode, wall time and the metric-registry snapshot.  Stdout is
+    byte-identical with the sink on or off. *)
 
 val output_empty : output
 

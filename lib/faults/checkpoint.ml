@@ -3,6 +3,15 @@ type outcome =
   | Censored of float
   | Failed of string
 
+(* Telemetry (lib/obs): checkpoint I/O is rare but precious — a resume
+   that silently reloads nothing is exactly the regression these
+   counters surface. *)
+module Obs = Rumor_obs.Metrics
+
+let m_saves = Obs.counter "checkpoint.saves"
+let m_loads = Obs.counter "checkpoint.loads"
+let m_cached = Obs.counter "checkpoint.cached_outcomes"
+
 let magic = "rumor-checkpoint v1"
 
 let fingerprint rng = Rumor_rng.Rng.bits64 (Rumor_rng.Rng.copy rng)
@@ -30,7 +39,8 @@ let save path ~seeds ~outcomes =
   Fun.protect
     ~finally:(fun () -> close_out_noerr oc)
     (fun () -> output_string oc (Buffer.contents buf));
-  Sys.rename tmp path
+  Sys.rename tmp path;
+  Obs.incr m_saves
 
 let parse_line line =
   match String.index_opt line ' ' with
@@ -75,4 +85,6 @@ let load path =
           done
         with End_of_file -> ())
   end;
+  Obs.incr m_loads;
+  Obs.add m_cached (Hashtbl.length table);
   table

@@ -1,0 +1,205 @@
+let schema = "rumor-bench/1"
+
+type entry = {
+  name : string;
+  ns_per_run : float;
+}
+
+type t = {
+  rev : string;
+  seed : int;
+  mode : string;
+  entries : entry list;
+  counters : (string * int) list;
+  spans : (string * (int * float)) list;
+}
+
+let make ~rev ~seed ~mode ~entries ?(counters = []) ?(spans = []) () =
+  {
+    rev;
+    seed;
+    mode;
+    entries =
+      List.sort compare (List.map (fun (name, ns) -> { name; ns_per_run = ns }) entries);
+    counters = List.sort compare counters;
+    spans = List.sort compare spans;
+  }
+
+let to_json t =
+  Json.Obj
+    [
+      ("schema", Json.String schema);
+      ("rev", Json.String t.rev);
+      ("seed", Json.Int t.seed);
+      ("mode", Json.String t.mode);
+      ( "entries",
+        Json.List
+          (List.map
+             (fun e ->
+               Json.Obj
+                 [
+                   ("name", Json.String e.name);
+                   ("ns_per_run", Json.Float e.ns_per_run);
+                 ])
+             t.entries) );
+      ( "counters",
+        Json.Obj (List.map (fun (name, v) -> (name, Json.Int v)) t.counters) );
+      ( "spans",
+        Json.Obj
+          (List.map
+             (fun (name, (count, total_s)) ->
+               ( name,
+                 Json.Obj
+                   [
+                     ("count", Json.Int count); ("total_s", Json.Float total_s);
+                   ] ))
+             t.spans) );
+    ]
+
+let ( let* ) = Result.bind
+
+let field name extract json =
+  match Option.bind (Json.member name json) extract with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "bench report: missing or bad field %S" name)
+
+let of_json json =
+  let* sch = field "schema" Json.to_string_opt json in
+  if sch <> schema then
+    Error (Printf.sprintf "bench report: schema %S, expected %S" sch schema)
+  else
+    let* rev = field "rev" Json.to_string_opt json in
+    let* seed = field "seed" Json.to_int_opt json in
+    let* mode = field "mode" Json.to_string_opt json in
+    let* raw_entries = field "entries" Json.to_list_opt json in
+    let* entries =
+      List.fold_left
+        (fun acc e ->
+          let* acc = acc in
+          let* name = field "name" Json.to_string_opt e in
+          let* ns = field "ns_per_run" Json.to_float_opt e in
+          Ok ({ name; ns_per_run = ns } :: acc))
+        (Ok []) raw_entries
+    in
+    let counters =
+      match Option.bind (Json.member "counters" json) Json.obj_opt with
+      | None -> []
+      | Some fields ->
+        List.filter_map
+          (fun (name, v) ->
+            Option.map (fun i -> (name, i)) (Json.to_int_opt v))
+          fields
+    in
+    let spans =
+      match Option.bind (Json.member "spans" json) Json.obj_opt with
+      | None -> []
+      | Some fields ->
+        List.filter_map
+          (fun (name, v) ->
+            match
+              ( Option.bind (Json.member "count" v) Json.to_int_opt,
+                Option.bind (Json.member "total_s" v) Json.to_float_opt )
+            with
+            | Some c, Some s -> Some ((name, (c, s)))
+            | _ -> None)
+          fields
+    in
+    Ok
+      {
+        rev;
+        seed;
+        mode;
+        entries = List.sort compare (List.rev entries);
+        counters = List.sort compare counters;
+        spans = List.sort compare spans;
+      }
+
+let write path t =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc (Json.to_string ~pretty:true (to_json t));
+      output_char oc '\n');
+  Sys.rename tmp path
+
+let load path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | exception Sys_error msg -> Error msg
+  | contents ->
+    let* json = Json.parse contents in
+    of_json json
+
+(* --- regression comparison --- *)
+
+type delta = {
+  entry : string;
+  base_ns : float;
+  current_ns : float;
+  ratio : float;
+}
+
+type comparison = {
+  tolerance : float;
+  regressions : delta list;
+  improvements : delta list;
+  stable : delta list;
+  only_base : string list;
+  only_current : string list;
+  counter_drift : (string * int * int) list;
+}
+
+let compare ?(tolerance = 0.25) ~baseline ~current () =
+  if tolerance < 0. then invalid_arg "Bench_report.compare: negative tolerance";
+  let base_tbl = Hashtbl.create 32 in
+  List.iter (fun e -> Hashtbl.replace base_tbl e.name e.ns_per_run) baseline.entries;
+  let regressions = ref [] and improvements = ref [] and stable = ref [] in
+  let only_current = ref [] in
+  List.iter
+    (fun e ->
+      match Hashtbl.find_opt base_tbl e.name with
+      | None -> only_current := e.name :: !only_current
+      | Some base_ns ->
+        Hashtbl.remove base_tbl e.name;
+        let ratio =
+          if base_ns > 0. then e.ns_per_run /. base_ns
+          else if e.ns_per_run > 0. then Float.infinity
+          else 1.
+        in
+        let d = { entry = e.name; base_ns; current_ns = e.ns_per_run; ratio } in
+        if Float.is_nan ratio then stable := d :: !stable
+        else if ratio > 1. +. tolerance then regressions := d :: !regressions
+        else if ratio < 1. /. (1. +. tolerance) then
+          improvements := d :: !improvements
+        else stable := d :: !stable)
+    current.entries;
+  let only_base =
+    List.sort Stdlib.compare (Hashtbl.fold (fun name _ acc -> name :: acc) base_tbl [])
+  in
+  let cur_counters = Hashtbl.create 32 in
+  List.iter (fun (name, v) -> Hashtbl.replace cur_counters name v) current.counters;
+  let counter_drift =
+    List.filter_map
+      (fun (name, base_v) ->
+        match Hashtbl.find_opt cur_counters name with
+        | Some cur_v when cur_v <> base_v -> Some (name, base_v, cur_v)
+        | _ -> None)
+      baseline.counters
+  in
+  {
+    tolerance;
+    regressions = List.rev !regressions;
+    improvements = List.rev !improvements;
+    stable = List.rev !stable;
+    only_base;
+    only_current = List.sort Stdlib.compare !only_current;
+    counter_drift;
+  }
+
+let has_regression c = c.regressions <> []

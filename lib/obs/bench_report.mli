@@ -1,0 +1,85 @@
+(** Versioned, machine-readable benchmark reports — the perf
+    trajectory substrate.
+
+    [bench/main.exe] turns its Bechamel estimates and the engine
+    counters into one of these ([BENCH_<rev>.json]); {!compare} diffs
+    two reports and flags entries that slowed beyond a tolerance, so a
+    regression is one exit code, not a table eyeballing exercise
+    ([rumor obs compare A.json B.json] in the CLI, and the CI bench-
+    smoke job against the committed baseline).
+
+    Schema (["rumor-bench/1"]):
+    {v
+    { "schema": "rumor-bench/1",
+      "rev": "dev",
+      "seed": 2020,
+      "mode": "micro",
+      "entries": [ { "name": "rumor/async-cut/clique-256",
+                     "ns_per_run": 123456.0 }, ... ],
+      "counters": { "async_cut.events": 12345, ... },
+      "spans": { "experiment.E1": { "count": 1, "total_s": 0.42 }, ... } }
+    v} *)
+
+val schema : string
+
+type entry = {
+  name : string;
+  ns_per_run : float;
+}
+
+type t = {
+  rev : string;  (** source revision or label the report was taken at *)
+  seed : int;
+  mode : string;
+  entries : entry list;  (** name-sorted micro-bench timings *)
+  counters : (string * int) list;  (** name-sorted metric counters *)
+  spans : (string * (int * float)) list;  (** name -> (count, total s) *)
+}
+
+val make :
+  rev:string ->
+  seed:int ->
+  mode:string ->
+  entries:(string * float) list ->
+  ?counters:(string * int) list ->
+  ?spans:(string * (int * float)) list ->
+  unit ->
+  t
+
+val to_json : t -> Json.t
+
+val of_json : Json.t -> (t, string) result
+(** Rejects unknown schemas. *)
+
+val write : string -> t -> unit
+(** Atomic write (tmp + rename) of the pretty-printed report. *)
+
+val load : string -> (t, string) result
+
+(** {1 Comparison} *)
+
+type delta = {
+  entry : string;
+  base_ns : float;
+  current_ns : float;
+  ratio : float;  (** current / base; > 1 is slower *)
+}
+
+type comparison = {
+  tolerance : float;
+  regressions : delta list;  (** ratio > 1 + tolerance *)
+  improvements : delta list;  (** ratio < 1 / (1 + tolerance) *)
+  stable : delta list;
+  only_base : string list;  (** entries that disappeared *)
+  only_current : string list;  (** entries with no baseline *)
+  counter_drift : (string * int * int) list;
+      (** counters whose value changed: (name, base, current) —
+          informational (same-seed runs are deterministic, so drift
+          means the code path itself changed) *)
+}
+
+val compare : ?tolerance:float -> baseline:t -> current:t -> unit -> comparison
+(** Default [tolerance] 0.25 (25% slower flags a regression).
+    @raise Invalid_argument on a negative tolerance. *)
+
+val has_regression : comparison -> bool

@@ -1,0 +1,7 @@
+(** Monotonic clock (CLOCK_MONOTONIC via a tiny C stub; wall-clock
+    fallback where unavailable).  Origin is arbitrary — only
+    differences are meaningful. *)
+
+val now_ns : unit -> int64
+
+val now_s : unit -> float

@@ -1,0 +1,48 @@
+(** Minimal JSON codec for the observability layer.
+
+    Deliberately dependency-free: the subsystem must be loadable from
+    every layer of the library (engines included) without dragging in
+    an external JSON package.  Only what the sinks and the bench
+    report need: render (compact for JSONL, pretty for manifests) and
+    a strict parser for reading reports back.
+
+    Non-finite floats have no JSON spelling; this codec renders NaN as
+    [null] and the infinities as the overflowing literals [1e999] /
+    [-1e999], which {!parse} (like every IEEE [strtod]) reads back as
+    the infinities. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : ?pretty:bool -> t -> string
+(** Compact one-line rendering by default — one call per JSONL row.
+    [~pretty:true] indents by two spaces for human-facing files. *)
+
+exception Error of string
+
+val parse : string -> (t, string) result
+(** Strict parse of a complete JSON document. *)
+
+val parse_exn : string -> t
+(** @raise Error on malformed input. *)
+
+(** {1 Accessors} (shape-checked extraction, [None] on mismatch) *)
+
+val member : string -> t -> t option
+
+val to_int_opt : t -> int option
+(** Also accepts integral floats (JSON does not distinguish). *)
+
+val to_float_opt : t -> float option
+
+val to_string_opt : t -> string option
+
+val to_list_opt : t -> t list option
+
+val obj_opt : t -> (string * t) list option

@@ -1,0 +1,40 @@
+/* Monotonic clock for the observability layer's timing spans.
+   CLOCK_MONOTONIC is immune to wall-clock adjustments, so span
+   durations stay meaningful across NTP slews; the fallback covers
+   platforms without it. */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+
+#if defined(_WIN32)
+#include <windows.h>
+
+CAMLprim value rumor_obs_monotonic_ns(value unit)
+{
+    static LARGE_INTEGER freq;
+    LARGE_INTEGER now;
+    if (freq.QuadPart == 0)
+        QueryPerformanceFrequency(&freq);
+    QueryPerformanceCounter(&now);
+    return caml_copy_int64(
+        (int64_t)((double)now.QuadPart * 1e9 / (double)freq.QuadPart));
+}
+
+#else
+#include <time.h>
+#include <sys/time.h>
+
+CAMLprim value rumor_obs_monotonic_ns(value unit)
+{
+#if defined(CLOCK_MONOTONIC)
+    struct timespec ts;
+    clock_gettime(CLOCK_MONOTONIC, &ts);
+    return caml_copy_int64((int64_t)ts.tv_sec * 1000000000 + ts.tv_nsec);
+#else
+    struct timeval tv;
+    gettimeofday(&tv, NULL);
+    return caml_copy_int64((int64_t)tv.tv_sec * 1000000000
+                           + (int64_t)tv.tv_usec * 1000);
+#endif
+}
+#endif

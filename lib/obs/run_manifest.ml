@@ -1,0 +1,48 @@
+let schema = "rumor-manifest/1"
+
+type t = {
+  kind : string;
+  id : string;
+  seed : int option;
+  rng_fingerprint : int64 option;
+  engine : string option;
+  network : string option;
+  n : int option;
+  mode : string option;
+  reps : int option;
+  wall_s : float;
+  extra : (string * Json.t) list;
+}
+
+let make ~kind ~id ?seed ?rng_fingerprint ?engine ?network ?n ?mode ?reps
+    ?(extra = []) ~wall_s () =
+  { kind; id; seed; rng_fingerprint; engine; network; n; mode; reps; wall_s; extra }
+
+let opt name f = function None -> [] | Some v -> [ (name, f v) ]
+
+let to_json ?metrics ?spans t =
+  Json.Obj
+    ([ ("schema", Json.String schema);
+       ("kind", Json.String t.kind);
+       ("id", Json.String t.id);
+     ]
+    @ opt "seed" (fun s -> Json.Int s) t.seed
+    @ opt "rng_fingerprint"
+        (fun f -> Json.String (Printf.sprintf "%016Lx" f))
+        t.rng_fingerprint
+    @ opt "engine" (fun e -> Json.String e) t.engine
+    @ opt "network" (fun s -> Json.String s) t.network
+    @ opt "n" (fun n -> Json.Int n) t.n
+    @ opt "mode" (fun m -> Json.String m) t.mode
+    @ opt "reps" (fun r -> Json.Int r) t.reps
+    @ [ ("wall_s", Json.Float t.wall_s) ]
+    @ t.extra
+    @ opt "metrics" Fun.id metrics
+    @ opt "spans" Fun.id spans)
+
+let write ?(with_registry = true) t =
+  if Sink.active () then begin
+    let metrics = if with_registry then Some (Metrics.snapshot ()) else None in
+    let spans = if with_registry then Some (Span.snapshot ()) else None in
+    Sink.write_json (t.id ^ ".manifest.json") (to_json ?metrics ?spans t)
+  end

@@ -3,6 +3,21 @@ open Rumor_rng
 open Rumor_graph
 open Rumor_dynamic
 open Rumor_faults
+module Obs = Rumor_obs.Metrics
+
+(* Telemetry (lib/obs): per-run tallies live in plain engine fields on
+   the hot path and are flushed into the process-wide registry once
+   per [run] — a disabled registry costs one atomic-bool load per
+   run. *)
+let m_runs = Obs.counter "async_cut.runs"
+let m_completed = Obs.counter "async_cut.completed"
+let m_censored = Obs.counter "async_cut.censored"
+let m_events = Obs.counter "async_cut.events"
+let m_lost = Obs.counter "async_cut.lost"
+let m_wasted_draws = Obs.counter "async_cut.wasted_draws"
+let m_steps = Obs.counter "async_cut.steps"
+let m_rebuilds = Obs.counter "async_cut.weight_rebuilds"
+let m_fenwick_ops = Obs.counter "async_cut.fenwick_ops"
 
 (* Cut rate carried by an uninformed node v, per protocol:
    push-pull:  sum over informed neighbours u of (r_u/d_u + r_v/d_v)
@@ -40,11 +55,17 @@ type engine = {
   mutable tau : float;
   mutable step : int;
   mutable lost : int;
+  (* telemetry tallies, flushed to Rumor_obs.Metrics by [run] *)
+  mutable rebuilds : int;
+  mutable fenwick_ops : int;
+  mutable wasted_draws : int;
 }
 
 let rebuild_weights e =
   let graph = e.graph and informed = e.informed in
   let n = Graph.n graph in
+  e.rebuilds <- e.rebuilds + 1;
+  e.fenwick_ops <- e.fenwick_ops + n;
   for v = 0 to n - 1 do
     e.scratch.(v) <- 0.
   done;
@@ -73,17 +94,20 @@ let inform_node e v =
   ignore (Bitset.add e.informed v);
   e.times.(v) <- e.tau;
   Fenwick.set e.fenwick v 0.;
+  e.fenwick_ops <- e.fenwick_ops + 1;
   let graph = e.graph in
   let dv = float_of_int (Graph.degree graph v) in
   let rv = Fault_plan.rate e.faults v in
   Array.iter
     (fun x ->
-      if (not (Bitset.mem e.informed x)) && Fault_plan.allows e.faults v x then
+      if (not (Bitset.mem e.informed x)) && Fault_plan.allows e.faults v x then begin
+        e.fenwick_ops <- e.fenwick_ops + 1;
         Fenwick.add e.fenwick x
           (e.rate
           *. pair_rate e.protocol ~du:dv ~ru:rv
                ~dv:(float_of_int (Graph.degree graph x))
-               ~rv:(Fault_plan.rate e.faults x)))
+               ~rv:(Fault_plan.rate e.faults x))
+      end)
     (Graph.neighbors graph v)
 
 let create ?(protocol = Protocol.Push_pull) ?(rate = 1.0)
@@ -114,6 +138,9 @@ let create ?(protocol = Protocol.Push_pull) ?(rate = 1.0)
       tau = 0.;
       step = 0;
       lost = 0;
+      rebuilds = 0;
+      fenwick_ops = 0;
+      wasted_draws = 0;
     }
   in
   rebuild_weights e;
@@ -155,7 +182,10 @@ let rec next_event e =
         (* Float cancellation can leave a stale zero-weight slot at a
            sampling boundary; such a draw has probability ~0 and is
            retried. *)
-        if Bitset.mem e.informed v then next_event e
+        if Bitset.mem e.informed v then begin
+          e.wasted_draws <- e.wasted_draws + 1;
+          next_event e
+        end
         else if not (Fault_plan.deliver e.faults e.rng) then begin
           (* The contact happened but its message was lost: time has
              advanced, no state changed — the rejection half of the
@@ -202,6 +232,16 @@ let run ?protocol ?rate ?faults ?(horizon = 1e7) ?max_events
        and step boundaries) and degrade to a censored result. *)
     if (not !finished) && !work + e.lost >= budget then out_of_time := true
   done;
+  if Obs.enabled () then begin
+    Obs.incr m_runs;
+    Obs.incr (if !finished then m_completed else m_censored);
+    Obs.add m_events !events;
+    Obs.add m_lost e.lost;
+    Obs.add m_wasted_draws e.wasted_draws;
+    Obs.add m_steps (e.step + 1);
+    Obs.add m_rebuilds e.rebuilds;
+    Obs.add m_fenwick_ops e.fenwick_ops
+  end;
   {
     Async_result.time = e.tau;
     complete = !finished;

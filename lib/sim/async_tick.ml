@@ -3,6 +3,17 @@ open Rumor_rng
 open Rumor_graph
 open Rumor_dynamic
 open Rumor_faults
+module Obs = Rumor_obs.Metrics
+
+(* Telemetry (lib/obs): the literal engine already keeps its tallies
+   in local refs; they are flushed into the registry once per run. *)
+let m_runs = Obs.counter "async_tick.runs"
+let m_completed = Obs.counter "async_tick.completed"
+let m_censored = Obs.counter "async_tick.censored"
+let m_ticks = Obs.counter "async_tick.ticks"
+let m_informs = Obs.counter "async_tick.informs"
+let m_lost = Obs.counter "async_tick.lost"
+let m_steps = Obs.counter "async_tick.steps"
 
 let run ?(protocol = Protocol.Push_pull) ?(rate = 1.0)
     ?(faults = Fault_plan.none) ?(horizon = 1e5) ?max_events
@@ -104,6 +115,14 @@ let run ?(protocol = Protocol.Push_pull) ?(rate = 1.0)
       end
     end
   done;
+  if Obs.enabled () then begin
+    Obs.incr m_runs;
+    Obs.incr (if !finished then m_completed else m_censored);
+    Obs.add m_ticks !ticks;
+    Obs.add m_informs (Bitset.cardinal informed - 1);
+    Obs.add m_lost !lost;
+    Obs.add m_steps (!step + 1)
+  end;
   {
     (* Horizon stops land on the step boundary (tau <= step); budget
        stops land mid-step (tau >= step) — either way report the

@@ -1,4 +1,9 @@
 open Rumor_dynamic
+module Obs = Rumor_obs.Metrics
+
+(* Telemetry (lib/obs). *)
+let m_calls = Obs.counter "estimate.calls"
+let m_censored_quantiles = Obs.counter "estimate.censored_quantiles"
 
 type t = {
   point : float;
@@ -36,7 +41,9 @@ let spread_time ?(reps = 200) ?q ?horizon ?engine ?protocol ?rate ?faults
   let samples = mc.Run.times in
   let completed = mc.Run.completed in
   let censored = mc.Run.reps - completed in
-  if quantile_censored ~reps:mc.Run.reps ~censored q then
+  Obs.incr m_calls;
+  if quantile_censored ~reps:mc.Run.reps ~censored q then begin
+    Obs.incr m_censored_quantiles;
     (* The requested quantile falls inside the censored mass: the
        finite sample quantile is a lower confidence bound, the point
        estimate and upper bound are unknown (infinite). *)
@@ -50,6 +57,7 @@ let spread_time ?(reps = 200) ?q ?horizon ?engine ?protocol ?rate ?faults
       censored;
       reps = mc.Run.reps;
     }
+  end
   else begin
     let point = Rumor_stats.Quantile.quantile samples q in
     let ci_low, ci_high =

@@ -1,6 +1,20 @@
 open Rumor_rng
 open Rumor_dynamic
 open Rumor_faults
+module Obs = Rumor_obs.Metrics
+
+(* Telemetry (lib/obs): replicate accounting for the Monte-Carlo
+   runners and a spread-time histogram over completed replicates.
+   Worker domains record through atomic cells, so the parallel runners
+   need no extra synchronisation. *)
+let m_replicates = Obs.counter "run.replicates"
+let m_sweep_replicates = Obs.counter "run.sweep.replicates"
+let m_sweep_finished = Obs.counter "run.sweep.finished"
+let m_sweep_censored = Obs.counter "run.sweep.censored"
+let m_sweep_failed = Obs.counter "run.sweep.failed"
+let m_checkpoint_hits = Obs.counter "run.sweep.checkpoint_hits"
+let m_checkpoint_writes = Obs.counter "run.sweep.checkpoint_writes"
+let h_spread_time = Obs.histogram "run.spread_time"
 
 type engine = Cut | Tick
 
@@ -33,8 +47,12 @@ let monte_carlo ~reps rng one =
     let child = Rng.split rng in
     let time, ok = one child in
     times.(r) <- time;
-    if ok then incr completed
+    if ok then begin
+      incr completed;
+      Obs.observe h_spread_time time
+    end
   done;
+  Obs.add m_replicates reps;
   { times; completed = !completed; reps }
 
 let async_spread_times ?(reps = 30) ?horizon ?(engine = Cut) ?protocol ?rate
@@ -68,7 +86,9 @@ let async_spread_times_parallel ?(domains = 4) ?(reps = 30) ?horizon
         Async_tick.run ?protocol ?rate ?faults ?horizon children.(r) net ~source
     in
     times.(r) <- result.Async_result.time;
-    ok.(r) <- result.Async_result.complete
+    ok.(r) <- result.Async_result.complete;
+    if result.Async_result.complete then
+      Obs.observe h_spread_time result.Async_result.time
   in
   let domains = min domains reps in
   if domains <= 1 then
@@ -132,13 +152,17 @@ let async_spread_sweep ?(domains = 1) ?(reps = 30) ?horizon ?(engine = Cut)
     Array.iteri
       (fun i seed ->
         match Hashtbl.find_opt cached seed with
-        | Some o -> outcomes.(i) <- Some o
+        | Some o ->
+          outcomes.(i) <- Some o;
+          Obs.incr m_checkpoint_hits
         | None -> ())
       seeds
   | None -> ());
   let save () =
     match checkpoint with
-    | Some path -> Checkpoint.save path ~seeds ~outcomes
+    | Some path ->
+      Checkpoint.save path ~seeds ~outcomes;
+      Obs.incr m_checkpoint_writes
     | None -> ()
   in
   (* Exception isolation: a raising replicate becomes a [Failed]
@@ -161,6 +185,13 @@ let async_spread_sweep ?(domains = 1) ?(reps = 30) ?horizon ?(engine = Cut)
           else Censored result.Async_result.time
         | exception e -> Failed (Printexc.to_string e)
       in
+      Obs.incr m_sweep_replicates;
+      (match o with
+      | Finished t ->
+        Obs.incr m_sweep_finished;
+        Obs.observe h_spread_time t
+      | Censored _ -> Obs.incr m_sweep_censored
+      | Failed _ -> Obs.incr m_sweep_failed);
       outcomes.(r) <- Some o
     end
   in

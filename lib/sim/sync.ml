@@ -3,6 +3,15 @@ open Rumor_rng
 open Rumor_graph
 open Rumor_dynamic
 open Rumor_faults
+module Obs = Rumor_obs.Metrics
+
+(* Telemetry (lib/obs), flushed once per run. *)
+let m_runs = Obs.counter "sync.runs"
+let m_completed = Obs.counter "sync.completed"
+let m_censored = Obs.counter "sync.censored"
+let m_rounds = Obs.counter "sync.rounds"
+let m_contacts = Obs.counter "sync.contacts"
+let m_informs = Obs.counter "sync.informs"
 
 type result = {
   rounds : int;
@@ -24,6 +33,7 @@ let run ?(protocol = Protocol.Push_pull) ?(max_rounds = 1_000_000)
   ignore (Bitset.add informed source);
   let trace = ref [ Bitset.cardinal informed ] in
   let rounds = ref 0 in
+  let contacts = ref 0 in
   let complete = ref (Bitset.is_full informed) in
   while (not !complete) && !rounds < max_rounds do
     let graph = (Dynet.next instance ~informed).Dynet.graph in
@@ -37,6 +47,7 @@ let run ?(protocol = Protocol.Push_pull) ?(max_rounds = 1_000_000)
         let deg = Graph.degree graph u in
         if deg > 0 then begin
           let v = Graph.neighbor graph u (Rng.int rng deg) in
+          incr contacts;
           if Fault_plan.allows fstate u v then begin
             let u_informed = Bitset.mem snapshot u
             and v_informed = Bitset.mem snapshot v in
@@ -56,6 +67,13 @@ let run ?(protocol = Protocol.Push_pull) ?(max_rounds = 1_000_000)
     trace := Bitset.cardinal informed :: !trace;
     if Bitset.is_full informed then complete := true
   done;
+  if Obs.enabled () then begin
+    Obs.incr m_runs;
+    Obs.incr (if !complete then m_completed else m_censored);
+    Obs.add m_rounds !rounds;
+    Obs.add m_contacts !contacts;
+    Obs.add m_informs (Bitset.cardinal informed - 1)
+  end;
   {
     rounds = !rounds;
     complete = !complete;

@@ -19,6 +19,26 @@ let time_to_count tr target =
     tr;
   !found
 
+(* Informed-count deltas bucketed by dynamic step: entry [s] is the
+   number of nodes informed during [[s, s+1)).  The initial trajectory
+   point (the source) is a baseline, not progress.  An event landing
+   exactly on an integer boundary time [t = s] belongs to step [s] —
+   consistent with the engines, which expose graph G(s) from time [s]
+   onwards. *)
+let per_step_progress tr =
+  if Array.length tr = 0 then [||]
+  else begin
+    let last_time, _ = tr.(Array.length tr - 1) in
+    let steps = int_of_float (Float.floor last_time) + 1 in
+    let deltas = Array.make steps 0 in
+    for i = 1 to Array.length tr - 1 do
+      let t1, c1 = tr.(i) and _, c0 = tr.(i - 1) in
+      let s = min (steps - 1) (int_of_float (Float.floor t1)) in
+      deltas.(s) <- deltas.(s) + (c1 - c0)
+    done;
+    deltas
+  end
+
 let time_to_fraction tr ~n frac =
   if frac <= 0. || frac > 1. then
     invalid_arg "Trace.time_to_fraction: frac outside (0, 1]";

@@ -20,6 +20,16 @@ val time_to_count : t -> int -> float option
 (** First time at which the informed count reaches the given value
     ([None] if the run ended earlier). *)
 
+val per_step_progress : t -> int array
+(** Informed-count deltas bucketed by dynamic step: entry [s] is how
+    many nodes were informed during [[s, s+1)).  Length is the number
+    of steps the trajectory spans; the initial point contributes
+    nothing (the source is a baseline, not progress).  Summing a
+    prefix and overlaying the per-step [Phi rho] accounting of
+    Theorem 1.1 reproduces the paper's [sum Phi rho >= C log n]
+    stopping rule on measured data (exported through the E1 JSONL
+    rows when an observability sink is configured). *)
+
 val time_to_fraction : t -> n:int -> float -> float option
 (** [time_to_fraction tr ~n frac] is the first time the informed count
     reaches [ceil(frac * n)].

@@ -1,0 +1,35 @@
+let string name =
+  match Sys.getenv_opt name with Some "" | None -> None | some -> some
+
+let warn name value expected =
+  Printf.eprintf "warning: ignoring invalid %s=%S (expected %s)\n%!" name value
+    expected
+
+let flag ?(default = false) name =
+  match Sys.getenv_opt name with
+  | None | Some "" -> default
+  | Some ("1" | "true" | "yes" | "on") -> true
+  | Some ("0" | "false" | "no" | "off") -> false
+  | Some other ->
+    warn name other "a boolean: 1/0, true/false, yes/no, on/off";
+    default
+
+let int ~default name =
+  match Sys.getenv_opt name with
+  | None | Some "" -> default
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some v -> v
+    | None ->
+      warn name s (Printf.sprintf "an integer; using %d" default);
+      default)
+
+let float ~default name =
+  match Sys.getenv_opt name with
+  | None | Some "" -> default
+  | Some s -> (
+    match float_of_string_opt (String.trim s) with
+    | Some v -> v
+    | None ->
+      warn name s (Printf.sprintf "a number; using %g" default);
+      default)

@@ -1,0 +1,19 @@
+(** Environment-variable parsing shared by the bench harness and the
+    CLI.
+
+    Unset (or empty) variables fall back silently; {e set but
+    malformed} values are never swallowed — each prints one warning to
+    stderr naming the variable, the rejected value and the fallback,
+    then uses the default.  (A typo'd [RUMOR_BENCH_SEED=202O] used to
+    silently benchmark seed 2020.) *)
+
+val string : string -> string option
+(** [None] when unset or empty. *)
+
+val flag : ?default:bool -> string -> bool
+(** Accepts [1/0], [true/false], [yes/no], [on/off]; warns and returns
+    [default] (default [false]) on anything else. *)
+
+val int : default:int -> string -> int
+
+val float : default:float -> string -> float

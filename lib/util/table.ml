@@ -26,6 +26,10 @@ let add_row t row =
 
 let add_rows t rows = List.iter (add_row t) rows
 
+let headers t = t.headers
+
+let rows t = List.rev t.rows
+
 let pad align width s =
   let n = String.length s in
   if n >= width then s

@@ -19,6 +19,12 @@ val add_row : t -> string list -> unit
 
 val add_rows : t -> string list list -> unit
 
+val headers : t -> string list
+
+val rows : t -> string list list
+(** Rows in insertion order — the observability sinks re-emit them as
+    structured (JSONL) records next to the printed table. *)
+
 val render : t -> string
 (** Multi-line rendering with a header separator, ready to print. *)
 
