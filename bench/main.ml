@@ -143,6 +143,54 @@ let run_benchmarks () =
     rows;
   rows
 
+(* --- Parallel-sweep speedup smoke --- *)
+
+(* Times the hardened sweep (the E1 clique-256 workload) at jobs=1 and
+   jobs=4, asserts the two samples are bit-identical (the split-seed
+   guarantee), prints the speedup, and contributes both wall-times as
+   report entries.  RUMOR_BENCH_PAR_REPS sizes the sweep (default 64);
+   RUMOR_BENCH_PAR_MIN_SPEEDUP=2.5 turns the printed speedup into a
+   gate (exit 1 below it) — off by default because single-core runners
+   cannot pass it; RUMOR_BENCH_SKIP_PAR=1 skips the section. *)
+let run_par_sweep () =
+  print_endline "=== Parallel sweep (split-seed Domain pool) ===";
+  let open Rumor_core in
+  let reps = Env.int ~default:64 "RUMOR_BENCH_PAR_REPS" in
+  let net = Rumor.Dynet.of_static (Rumor.Gen.clique 256) in
+  let seed = bench_seed () in
+  let timed jobs =
+    let rng = Rumor.Rng.create seed in
+    let t0 = Obs.Clock.now_s () in
+    let sweep = Rumor.Run.async_spread_sweep ~jobs ~reps rng net in
+    (sweep, Obs.Clock.now_s () -. t0)
+  in
+  let s1, w1 = timed 1 in
+  let s4, w4 = timed 4 in
+  if
+    s1.Rumor.Run.outcomes <> s4.Rumor.Run.outcomes
+    || s1.Rumor.Run.seeds <> s4.Rumor.Run.seeds
+  then begin
+    prerr_endline "FATAL: jobs=1 and jobs=4 sweeps disagree (determinism bug)";
+    exit 1
+  end;
+  let speedup = w1 /. w4 in
+  Printf.printf
+    "sweep e1-clique-256 reps=%d: jobs=1 %.3fs, jobs=4 %.3fs  (speedup %.2fx, \
+     samples bit-identical, %d cores)\n"
+    reps w1 w4 speedup (Rumor.Pool.nproc ());
+  (match Env.string "RUMOR_BENCH_PAR_MIN_SPEEDUP" with
+  | Some s ->
+    let gate = float_of_string s in
+    if speedup < gate then begin
+      Printf.eprintf "FATAL: speedup %.2fx below gate %.2fx\n" speedup gate;
+      exit 1
+    end
+  | None -> ());
+  [
+    ("par/sweep-e1-256-jobs1", w1 *. 1e9);
+    ("par/sweep-e1-256-jobs4", w4 *. 1e9);
+  ]
+
 (* The machine-readable counterpart of the printed tables: Bechamel
    estimates + the metric-registry counters accumulated during this
    process (experiments and micro-benches both run the engines), as a
@@ -181,7 +229,10 @@ let () =
   | Some dir -> Obs.Sink.set_dir (Some dir)
   | None -> ());
   if not (env_flag "RUMOR_BENCH_SKIP_EXPERIMENTS") then run_experiments ();
-  if not (env_flag "RUMOR_BENCH_SKIP_MICRO") then begin
-    let rows = run_benchmarks () in
-    if not (env_flag "RUMOR_BENCH_NO_REPORT") then write_report rows
-  end
+  let rows =
+    if env_flag "RUMOR_BENCH_SKIP_MICRO" then [] else run_benchmarks ()
+  in
+  let rows =
+    if env_flag "RUMOR_BENCH_SKIP_PAR" then rows else rows @ run_par_sweep ()
+  in
+  if rows <> [] && not (env_flag "RUMOR_BENCH_NO_REPORT") then write_report rows

@@ -18,6 +18,12 @@
    mirror its results as structured artifacts: a run manifest with the
    metric-registry snapshot, plus JSONL/CSV rows where applicable.
 
+   Monte-Carlo subcommands (simulate, sweep, faults, experiment) take
+   -j/--jobs J (or RUMOR_JOBS; default: the processor count) to run
+   replicates on J OCaml domains.  Every replicate's RNG stream is
+   keyed by its index, so the printed numbers are bit-identical for
+   any job count.
+
    Network specifications (-N/--network):
      clique | star | cycle | path | hypercube | regular | er |
      g1 | g2 | diligent | absolute | alternating | markovian | mobile
@@ -98,6 +104,36 @@ let setup_obs obs_out =
 (* Evaluated before every subcommand body: each command term below
    composes [$ obs_term] first. *)
 let obs_term = Term.(const setup_obs $ obs_out_arg)
+
+(* --- replicate pool --- *)
+
+let jobs_arg =
+  let doc =
+    "Worker domains for Monte-Carlo replicates.  Samples are \
+     bit-identical for any value (replicate RNG streams are keyed by \
+     index, not by schedule).  Falls back to $(b,RUMOR_JOBS), then to \
+     the detected processor count."
+  in
+  Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"J" ~doc)
+
+let setup_jobs jobs =
+  match jobs with Some j -> Pool.set_default_jobs (Some j) | None -> ()
+
+let jobs_term = Term.(const setup_jobs $ jobs_arg)
+
+(* Manifest fields recording the pool shape of the run just finished:
+   resolved job count plus per-domain busy wall time. *)
+let pool_manifest_extra () =
+  match Pool.last () with
+  | Some st ->
+    [
+      ("jobs", Obs.Json.Int st.Pool.jobs);
+      ( "domain_wall_s",
+        Obs.Json.List
+          (Array.to_list (Array.map (fun w -> Obs.Json.Float w) st.Pool.wall_s))
+      );
+    ]
+  | None -> [ ("jobs", Obs.Json.Int (Pool.default_jobs ())) ]
 
 (* One provenance record per CLI invocation; no-op without a sink. *)
 let write_manifest ~kind ~id ?engine ?n ?reps ?extra ~network params wall_s =
@@ -196,7 +232,7 @@ let describe_cmd =
 
 (* --- simulate --- *)
 
-let simulate () params algorithm engine reps horizon source =
+let simulate () () params algorithm engine reps horizon source =
   let net = build_network params in
   let rng = Rng.create params.seed in
   let source = match source with -1 -> None | s -> Some s in
@@ -228,7 +264,8 @@ let simulate () params algorithm engine reps horizon source =
     ~id:(Printf.sprintf "simulate-%s-%s" algorithm net.Dynet.name)
     ~engine:(if algorithm = "async" then engine else algorithm)
     ~n:net.Dynet.n ~reps ~network:net.Dynet.name
-    ~extra:[ ("completed", Obs.Json.Int mc.Run.completed) ]
+    ~extra:
+      (("completed", Obs.Json.Int mc.Run.completed) :: pool_manifest_extra ())
     params wall_s
 
 let simulate_cmd =
@@ -259,8 +296,8 @@ let simulate_cmd =
   Cmd.v
     (Cmd.info "simulate" ~doc:"Run a rumor-spreading algorithm, Monte-Carlo style.")
     Term.(
-      const simulate $ obs_term $ params_term $ algorithm $ engine $ reps
-      $ horizon $ source)
+      const simulate $ obs_term $ jobs_term $ params_term $ algorithm $ engine
+      $ reps $ horizon $ source)
 
 (* --- bound --- *)
 
@@ -312,7 +349,7 @@ let bound_cmd =
 
 (* --- sweep --- *)
 
-let sweep () params sizes reps algorithm csv_path =
+let sweep () () params sizes reps algorithm csv_path =
   let sizes =
     List.map
       (fun s ->
@@ -387,7 +424,8 @@ let sweep () params sizes reps algorithm csv_path =
     ~id:(Printf.sprintf "sweep-%s-%s" algorithm params.family)
     ~engine:algorithm ~reps ~network:params.family
     ~extra:
-      [ ("sizes", Obs.Json.List (List.map (fun n -> Obs.Json.Int n) sizes)) ]
+      (("sizes", Obs.Json.List (List.map (fun n -> Obs.Json.Int n) sizes))
+      :: pool_manifest_extra ())
     params
     (Obs.Clock.now_s () -. t0)
 
@@ -414,7 +452,9 @@ let sweep_cmd =
   in
   Cmd.v
     (Cmd.info "sweep" ~doc:"Sweep the node count and fit the growth exponent.")
-    Term.(const sweep $ obs_term $ params_term $ sizes $ reps $ algorithm $ csv)
+    Term.(
+      const sweep $ obs_term $ jobs_term $ params_term $ sizes $ reps
+      $ algorithm $ csv)
 
 (* --- trace --- *)
 
@@ -515,8 +555,8 @@ let trace_cmd =
 
 (* --- faults --- *)
 
-let faults_cmd_run () params engine reps horizon loss crash recover slow_frac
-    slow_rate part_from part_until part_frac max_events checkpoint domains =
+let faults_cmd_run () () params engine reps horizon loss crash recover
+    slow_frac slow_rate part_from part_until part_frac max_events checkpoint =
   let net = build_network params in
   let rng = Rng.create params.seed in
   let n = net.Dynet.n in
@@ -554,7 +594,7 @@ let faults_cmd_run () params engine reps horizon loss crash recover slow_frac
   let plan = Fault_plan.make ~loss ?node_rate ?churn ~partitions () in
   let t0 = Obs.Clock.now_s () in
   let sweep =
-    Rumor_sim.Run.async_spread_sweep ~domains ~reps ~horizon ~engine ~faults:plan
+    Rumor_sim.Run.async_spread_sweep ~reps ~horizon ~engine ~faults:plan
       ?max_events ?checkpoint rng net
   in
   let wall_s = Obs.Clock.now_s () -. t0 in
@@ -595,13 +635,13 @@ let faults_cmd_run () params engine reps horizon loss crash recover slow_frac
     ~engine:(match engine with Rumor_sim.Run.Cut -> "cut" | Tick -> "tick")
     ~n ~reps ~network:net.Dynet.name
     ~extra:
-      [
-        ("loss", Obs.Json.Float loss);
-        ("finished", Obs.Json.Int finished);
-        ("censored", Obs.Json.Int censored);
-        ("failed", Obs.Json.Int failed);
-        ("domains", Obs.Json.Int domains);
-      ]
+      ([
+         ("loss", Obs.Json.Float loss);
+         ("finished", Obs.Json.Int finished);
+         ("censored", Obs.Json.Int censored);
+         ("failed", Obs.Json.Int failed);
+       ]
+      @ pool_manifest_extra ())
     params wall_s
 
 let faults_cmd =
@@ -675,26 +715,22 @@ let faults_cmd =
       & info [ "checkpoint" ] ~docv:"PATH"
           ~doc:"Checkpoint replicate outcomes here; resumes if the file exists.")
   in
-  let domains =
-    Arg.(
-      value & opt int 1
-      & info [ "domains" ] ~docv:"D" ~doc:"Worker domains (bit-identical samples).")
-  in
   Cmd.v
     (Cmd.info "faults"
        ~doc:
          "Hardened Monte-Carlo sweep under injected faults: message loss, \
           crash/recovery churn, slow clocks, partition windows; replicate \
-          failures are isolated, runaways censored, outcomes checkpointed.")
+          failures are isolated, runaways censored, outcomes checkpointed.  \
+          Replicates run on -j/--jobs domains (bit-identical samples).")
     Term.(
-      const faults_cmd_run $ obs_term $ params_term $ engine $ reps $ horizon
-      $ loss
+      const faults_cmd_run $ obs_term $ jobs_term $ params_term $ engine $ reps
+      $ horizon $ loss
       $ crash $ recover $ slow_frac $ slow_rate $ part_from $ part_until
-      $ part_frac $ max_events $ checkpoint $ domains)
+      $ part_frac $ max_events $ checkpoint)
 
 (* --- experiment --- *)
 
-let experiment () id full seed =
+let experiment () () id full seed =
   match String.lowercase_ascii id with
   | "all" -> Rumor_experiments.Registry.run_all ~full ~seed ()
   | id -> (
@@ -720,7 +756,7 @@ let experiment_cmd =
   let seed = seed_arg in
   Cmd.v
     (Cmd.info "experiment" ~doc:"Run a registered paper-validation experiment.")
-    Term.(const experiment $ obs_term $ id $ full $ seed)
+    Term.(const experiment $ obs_term $ jobs_term $ id $ full $ seed)
 
 (* --- obs --- *)
 

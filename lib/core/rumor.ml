@@ -55,6 +55,10 @@ module Fault_plan = Rumor_faults.Fault_plan
 module Checkpoint = Rumor_faults.Checkpoint
 module Inject = Rumor_faults.Inject
 
+(* Parallelism: the chunked Domain pool behind every Monte-Carlo
+   runner (Pool.nproc, Pool.set_default_jobs, Pool.run). *)
+module Pool = Rumor_par.Pool
+
 (* Simulation *)
 module Protocol = Rumor_sim.Protocol
 module Async_result = Rumor_sim.Async_result

@@ -60,20 +60,45 @@ let emit_structured exp ~full ~seed ~wall_s out =
                ("note", Obs.Json.String note);
              ]))
       out.notes;
+    (* The replicate pool's shape rides along: jobs plus per-domain
+       wall time of the last pool run, so artifacts record how
+       parallel the experiment actually was. *)
+    let pool_extra =
+      match Rumor_par.Pool.last () with
+      | Some st ->
+        [
+          ("jobs", Obs.Json.Int st.Rumor_par.Pool.jobs);
+          ( "domain_wall_s",
+            Obs.Json.List
+              (Array.to_list
+                 (Array.map
+                    (fun w -> Obs.Json.Float w)
+                    st.Rumor_par.Pool.wall_s)) );
+        ]
+      | None -> [ ("jobs", Obs.Json.Int (Rumor_par.Pool.default_jobs ())) ]
+    in
     Obs.Run_manifest.write
       (Obs.Run_manifest.make ~kind:"experiment" ~id:exp.id ~seed
          ~mode:(if full then "full" else "quick")
          ~extra:
-           [
-             ("title", Obs.Json.String exp.title);
-             ("claim", Obs.Json.String exp.claim);
-             ("tables", Obs.Json.Int (List.length out.tables));
-             ("notes", Obs.Json.Int (List.length out.notes));
-           ]
+           ([
+              ("title", Obs.Json.String exp.title);
+              ("claim", Obs.Json.String exp.claim);
+              ("tables", Obs.Json.Int (List.length out.tables));
+              ("notes", Obs.Json.Int (List.length out.notes));
+            ]
+           @ pool_extra)
          ~wall_s ())
   end
 
-let print ?(full = false) ?(seed = 2020) exp =
+let print ?(full = false) ?(seed = 2020) ?jobs exp =
+  (* Every experiment's Monte-Carlo replicates run on the Domain pool;
+     an explicit [jobs] becomes the process-wide default so the
+     experiment's own runner calls (which pass no [?jobs]) inherit
+     it.  Samples are bit-identical whatever the value. *)
+  (match jobs with
+  | Some j -> Rumor_par.Pool.set_default_jobs (Some j)
+  | None -> ());
   Printf.printf "=== %s: %s ===\n" exp.id exp.title;
   Printf.printf "claim: %s\n\n" exp.claim;
   let rng = Rumor_rng.Rng.create seed in

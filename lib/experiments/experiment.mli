@@ -19,9 +19,15 @@ type t = {
       (** [full = false] uses quick sizes suitable for CI *)
 }
 
-val print : ?full:bool -> ?seed:int -> t -> unit
+val print : ?full:bool -> ?seed:int -> ?jobs:int -> t -> unit
 (** Run and pretty-print one experiment (default quick mode,
     seed 2020).
+
+    Monte-Carlo replicates inside the experiment execute on the
+    {!Rumor_par.Pool} Domain pool; [jobs] installs a process-wide
+    job-count override for the run (default: [RUMOR_JOBS] or the
+    processor count).  Printed tables are bit-identical for any job
+    count — the runners key every replicate's RNG stream by its index.
 
     When an observability sink is configured
     ({!Rumor_obs.Sink.set_dir}, via the CLI's [--obs-out] or

@@ -28,5 +28,5 @@ let find id =
     (fun e -> String.lowercase_ascii e.Experiment.id = id)
     all
 
-let run_all ?full ?seed () =
-  List.iter (fun e -> Experiment.print ?full ?seed e) all
+let run_all ?full ?seed ?jobs () =
+  List.iter (fun e -> Experiment.print ?full ?seed ?jobs e) all

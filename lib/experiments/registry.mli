@@ -5,5 +5,5 @@ val all : Experiment.t list
 val find : string -> Experiment.t option
 (** Case-insensitive lookup by id (e.g. "e2"). *)
 
-val run_all : ?full:bool -> ?seed:int -> unit -> unit
-(** Print every experiment in order. *)
+val run_all : ?full:bool -> ?seed:int -> ?jobs:int -> unit -> unit
+(** Print every experiment in order; [jobs] as in {!Experiment.print}. *)

@@ -1,11 +1,12 @@
 (** Checkpoint/resume of partially completed Monte-Carlo sweeps.
 
     Each replicate of a sweep is keyed by the 64-bit fingerprint of its
-    split child RNG (the first output of a {e copy} of the child, so the
-    key never perturbs the stream).  Because child streams are pre-split
-    sequentially from the sweep's parent RNG, the keys — and hence the
-    cached outcomes — are stable across interrupted and resumed runs:
-    a resumed sweep reproduces bit-identical samples to an
+    child RNG (the first output of a {e copy} of the child, so the key
+    never perturbs the stream).  Because child streams are derived from
+    the replicate {e index} ({!Rumor_rng.Rng.derive}), the keys — and
+    hence the cached outcomes — are stable across interrupted and
+    resumed runs, whatever job count or replicate total either run
+    uses: a resumed sweep reproduces bit-identical samples to an
     uninterrupted one.
 
     Times are serialized as hexadecimal floats ([%h]) so the round trip

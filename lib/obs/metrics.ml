@@ -111,18 +111,105 @@ let histogram ?(buckets = default_buckets) name =
         Hashtbl.add histograms_tbl name h;
         h)
 
+(* Binary search for the first upper bound >= x. *)
+let bucket_index h x =
+  let lo = ref 0 and hi = ref (Array.length h.upper) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if h.upper.(mid) >= x then hi := mid else lo := mid + 1
+  done;
+  !lo
+
 let observe h x =
   if Atomic.get on then begin
-    (* Binary search for the first upper bound >= x. *)
-    let lo = ref 0 and hi = ref (Array.length h.upper) in
-    while !lo < !hi do
-      let mid = (!lo + !hi) / 2 in
-      if h.upper.(mid) >= x then hi := mid else lo := mid + 1
-    done;
-    ignore (Atomic.fetch_and_add h.buckets.(!lo) 1);
+    ignore (Atomic.fetch_and_add h.buckets.(bucket_index h x) 1);
     ignore (Atomic.fetch_and_add h.h_count 1);
     atomic_add_float h.h_sum x
   end
+
+(* Per-domain shards: plain (unshared) accumulators that a worker
+   domain records into without touching the global atomics, merged in
+   one batch after the domains join.  Totals are exactly what direct
+   recording would have produced — addition commutes — while the hot
+   path costs a short physical-equality scan and a field update, and
+   allocates only on the first touch of each handle. *)
+module Shard = struct
+  type ccell = { sc : counter; mutable delta : int }
+
+  type hcell = {
+    sh : histogram;
+    sh_buckets : int array;
+    mutable sh_count : int;
+    mutable sh_sum : float;
+  }
+
+  type t = { mutable ccells : ccell list; mutable hcells : hcell list }
+
+  let create () = { ccells = []; hcells = [] }
+
+  let add t c delta =
+    if Atomic.get on then begin
+      match List.find_opt (fun cell -> cell.sc == c) t.ccells with
+      | Some cell -> cell.delta <- cell.delta + delta
+      | None -> t.ccells <- { sc = c; delta } :: t.ccells
+    end
+
+  let incr t c = add t c 1
+
+  let observe t h x =
+    if Atomic.get on then begin
+      let cell =
+        match List.find_opt (fun cell -> cell.sh == h) t.hcells with
+        | Some cell -> cell
+        | None ->
+          let cell =
+            {
+              sh = h;
+              sh_buckets = Array.make (Array.length h.buckets) 0;
+              sh_count = 0;
+              sh_sum = 0.;
+            }
+          in
+          t.hcells <- cell :: t.hcells;
+          cell
+      in
+      let i = bucket_index h x in
+      cell.sh_buckets.(i) <- cell.sh_buckets.(i) + 1;
+      cell.sh_count <- cell.sh_count + 1;
+      cell.sh_sum <- cell.sh_sum +. x
+    end
+
+  (* Flush unconditionally (not gated on [on]): anything accumulated
+     was recorded while the subsystem was enabled and must not be lost
+     to a disable racing the merge.  Zeroes the shard, so it can be
+     reused. *)
+  let merge t =
+    List.iter
+      (fun cell ->
+        if cell.delta <> 0 then begin
+          ignore (Atomic.fetch_and_add cell.sc.cell cell.delta);
+          cell.delta <- 0
+        end)
+      t.ccells;
+    List.iter
+      (fun cell ->
+        Array.iteri
+          (fun i k ->
+            if k <> 0 then begin
+              ignore (Atomic.fetch_and_add cell.sh.buckets.(i) k);
+              cell.sh_buckets.(i) <- 0
+            end)
+          cell.sh_buckets;
+        if cell.sh_count <> 0 then begin
+          ignore (Atomic.fetch_and_add cell.sh.h_count cell.sh_count);
+          cell.sh_count <- 0
+        end;
+        if cell.sh_sum <> 0. then begin
+          atomic_add_float cell.sh.h_sum cell.sh_sum;
+          cell.sh_sum <- 0.
+        end)
+      t.hcells
+end
 
 let reset () =
   with_lock (fun () ->

@@ -70,6 +70,39 @@ val histogram : ?buckets:float array -> string -> histogram
 
 val observe : histogram -> float -> unit
 
+(** {1 Shards} — per-domain accumulators for the parallel runners *)
+
+(** A shard is an unshared batch of counter deltas and histogram
+    observations.  The domain-parallel Monte-Carlo runners give each
+    worker domain its own shard, record per-replicate tallies into it
+    (no atomics, no sharing, no allocation after the first touch of
+    each handle), and {!Shard.merge} every shard once the domains have
+    joined.  Merged totals are {e exactly} equal to direct recording —
+    counter addition and bucket increments commute — so snapshots are
+    byte-identical for any job count.
+
+    A shard must only ever be touched by one domain at a time;
+    creating one per worker is the intended pattern. *)
+module Shard : sig
+  type t
+
+  val create : unit -> t
+
+  val incr : t -> counter -> unit
+  (** No-op while the subsystem is disabled, like the global entry
+      points (likewise [add] and [observe]). *)
+
+  val add : t -> counter -> int -> unit
+
+  val observe : t -> histogram -> float -> unit
+
+  val merge : t -> unit
+  (** Flush every accumulated delta into the global registry and zero
+      the shard (it can be reused).  Call after the owning domain has
+      joined.  Not gated on the enabled flag: whatever was recorded is
+      never dropped. *)
+end
+
 (** {1 Snapshots} *)
 
 val counters : unit -> (string * int) list

@@ -1,0 +1,103 @@
+module Env = Rumor_util.Env
+module Obs = Rumor_obs
+
+(* Telemetry (lib/obs): pool usage per process.  Deliberately no
+   job-count gauge here — the registry snapshot must stay
+   byte-identical for any [jobs] (the runners' determinism contract);
+   the actual parallelism of a run is recorded in its manifest from
+   {!last}. *)
+let m_runs = Obs.Metrics.counter "par.runs"
+let m_tasks = Obs.Metrics.counter "par.tasks"
+
+type stats = {
+  jobs : int;
+  tasks : int;
+  chunk : int array;
+  wall_s : float array;
+}
+
+let nproc () = Domain.recommended_domain_count ()
+
+let override : int option Atomic.t = Atomic.make None
+
+let set_default_jobs = function
+  | Some j when j < 1 ->
+    invalid_arg "Par.Pool.set_default_jobs: jobs must be at least 1"
+  | v -> Atomic.set override v
+
+let default_jobs () =
+  match Atomic.get override with
+  | Some j -> j
+  | None ->
+    let j = Env.int ~default:(nproc ()) "RUMOR_JOBS" in
+    if j < 1 then nproc () else j
+
+let resolve ?jobs n =
+  let j =
+    match jobs with
+    | Some j ->
+      if j < 1 then invalid_arg "Par.Pool: jobs must be at least 1" else j
+    | None -> default_jobs ()
+  in
+  max 1 (min j n)
+
+(* Balanced contiguous chunks: domain d of j over n tasks owns
+   [d*n/j, (d+1)*n/j) — sizes differ by at most one, and the index ->
+   domain map depends only on (n, j). *)
+let chunk_bounds ~jobs ~n d = (d * n / jobs, (d + 1) * n / jobs)
+
+let last_stats : stats option Atomic.t = Atomic.make None
+
+let last () = Atomic.get last_stats
+
+let run ?jobs n body =
+  if n < 0 then invalid_arg "Par.Pool.run: negative task count";
+  let jobs = resolve ?jobs n in
+  let wall = Array.make jobs 0. in
+  let exec d =
+    let t0 = Obs.Clock.now_s () in
+    Fun.protect
+      ~finally:(fun () -> wall.(d) <- Obs.Clock.now_s () -. t0)
+      (fun () ->
+        let lo, hi = chunk_bounds ~jobs ~n d in
+        for i = lo to hi - 1 do
+          body ~domain:d i
+        done)
+  in
+  (* The lowest failing domain index wins, whatever the arrival order,
+     so the re-raised exception is deterministic. *)
+  let failure : (int * exn) option Atomic.t = Atomic.make None in
+  let note d e =
+    let rec loop () =
+      match Atomic.get failure with
+      | Some (d', _) when d' <= d -> ()
+      | cur ->
+        if not (Atomic.compare_and_set failure cur (Some (d, e))) then loop ()
+    in
+    loop ()
+  in
+  if jobs = 1 then (match exec 0 with () -> () | exception e -> note 0 e)
+  else begin
+    let workers =
+      Array.init (jobs - 1) (fun i ->
+          Domain.spawn (fun () ->
+              match exec (i + 1) with
+              | () -> ()
+              | exception e -> note (i + 1) e))
+    in
+    (* Every spawned domain is joined even if the main chunk raises
+       something fatal outside [exec] (it cannot: [exec] catches). *)
+    Fun.protect
+      ~finally:(fun () -> Array.iter Domain.join workers)
+      (fun () -> match exec 0 with () -> () | exception e -> note 0 e)
+  end;
+  let chunk =
+    Array.init jobs (fun d ->
+        let lo, hi = chunk_bounds ~jobs ~n d in
+        hi - lo)
+  in
+  let st = { jobs; tasks = n; chunk; wall_s = wall } in
+  Atomic.set last_stats (Some st);
+  Obs.Metrics.incr m_runs;
+  Obs.Metrics.add m_tasks n;
+  match Atomic.get failure with Some (_, e) -> raise e | None -> st

@@ -1,0 +1,75 @@
+(** Chunked, work-stealing-free Domain pool for Monte-Carlo replicates.
+
+    The pool runs [n] indexed tasks on up to [jobs] OCaml 5 domains.
+    Task [i] is assigned to a domain by a {e static} contiguous-chunk
+    partition (domain [d] of [j] runs indices [d*n/j .. (d+1)*n/j - 1]),
+    so the mapping from task index to domain is a pure function of
+    [(n, jobs)] — no queues, no stealing, no scheduling nondeterminism.
+    Callers that key each task's randomness by its index (see
+    {!Rumor_rng.Rng.derive}) therefore produce bit-identical results
+    for {e any} job count, including [jobs = 1], which degrades to a
+    plain in-order loop on the calling domain with no spawns at all.
+
+    Job-count resolution, in priority order:
+    + the explicit [?jobs] argument;
+    + the process-wide override ({!set_default_jobs}, wired to the
+      CLI's [--jobs] flag);
+    + the [RUMOR_JOBS] environment variable;
+    + the detected processor count ({!nproc}).
+
+    Pools must not be nested: a task body spawning another pool would
+    multiply domains past the hardware. The Monte-Carlo runners are the
+    only intended call sites. *)
+
+type stats = {
+  jobs : int;  (** domains actually used (after clamping to [n]) *)
+  tasks : int;  (** [n], the task count *)
+  chunk : int array;  (** tasks executed per domain, length [jobs] *)
+  wall_s : float array;
+      (** per-domain busy wall time, length [jobs] — recorded into run
+          manifests so parallel efficiency is observable per run *)
+}
+
+val nproc : unit -> int
+(** Detected processor count ([Domain.recommended_domain_count]). *)
+
+val set_default_jobs : int option -> unit
+(** Install (or with [None] clear) the process-wide job-count override;
+    takes precedence over [RUMOR_JOBS] and {!nproc}.  The CLI's
+    [--jobs] flag lands here, so every runner an invocation touches
+    inherits it.
+    @raise Invalid_argument if the value is [< 1]. *)
+
+val default_jobs : unit -> int
+(** The job count used when no explicit [?jobs] is given: the
+    {!set_default_jobs} override, else [RUMOR_JOBS] (values [< 1] are
+    ignored), else {!nproc}. *)
+
+val resolve : ?jobs:int -> int -> int
+(** [resolve ?jobs n] is the domain count a pool over [n] tasks will
+    use: [jobs] (default {!default_jobs}) clamped to [n], and at least
+    [1].  Exposed so callers can size per-domain state (metric shards)
+    before calling {!run}.
+    @raise Invalid_argument if [jobs < 1]. *)
+
+val run : ?jobs:int -> int -> (domain:int -> int -> unit) -> stats
+(** [run ?jobs n body] executes [body ~domain i] for every
+    [i] in [0..n-1], partitioned into contiguous chunks across
+    [resolve ?jobs n] domains.  [domain] is the executing domain's
+    pool-local index in [0..jobs-1] (use it to select per-domain
+    state; within one domain, tasks run in increasing index order).
+
+    {b Exception policy} — exceptions are isolated per domain: a
+    raising task stops only its own domain's chunk; every spawned
+    domain is always joined before [run] returns; and the recorded
+    exception of the {e lowest-indexed} failing domain is re-raised
+    once all domains are accounted for (deterministic choice, so a
+    multi-domain failure reproduces the [jobs = 1] exception whenever
+    domain 0's chunk contains the first raising task).
+
+    @raise Invalid_argument if [n < 0] or [jobs < 1]. *)
+
+val last : unit -> stats option
+(** The {!stats} of the most recently completed [run] in this process,
+    for manifest enrichment after the fact.  Updated even when [run]
+    re-raises a task exception. *)

@@ -10,6 +10,21 @@ let create seed = { gen = Xoshiro256.of_seed (Int64.of_int seed) }
    orbit positions. *)
 let split t = { gen = Xoshiro256.of_seed (Xoshiro256.next t.gen) }
 
+(* Indexed derivation: the i-th child of a 64-bit base is the i-th
+   sequential SplitMix64 split of that base, computed in O(1) as
+   mix (base + (i+1) * gamma).  Unlike [split], deriving child i does
+   not require materialising children 0..i-1, so a parallel runner can
+   hand replicate i to any domain and still produce the exact stream a
+   sequential pass would have — bit-identical samples for any domain
+   count, and stable when replicates are re-run out of order on
+   resume. *)
+let derive base i =
+  if i < 0 then invalid_arg "Rng.derive: negative child index";
+  let z =
+    Int64.add base (Int64.mul Splitmix64.golden_gamma (Int64.of_int (i + 1)))
+  in
+  { gen = Xoshiro256.of_seed (Splitmix64.mix z) }
+
 let copy t = { gen = Xoshiro256.copy t.gen }
 
 let bits64 t = Xoshiro256.next t.gen

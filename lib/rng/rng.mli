@@ -17,6 +17,16 @@ val split : t -> t
     child per Monte-Carlo repetition so that adding repetitions never
     perturbs earlier ones. *)
 
+val derive : int64 -> int -> t
+(** [derive base i] is the [i]-th child of the 64-bit seed [base]:
+    exactly the [i]-th sequential SplitMix64 split of [base], computed
+    in O(1) without touching children [0..i-1].  The Monte-Carlo
+    runners draw [base] once per sweep (one {!bits64} draw of the
+    parent) and key every replicate's stream by its index, which makes
+    samples bit-identical for any number of worker domains and lets a
+    resumed sweep re-run only missing replicate indices.
+    @raise Invalid_argument if [i < 0]. *)
+
 val copy : t -> t
 (** Snapshot of the current state. *)
 

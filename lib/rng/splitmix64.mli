@@ -17,3 +17,15 @@ val next : t -> int64
 val split : t -> t
 (** A child generator whose stream is (for all practical purposes)
     independent of the parent's subsequent outputs. *)
+
+val golden_gamma : int64
+(** The Weyl-sequence increment [0x9E3779B97F4A7C15] (2^64 / phi).
+    Exposed so that indexed derivation ({!Rumor_rng.Rng.derive}) can
+    compute the [i]-th split of a base seed in O(1): the [i]-th
+    sequential output of [create base] is [mix (base + (i+1) *
+    golden_gamma)]. *)
+
+val mix : int64 -> int64
+(** The reference SplitMix64 finalizer: a bijective avalanche mix of
+    one 64-bit word.  [mix (base + (i+1) * golden_gamma)] is the
+    [i]-th output of the stream started at [base]. *)

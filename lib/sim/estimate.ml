@@ -31,11 +31,11 @@ let quantile_censored ~reps ~censored q =
   let h = q *. float_of_int (reps - 1) in
   int_of_float (Float.ceil h) >= reps - censored
 
-let spread_time ?(reps = 200) ?q ?horizon ?engine ?protocol ?rate ?faults
+let spread_time ?jobs ?(reps = 200) ?q ?horizon ?engine ?protocol ?rate ?faults
     ?(level = 0.95) ?source rng (net : Dynet.t) =
   let q = match q with Some q -> q | None -> whp_quantile ~n:net.Dynet.n in
   let mc =
-    Run.async_spread_times ~reps ?horizon ?engine ?protocol ?rate ?faults
+    Run.async_spread_times ?jobs ~reps ?horizon ?engine ?protocol ?rate ?faults
       ?source rng net
   in
   let samples = mc.Run.times in

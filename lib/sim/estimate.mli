@@ -35,6 +35,7 @@ val whp_quantile : n:int -> float
     [1 - 1/n], clamped to [0.999]. *)
 
 val spread_time :
+  ?jobs:int ->
   ?reps:int ->
   ?q:float ->
   ?horizon:float ->
@@ -51,7 +52,8 @@ val spread_time :
     estimates the [q]-quantile (default {!whp_quantile}) with a
     bootstrap [level] (default 0.95) confidence interval.  [rate] and
     [faults] are forwarded to the engine (the E13 thinning self-check
-    compares loss [p] against rate [1-p]).
+    compares loss [p] against rate [1-p]); [jobs] is forwarded to the
+    replicate pool (the estimate is bit-identical for any value).
 
     Horizon-censored repetitions are right-censored samples, {e not}
     observations: when the requested quantile's interpolation touches

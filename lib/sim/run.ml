@@ -2,11 +2,12 @@ open Rumor_rng
 open Rumor_dynamic
 open Rumor_faults
 module Obs = Rumor_obs.Metrics
+module Pool = Rumor_par.Pool
 
 (* Telemetry (lib/obs): replicate accounting for the Monte-Carlo
    runners and a spread-time histogram over completed replicates.
-   Worker domains record through atomic cells, so the parallel runners
-   need no extra synchronisation. *)
+   Worker domains record through per-domain shards merged after the
+   pool joins, so the hot path shares nothing and totals stay exact. *)
 let m_replicates = Obs.counter "run.replicates"
 let m_sweep_replicates = Obs.counter "run.sweep.replicates"
 let m_sweep_finished = Obs.counter "run.sweep.finished"
@@ -40,25 +41,42 @@ let source_of (net : Dynet.t) explicit =
   | None, Some s -> s
   | None, None -> 0
 
-let monte_carlo ~reps rng one =
+(* Split-seed determinism: one parent draw per sweep yields [base];
+   replicate [r] then runs on [Rng.derive base r], a pure function of
+   (base, r).  The replicate -> stream map is therefore independent of
+   the domain count and of execution order, which is what makes every
+   runner below bit-identical for any [jobs] — including under fault
+   plans (faults draw from the replicate's own stream) and on
+   checkpoint resume (missing indices re-derive the same streams). *)
+let monte_carlo ?jobs ~reps rng one =
+  let base = Rng.bits64 rng in
   let times = Array.make reps 0. in
-  let completed = ref 0 in
-  for r = 0 to reps - 1 do
-    let child = Rng.split rng in
-    let time, ok = one child in
-    times.(r) <- time;
-    if ok then begin
-      incr completed;
-      Obs.observe h_spread_time time
-    end
-  done;
+  let ok = Array.make reps false in
+  let jobs = Pool.resolve ?jobs reps in
+  let shards = Array.init jobs (fun _ -> Obs.Shard.create ()) in
+  Fun.protect
+    (* Merge on the exception path too: observations made before a
+       replicate raised are kept, never dropped. *)
+    ~finally:(fun () -> Array.iter Obs.Shard.merge shards)
+    (fun () ->
+      ignore
+        (Pool.run ~jobs reps (fun ~domain r ->
+             let time, completed = one (Rng.derive base r) in
+             times.(r) <- time;
+             ok.(r) <- completed;
+             if completed then
+               Obs.Shard.observe shards.(domain) h_spread_time time)));
   Obs.add m_replicates reps;
-  { times; completed = !completed; reps }
+  {
+    times;
+    completed = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 ok;
+    reps;
+  }
 
-let async_spread_times ?(reps = 30) ?horizon ?(engine = Cut) ?protocol ?rate
-    ?faults ?source rng net =
+let async_spread_times ?jobs ?(reps = 30) ?horizon ?(engine = Cut) ?protocol
+    ?rate ?faults ?source rng net =
   let source = source_of net source in
-  monte_carlo ~reps rng (fun child ->
+  monte_carlo ?jobs ~reps rng (fun child ->
       let result =
         match engine with
         | Cut -> Async_cut.run ?protocol ?rate ?faults ?horizon child net ~source
@@ -66,86 +84,22 @@ let async_spread_times ?(reps = 30) ?horizon ?(engine = Cut) ?protocol ?rate
       in
       (result.Async_result.time, result.Async_result.complete))
 
-(* Domain-parallel variant: the child RNGs are pre-split sequentially,
-   so the sample is bit-identical to the sequential runner's regardless
-   of the domain count or scheduling — repetitions share no mutable
-   state (each spawns its own Dynet instance). *)
-let async_spread_times_parallel ?(domains = 4) ?(reps = 30) ?horizon
-    ?(engine = Cut) ?protocol ?rate ?faults ?source rng net =
-  if domains < 1 then invalid_arg "Run: need at least one domain";
-  let source = source_of net source in
-  let children = Array.init reps (fun _ -> Rng.split rng) in
-  let times = Array.make reps 0. in
-  let ok = Array.make reps false in
-  let one r =
-    let result =
-      match engine with
-      | Cut ->
-        Async_cut.run ?protocol ?rate ?faults ?horizon children.(r) net ~source
-      | Tick ->
-        Async_tick.run ?protocol ?rate ?faults ?horizon children.(r) net ~source
-    in
-    times.(r) <- result.Async_result.time;
-    ok.(r) <- result.Async_result.complete;
-    if result.Async_result.complete then
-      Obs.observe h_spread_time result.Async_result.time
-  in
-  let domains = min domains reps in
-  if domains <= 1 then
-    for r = 0 to reps - 1 do
-      one r
-    done
-  else begin
-    (* Static block partition: domain d handles indices congruent to d. *)
-    let workers =
-      Array.init (domains - 1) (fun d ->
-          Domain.spawn (fun () ->
-              let r = ref (d + 1) in
-              while !r < reps do
-                one !r;
-                r := !r + domains
-              done))
-    in
-    (* Every spawned domain is joined even when a main-domain replicate
-       raises; a worker's own exception is re-raised only after every
-       domain is accounted for, so no domain is ever leaked. *)
-    let worker_exn = ref None in
-    Fun.protect
-      ~finally:(fun () ->
-        Array.iter
-          (fun d ->
-            match Domain.join d with
-            | () -> ()
-            | exception e ->
-              if Option.is_none !worker_exn then worker_exn := Some e)
-          workers)
-      (fun () ->
-        let r = ref 0 in
-        while !r < reps do
-          one !r;
-          r := !r + domains
-        done);
-    match !worker_exn with Some e -> raise e | None -> ()
-  end;
-  {
-    times;
-    completed = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 ok;
-    reps;
-  }
-
 (* --- hardened sweep --- *)
 
-let async_spread_sweep ?(domains = 1) ?(reps = 30) ?horizon ?(engine = Cut)
-    ?protocol ?rate ?faults ?source ?max_events ?checkpoint rng net =
-  if domains < 1 then invalid_arg "Run: need at least one domain";
+let async_spread_sweep ?jobs ?(reps = 30) ?horizon ?(engine = Cut) ?protocol
+    ?rate ?faults ?source ?max_events ?checkpoint rng net =
   if reps < 1 then invalid_arg "Run: need at least one repetition";
   let source = source_of net source in
-  let children = Array.init reps (fun _ -> Rng.split rng) in
+  let base = Rng.bits64 rng in
+  let children = Array.init reps (Rng.derive base) in
   let seeds = Array.map Checkpoint.fingerprint children in
   let outcomes : outcome option array = Array.make reps None in
-  (* Resume: replicate outcomes are keyed by the child RNG fingerprint,
-     and the split sequence is prefix-stable, so cached outcomes line
-     up whatever [reps] the interrupted sweep used. *)
+  (* Resume: replicate outcomes are keyed by the child RNG fingerprint
+     — a pure function of (sweep seed, replicate index) — so the
+     checkpoint records completed replicate {e indices}, not a
+     sequential cursor: cached outcomes line up whatever [reps] or
+     [jobs] the interrupted sweep used, and whichever scattered subset
+     of replicates it had decided. *)
   (match checkpoint with
   | Some path ->
     let cached = Checkpoint.load path in
@@ -165,10 +119,13 @@ let async_spread_sweep ?(domains = 1) ?(reps = 30) ?horizon ?(engine = Cut)
       Obs.incr m_checkpoint_writes
     | None -> ()
   in
+  let jobs = Pool.resolve ?jobs reps in
+  let shards = Array.init jobs (fun _ -> Obs.Shard.create ()) in
   (* Exception isolation: a raising replicate becomes a [Failed]
      outcome; the sweep itself never raises because of one. *)
-  let one r =
+  let one ~domain r =
     if Option.is_none outcomes.(r) then begin
+      let shard = shards.(domain) in
       let o =
         match
           match engine with
@@ -185,52 +142,32 @@ let async_spread_sweep ?(domains = 1) ?(reps = 30) ?horizon ?(engine = Cut)
           else Censored result.Async_result.time
         | exception e -> Failed (Printexc.to_string e)
       in
-      Obs.incr m_sweep_replicates;
+      Obs.Shard.incr shard m_sweep_replicates;
       (match o with
       | Finished t ->
-        Obs.incr m_sweep_finished;
-        Obs.observe h_spread_time t
-      | Censored _ -> Obs.incr m_sweep_censored
-      | Failed _ -> Obs.incr m_sweep_failed);
-      outcomes.(r) <- Some o
+        Obs.Shard.incr shard m_sweep_finished;
+        Obs.Shard.observe shard h_spread_time t
+      | Censored _ -> Obs.Shard.incr shard m_sweep_censored
+      | Failed _ -> Obs.Shard.incr shard m_sweep_failed);
+      outcomes.(r) <- Some o;
+      (* Cheap incremental checkpointing (sequential mode only, where
+         the decided set is a clean prefix of the chunk order) keeps
+         the file current so an interrupted sweep loses at most the
+         replicate in flight; parallel sweeps persist on the way out. *)
+      if jobs = 1 && Option.is_some checkpoint && (r + 1) mod 32 = 0 then
+        save ()
     end
   in
-  let domains = min domains reps in
-  Fun.protect ~finally:save (fun () ->
-      if domains <= 1 then
-        for r = 0 to reps - 1 do
-          one r;
-          (* Cheap incremental checkpointing keeps the file current so
-             an interrupted sweep loses at most the replicate in
-             flight. *)
-          if Option.is_some checkpoint && (r + 1) mod 32 = 0 then save ()
-        done
-      else begin
-        let workers =
-          Array.init (domains - 1) (fun d ->
-              Domain.spawn (fun () ->
-                  let r = ref (d + 1) in
-                  while !r < reps do
-                    one !r;
-                    r := !r + domains
-                  done))
-        in
-        Fun.protect
-          ~finally:(fun () ->
-            Array.iter
-              (fun d ->
-                (* [one] isolates every replicate exception, so a worker
-                   can only die of something fatal; even then the sweep
-                   result (partial outcomes) survives. *)
-                match Domain.join d with () -> () | exception _ -> ())
-              workers)
-          (fun () ->
-            let r = ref 0 in
-            while !r < reps do
-              one !r;
-              r := !r + domains
-            done)
-      end);
+  Fun.protect
+    ~finally:(fun () ->
+      (* All domains have joined (or [Pool.run] never started): merge
+         the shards before the final save so the persisted manifest
+         counters match the outcomes, then checkpoint — including on
+         the exception path, so even a fatally dying sweep keeps its
+         decided replicates. *)
+      Array.iter Obs.Shard.merge shards;
+      save ())
+    (fun () -> ignore (Pool.run ~jobs reps one));
   {
     outcomes =
       Array.map
@@ -269,15 +206,15 @@ let mc_of_sweep s =
   let completed, _, _ = sweep_counts s in
   { times; completed; reps = Array.length times }
 
-let sync_spread_rounds ?(reps = 30) ?max_rounds ?protocol ?faults ?source rng
-    net =
+let sync_spread_rounds ?jobs ?(reps = 30) ?max_rounds ?protocol ?faults ?source
+    rng net =
   let source = source_of net source in
-  monte_carlo ~reps rng (fun child ->
+  monte_carlo ?jobs ~reps rng (fun child ->
       let result = Sync.run ?protocol ?max_rounds ?faults child net ~source in
       (float_of_int result.Sync.rounds, result.Sync.complete))
 
-let flooding_rounds ?(reps = 30) ?max_rounds ?source rng net =
+let flooding_rounds ?jobs ?(reps = 30) ?max_rounds ?source rng net =
   let source = source_of net source in
-  monte_carlo ~reps rng (fun child ->
+  monte_carlo ?jobs ~reps rng (fun child ->
       let result = Flooding.run ?max_rounds child net ~source in
       (float_of_int result.Flooding.rounds, result.Flooding.complete))

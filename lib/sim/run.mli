@@ -1,18 +1,38 @@
-(** Monte-Carlo driver: repeated independent runs over split RNG
-    streams, with spread-time samples ready for the statistics layer.
+(** Monte-Carlo driver: repeated independent runs over index-keyed RNG
+    streams, executed on a chunked Domain pool
+    ({!Rumor_par.Pool}), with spread-time samples ready for the
+    statistics layer.
 
     Every "with high probability" claim in the paper is validated by
     looking at high quantiles of these samples.
 
+    {b Split-seed determinism.}  Each runner draws one 64-bit [base]
+    from the parent RNG, and replicate [r] runs on
+    [Rng.derive base r] — a pure function of [(base, r)].  The sample
+    is therefore {e bit-identical for any} [jobs] {e count} (including
+    under fault plans, which draw from the replicate's own stream),
+    stable under changing [reps] (prefix property), and reproducible
+    across checkpoint/resume (missing indices re-derive the same
+    streams).  [jobs] defaults to {!Rumor_par.Pool.default_jobs}
+    ([--jobs] / [RUMOR_JOBS] / processor count); [jobs = 1] degrades
+    to a plain sequential loop.
+
     Two tiers of runner:
 
     - The classic samplers ({!async_spread_times} and friends) return a
-      bare {!mc}; a raising replicate propagates.
+      bare {!mc}; a raising replicate propagates (after every worker
+      domain has joined, lowest-domain exception first).
     - The {e hardened} sweep ({!async_spread_sweep}) isolates replicate
       exceptions as [Failed] outcomes, caps runaway replicates through
       the engines' event-budget watchdog, and checkpoints replicate
-      outcomes to disk keyed by split-RNG seed so an interrupted sweep
-      resumes bit-identically. *)
+      outcomes to disk keyed by split-RNG fingerprint (a pure function
+      of the sweep seed and the replicate index) so an interrupted
+      sweep resumes bit-identically.
+
+    Metrics are recorded through per-domain shards
+    ({!Rumor_obs.Metrics.Shard}) merged once the pool joins, so
+    counter totals and histogram snapshots are byte-identical for any
+    [jobs]. *)
 
 open Rumor_rng
 open Rumor_dynamic
@@ -22,8 +42,9 @@ type engine = Cut | Tick
 
 type mc = {
   times : float array;
-      (** one spread time per repetition; incomplete runs contribute
-          the horizon value *)
+      (** one spread time per repetition; incomplete (censored) runs
+          contribute the time they reached — the horizon value — as
+          the classic convention *)
   completed : int;  (** repetitions that informed every node *)
   reps : int;
 }
@@ -43,6 +64,7 @@ val source_of : Dynet.t -> int option -> int
     argument wins; hint next; node 0 otherwise). *)
 
 val async_spread_times :
+  ?jobs:int ->
   ?reps:int ->
   ?horizon:float ->
   ?engine:engine ->
@@ -56,33 +78,17 @@ val async_spread_times :
 (** [async_spread_times rng net] runs the asynchronous algorithm
     [reps] (default 30) times with engine [Cut] by default; [protocol]
     (default push-pull), the clock [rate] (default 1) and the fault
-    plan apply to either engine.  Each repetition gets an independent
-    child of [rng] (via split), so results are stable under changing
-    [reps]. *)
-
-val async_spread_times_parallel :
-  ?domains:int ->
-  ?reps:int ->
-  ?horizon:float ->
-  ?engine:engine ->
-  ?protocol:Protocol.t ->
-  ?rate:float ->
-  ?faults:Fault_plan.t ->
-  ?source:int ->
-  Rng.t ->
-  Dynet.t ->
-  mc
-(** Same sample as {!async_spread_times} — bit-identical for the same
-    [rng] seed — computed on up to [domains] (default 4) OCaml 5
-    domains.  Child RNGs are pre-split sequentially and repetitions
-    share no mutable state, so determinism is independent of
-    scheduling.  Every spawned domain is joined even if a replicate
-    raises (on any domain); the first worker exception is re-raised
-    once all domains are accounted for.
-    @raise Invalid_argument if [domains < 1]. *)
+    plan apply to either engine.  Replicates execute on [jobs] worker
+    domains (default {!Rumor_par.Pool.default_jobs}); each repetition
+    gets the index-keyed child stream described above, so the sample
+    does not depend on [jobs] and is stable under changing [reps].
+    Repetitions share no mutable state (each spawns its own [Dynet]
+    instance).  A replicate exception propagates only after every
+    spawned domain has joined.
+    @raise Invalid_argument if [jobs < 1]. *)
 
 val async_spread_sweep :
-  ?domains:int ->
+  ?jobs:int ->
   ?reps:int ->
   ?horizon:float ->
   ?engine:engine ->
@@ -95,9 +101,8 @@ val async_spread_sweep :
   Rng.t ->
   Dynet.t ->
   sweep
-(** Hardened Monte-Carlo sweep (default sequential; [domains] > 1 for
-    the parallel variant with the same bit-identical-sample guarantee
-    as {!async_spread_times_parallel}):
+(** Hardened Monte-Carlo sweep on the same pool (same
+    bit-identical-sample guarantee for any [jobs]):
 
     - {b exception isolation} — a replicate that raises is recorded as
       [Failed] with the printed exception and the sweep carries on; the
@@ -108,19 +113,25 @@ val async_spread_sweep :
       [Censored] outcome carrying the time it reached.
     - {b checkpoint/resume} — with [checkpoint:path], decided outcomes
       are serialized to [path] keyed by each replicate's split-RNG
-      fingerprint (incrementally in sequential mode, and always on the
-      way out — including the exception path).  A later sweep with the
-      same parent RNG seed reuses them and re-runs only the missing
-      replicates, reproducing bit-identical samples to an
+      fingerprint, itself a pure function of the sweep seed and the
+      replicate {e index} (no sequential cursor; incrementally in
+      sequential mode, and always on the way out — including the
+      exception path).  A later sweep with the same parent RNG seed
+      reuses them — whatever scattered subset of indices was decided,
+      and whatever [jobs] either sweep uses — and re-runs only the
+      missing replicates, reproducing bit-identical samples to an
       uninterrupted sweep.
 
-    @raise Invalid_argument if [domains < 1] or [reps < 1]. *)
+    @raise Invalid_argument if [jobs < 1] or [reps < 1]. *)
 
 val sweep_counts : sweep -> int * int * int
 (** [(finished, censored, failed)] outcome counts. *)
 
 val usable_times : sweep -> float array
-(** Spread times of the [Finished] replicates, in repetition order. *)
+(** Spread times of the [Finished] replicates only, in repetition
+    order — the hardened convention: censored replicates are {e
+    excluded} (their recorded times understate the truth), unlike the
+    classic {!mc}[.times] which includes them at the horizon value. *)
 
 val first_failure : sweep -> string option
 (** The first recorded [Failed] message, if any. *)
@@ -132,6 +143,7 @@ val mc_of_sweep : sweep -> mc
     dropped, so [reps] shrinks accordingly. *)
 
 val sync_spread_rounds :
+  ?jobs:int ->
   ?reps:int ->
   ?max_rounds:int ->
   ?protocol:Protocol.t ->
@@ -144,4 +156,10 @@ val sync_spread_rounds :
     counts. *)
 
 val flooding_rounds :
-  ?reps:int -> ?max_rounds:int -> ?source:int -> Rng.t -> Dynet.t -> mc
+  ?jobs:int ->
+  ?reps:int ->
+  ?max_rounds:int ->
+  ?source:int ->
+  Rng.t ->
+  Dynet.t ->
+  mc

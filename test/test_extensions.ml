@@ -420,10 +420,8 @@ let test_estimate_spread_time () =
 
 let test_parallel_matches_sequential () =
   let net = Dynet.of_static (Gen.clique 32) in
-  let seq = Run.async_spread_times ~reps:16 (Rng.create 40) net in
-  let par =
-    Run.async_spread_times_parallel ~domains:3 ~reps:16 (Rng.create 40) net
-  in
+  let seq = Run.async_spread_times ~jobs:1 ~reps:16 (Rng.create 40) net in
+  let par = Run.async_spread_times ~jobs:3 ~reps:16 (Rng.create 40) net in
   check int "completed equal" seq.Run.completed par.Run.completed;
   for i = 0 to 15 do
     check (Alcotest.float 1e-12) "identical samples" seq.Run.times.(i)
@@ -432,15 +430,15 @@ let test_parallel_matches_sequential () =
 
 let test_parallel_single_domain () =
   let net = Dynet.of_static (Gen.cycle 12) in
-  let a = Run.async_spread_times_parallel ~domains:1 ~reps:5 (Rng.create 41) net in
+  let a = Run.async_spread_times ~jobs:1 ~reps:5 (Rng.create 41) net in
   check int "reps" 5 a.Run.reps;
   check int "all complete" 5 a.Run.completed
 
 let test_parallel_adaptive_family () =
   (* Adaptive families spawn per-rep instances: safe across domains. *)
   let net = Dichotomy.g2 ~n:24 in
-  let seq = Run.async_spread_times ~reps:8 (Rng.create 42) net in
-  let par = Run.async_spread_times_parallel ~domains:4 ~reps:8 (Rng.create 42) net in
+  let seq = Run.async_spread_times ~jobs:1 ~reps:8 (Rng.create 42) net in
+  let par = Run.async_spread_times ~jobs:4 ~reps:8 (Rng.create 42) net in
   for i = 0 to 7 do
     check (Alcotest.float 1e-12) "identical on adaptive" seq.Run.times.(i)
       par.Run.times.(i)

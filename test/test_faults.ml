@@ -317,7 +317,7 @@ let test_parallel_sweep_isolates_failures () =
      domains joined) with the failure recorded. *)
   let reps = 8 in
   let net = Inject.failing ~spawns:[ 2 ] (Dynet.of_static (Gen.clique 16)) in
-  let sweep = Run.async_spread_sweep ~domains:3 ~reps (Rng.create 32) net in
+  let sweep = Run.async_spread_sweep ~jobs:3 ~reps (Rng.create 32) net in
   let finished, _, failed = Run.sweep_counts sweep in
   check int "reps - 1 finished (parallel)" (reps - 1) finished;
   check int "one failure (parallel)" 1 failed
@@ -326,7 +326,7 @@ let test_parallel_sampler_joins_then_raises () =
   (* The classic parallel sampler re-raises the worker exception after
      joining every domain. *)
   let net = Inject.failing ~spawns:[ 1 ] (Dynet.of_static (Gen.clique 8)) in
-  match Run.async_spread_times_parallel ~domains:3 ~reps:6 (Rng.create 33) net with
+  match Run.async_spread_times ~jobs:3 ~reps:6 (Rng.create 33) net with
   | _ -> Alcotest.fail "expected Injected_failure"
   | exception Inject.Injected_failure _ -> ()
 

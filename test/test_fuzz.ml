@@ -74,6 +74,27 @@ let test_fuzz () =
     check bool (Printf.sprintf "invariants at iteration %d" i) true ok
   done
 
+(* --- split-seed determinism property --- *)
+
+let prop_sweep_fingerprints_job_invariant =
+  (* For any sweep seed and any job count, the multiset (in fact the
+     ordered array) of per-replicate RNG fingerprints — the checkpoint
+     keys — must equal the sequential run's: replicate streams are
+     derived from the replicate index, never from execution order. *)
+  QCheck.Test.make ~count:30
+    ~name:"sweep fingerprints are job-count invariant"
+    QCheck.(pair (int_range 0 1_000_000) (int_range 2 6))
+    (fun (seed, jobs) ->
+      let net = Dynet.of_static (Gen.clique 8) in
+      let reps = 9 in
+      let seq = Run.async_spread_sweep ~jobs:1 ~reps (Rng.create seed) net in
+      let par = Run.async_spread_sweep ~jobs ~reps (Rng.create seed) net in
+      seq.Run.seeds = par.Run.seeds && seq.Run.outcomes = par.Run.outcomes)
+
 let () =
   Alcotest.run "fuzz"
-    [ ("cross-family", [ Alcotest.test_case "300 random runs" `Slow test_fuzz ]) ]
+    [
+      ("cross-family", [ Alcotest.test_case "300 random runs" `Slow test_fuzz ]);
+      ( "determinism",
+        [ QCheck_alcotest.to_alcotest prop_sweep_fingerprints_job_invariant ] );
+    ]

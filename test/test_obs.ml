@@ -131,13 +131,13 @@ let test_run_determinism () =
   (* Draws-parity: the same seed yields the same sample with the
      subsystem off and on — recording never touches an RNG. *)
   Obs.Metrics.disable ();
-  let off = Run.async_spread_times_parallel ~domains:2 ~reps:16 (Rng.create 7) net in
+  let off = Run.async_spread_times ~jobs:2 ~reps:16 (Rng.create 7) net in
   Obs.Metrics.enable ();
   Obs.Metrics.reset ();
-  let one = Run.async_spread_times_parallel ~domains:1 ~reps:16 (Rng.create 7) net in
+  let one = Run.async_spread_times ~jobs:1 ~reps:16 (Rng.create 7) net in
   let snap1 = Obs.Json.to_string (Obs.Metrics.snapshot ()) in
   Obs.Metrics.reset ();
-  let four = Run.async_spread_times_parallel ~domains:4 ~reps:16 (Rng.create 7) net in
+  let four = Run.async_spread_times ~jobs:4 ~reps:16 (Rng.create 7) net in
   let snap4 = Obs.Json.to_string (Obs.Metrics.snapshot ()) in
   Obs.Metrics.disable ();
   check times_t "times identical with metrics off vs on" off.Run.times
