@@ -57,6 +57,22 @@ let bench_tests () =
     Test.make ~name
       (Staged.stage (fun () -> ignore (Rumor.Async_cut.run (fresh_rng ()) net ~source)))
   in
+  (* Dynamic-network step throughput: the incremental delta path vs the
+     full O(m) rebuild on the same sparse sampler, vs the dense O(n^2)
+     sampler with rebuilds (the pre-delta baseline).  Sub-critical
+     churn (stationary density ~0.002) keeps the rumor from spreading,
+     so these runs are horizon-censored and measure per-step work. *)
+  let dyn_horizon = 50. in
+  let markov = Rumor.Markovian.network ~n ~p:1e-4 ~q:0.05 () in
+  let markov_dense = Rumor.Markovian.network_dense ~n ~p:1e-4 ~q:0.05 () in
+  let alternating = Rumor.Alternating.network ~n () in
+  let test_dyn name ?use_deltas net =
+    Test.make ~name
+      (Staged.stage (fun () ->
+           ignore
+             (Rumor.Async_cut.run ?use_deltas ~horizon:dyn_horizon (fresh_rng ())
+                net ~source:0)))
+  in
   [
     (* E1/E3/E10 workhorse: static spread on dense and sparse graphs. *)
     test_async_cut "async-cut/clique-256" clique_net 0;
@@ -110,6 +126,14 @@ let bench_tests () =
              ignore
                (Rumor.Fenwick.find fw (Rumor.Rng.float rng *. Rumor.Fenwick.total fw))
            done));
+    test_dyn "dyn/markovian-256-delta" markov;
+    test_dyn "dyn/markovian-256-rebuild" ~use_deltas:false markov;
+    test_dyn "dyn/markovian-256-seed" ~use_deltas:false markov_dense;
+    (* Alternating flips between a cubic graph and the clique, so its
+       deltas are Theta(m) and the engine falls back to rebuilding:
+       these two entries should track each other (the no-win case). *)
+    test_dyn "dyn/alternating-256-delta" alternating;
+    test_dyn "dyn/alternating-256-rebuild" ~use_deltas:false alternating;
   ]
 
 let run_benchmarks () =
@@ -142,6 +166,43 @@ let run_benchmarks () =
       else Printf.printf "%-36s %10.0f ns/run\n" name est)
     rows;
   rows
+
+(* --- Dynamic step-throughput speedup --- *)
+
+(* Reads the dyn/* estimates out of the micro-benchmark rows, prints
+   the delta path's speedup over the full-rebuild path and over the
+   dense pre-delta baseline, and optionally gates on the latter
+   (RUMOR_BENCH_DYN_MIN_SPEEDUP=5 exits 1 below 5x) — off by default
+   because shared runners are noisy.  No-op when the micro section was
+   skipped. *)
+let check_dyn_speedup rows =
+  let find key =
+    List.find_map
+      (fun (name, est) ->
+        if name = key || name = "rumor/" ^ key then Some est else None)
+      rows
+  in
+  match
+    ( find "dyn/markovian-256-delta",
+      find "dyn/markovian-256-rebuild",
+      find "dyn/markovian-256-seed" )
+  with
+  | Some d, Some r, Some s when d > 0. ->
+    let vs_rebuild = r /. d and vs_seed = s /. d in
+    Printf.printf
+      "\ndyn markovian-256 step throughput: delta %.3f ms/run, rebuild %.3f \
+       ms/run (%.1fx), dense seed path %.3f ms/run (%.1fx)\n"
+      (d /. 1e6) (r /. 1e6) vs_rebuild (s /. 1e6) vs_seed;
+    (match Env.string "RUMOR_BENCH_DYN_MIN_SPEEDUP" with
+    | Some gate_s ->
+      let gate = float_of_string gate_s in
+      if vs_seed < gate then begin
+        Printf.eprintf "FATAL: dyn speedup %.2fx below gate %.2fx\n" vs_seed
+          gate;
+        exit 1
+      end
+    | None -> ())
+  | _ -> ()
 
 (* --- Parallel-sweep speedup smoke --- *)
 
@@ -232,6 +293,7 @@ let () =
   let rows =
     if env_flag "RUMOR_BENCH_SKIP_MICRO" then [] else run_benchmarks ()
   in
+  check_dyn_speedup rows;
   let rows =
     if env_flag "RUMOR_BENCH_SKIP_PAR" then rows else rows @ run_par_sweep ()
   in

@@ -103,10 +103,11 @@ let network ~n ~rho =
       current := Some (graph, phi);
       (graph, phi)
     in
-    let info (graph, phi) ~changed =
+    let info ?edge_delta (graph, phi) ~changed =
       {
         Dynet.graph;
         changed;
+        delta = edge_delta;
         phi = Some phi;
         rho = None;
         rho_abs = Some (1. /. float_of_int (delta + 1));
@@ -139,7 +140,20 @@ let network ~n ~rho =
               Bitset.iter
                 (fun u -> if Bitset.mem in_b u then ignore (Bitset.remove in_b u))
                 informed;
-              info (rebuild ()) ~changed:true
+              let prev =
+                match !current with Some (g, _) -> Some g | None -> None
+              in
+              let ((graph, _) as cur) = rebuild () in
+              (* Rewirings are usually wholesale; cap the diff so a
+                 too-large delta degrades to a plain rebuild. *)
+              let edge_delta =
+                match prev with
+                | None -> None
+                | Some p ->
+                  Dynet.delta_of_graphs ~max_edges:(1 + (Graph.m graph / 2)) p
+                    graph
+              in
+              info ?edge_delta cur ~changed:true
             end
             else keep ()
           end

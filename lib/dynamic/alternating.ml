@@ -17,25 +17,46 @@ let network ?(fresh_cubic_each_step = false) ~n () =
     source_hint = None;
     spawn =
       (fun rng ->
+        (* The cubic graph plus both transition deltas (complete ->
+           cubic and back).  In the default stable mode this is computed
+           once per spawn; with [fresh_cubic_each_step] it is refreshed
+           on every odd step, and the return delta still describes the
+           cubic actually exposed at the previous step. *)
         let cubic = ref None in
         let get_cubic () =
           match !cubic with
-          | Some g when not fresh_cubic_each_step -> g
+          | Some c when not fresh_cubic_each_step -> c
           | _ ->
             let g = Gen.random_connected_regular rng n 3 in
-            cubic := Some g;
-            g
+            let added, removed = Graph.diff complete g in
+            let c =
+              ( g,
+                Dynet.make_delta ~added ~removed,
+                Dynet.make_delta ~added:removed ~removed:added )
+            in
+            cubic := Some c;
+            c
         in
         Dynet.make_instance (fun ~step ~informed:_ ->
-            if step mod 2 = 0 then
-              Dynet.info_of_graph ~changed:(step = 0 || true) ~phi:phi_complete
+            if step mod 2 = 0 then begin
+              let delta =
+                if step = 0 then None
+                else
+                  match !cubic with
+                  | Some (_, _, to_complete) -> Some to_complete
+                  | None -> None
+              in
+              Dynet.info_of_graph ~changed:true ?delta ~phi:phi_complete
                 ~rho:1.0
                 ~rho_abs:(1. /. float_of_int (n - 1))
                 complete
-            else
+            end
+            else begin
               (* Random cubic graphs are expanders w.h.p.; the harness
                  treats the analytic Phi as a Theta(1) placeholder and
                  the tests cross-check with the spectral sweep. *)
-              Dynet.info_of_graph ~changed:true ~phi:0.15 ~rho:1.0
-                ~rho_abs:(1. /. 3.) (get_cubic ())));
+              let g, to_cubic, _ = get_cubic () in
+              Dynet.info_of_graph ~changed:true ~delta:to_cubic ~phi:0.15
+                ~rho:1.0 ~rho_abs:(1. /. 3.) g
+            end));
   }

@@ -11,21 +11,40 @@ let intermittent ~every (base : Dynet.t) =
     spawn =
       (fun rng ->
         let inner = base.Dynet.spawn rng in
+        let last_exposed = ref None in
         Dynet.make_instance (fun ~step ~informed ->
             if step mod every = 0 then begin
               let info = Dynet.next inner ~informed in
-              (* Exposed after a blank stretch: always a change unless
-                 the very first exposure repeats... conservatively
-                 changed except when every = 1 and the base reports
-                 unchanged. *)
-              let changed = if every = 1 then info.Dynet.changed else true in
-              { info with Dynet.changed }
+              last_exposed := Some info.Dynet.graph;
+              if every = 1 then
+                (* Pure passthrough: consecutive inner steps, so the
+                   inner delta stays valid. *)
+                { info with Dynet.changed = info.Dynet.changed }
+              else if step = 0 then { info with Dynet.changed = true; delta = None }
+              else
+                (* Exposed after a blank stretch: every edge of the new
+                   exposure appears at once. *)
+                {
+                  info with
+                  Dynet.changed = true;
+                  delta =
+                    Some
+                      (Dynet.make_delta
+                         ~added:(Graph.edges info.Dynet.graph)
+                         ~removed:[||]);
+                }
             end
+            else if (step - 1) mod every = 0 then
+              (* Blank step right after an exposure: its edges vanish. *)
+              let removed =
+                match !last_exposed with Some g -> Graph.edges g | None -> [||]
+              in
+              Dynet.info_of_graph ~changed:true
+                ~delta:(Dynet.make_delta ~added:[||] ~removed)
+                ~phi:0. ~rho:0. ~rho_abs:0. blank
             else
-              (* Blank step: a change only right after an exposure. *)
-              Dynet.info_of_graph
-                ~changed:((step - 1) mod every = 0)
-                ~phi:0. ~rho:0. ~rho_abs:0. blank))
+              Dynet.info_of_graph ~changed:false ~phi:0. ~rho:0. ~rho_abs:0.
+                blank))
   }
 
 let with_edge_dropout ~p (base : Dynet.t) =
@@ -125,20 +144,59 @@ let with_partition ~from_step ~until_step ~side (base : Dynet.t) =
     spawn =
       (fun rng ->
         let inner = base.Dynet.spawn rng in
+        let prev_exposed = ref None in
+        (* Describe [g] relative to the previously exposed graph: an
+           exact diff-based delta (capped: past half the edge count a
+           rebuild is cheaper), and an honest [changed] flag. *)
+        let describe base_info g =
+          let out =
+            match !prev_exposed with
+            | None -> { base_info with Dynet.graph = g; changed = true; delta = None }
+            | Some p ->
+              let added, removed = Graph.diff p g in
+              if Array.length added = 0 && Array.length removed = 0 then
+                { base_info with Dynet.graph = p; changed = false; delta = None }
+              else begin
+                let d = Dynet.make_delta ~added ~removed in
+                let delta =
+                  if Dynet.delta_size d > 1 + (Graph.m g / 2) then None
+                  else Some d
+                in
+                { base_info with Dynet.graph = g; changed = true; delta }
+              end
+          in
+          prev_exposed := Some out.Dynet.graph;
+          out
+        in
         Dynet.make_instance (fun ~step ~informed ->
             let info = Dynet.next inner ~informed in
             if step >= from_step && step < until_step then begin
-              let g = info.Dynet.graph in
-              let b = Builder.create (Graph.n g) in
-              Graph.iter_edges
-                (fun u v -> if side u = side v then Builder.add_edge_exn b u v)
-                g;
-              Dynet.info_of_graph ~changed:true (Builder.freeze b)
+              match !prev_exposed with
+              | Some g when (not info.Dynet.changed) && step > from_step ->
+                (* Inner unchanged strictly inside the window: the
+                   filtered graph is unchanged too; skip the rebuild. *)
+                Dynet.info_of_graph ~changed:false g
+              | _ ->
+                let g0 = info.Dynet.graph in
+                let b = Builder.create (Graph.n g0) in
+                Graph.iter_edges
+                  (fun u v -> if side u = side v then Builder.add_edge_exn b u v)
+                  g0;
+                (* The filter invalidates the inner analytic values, so
+                   start from a bare info. *)
+                describe (Dynet.info_of_graph g0) (Builder.freeze b)
             end
-            else
+            else if step = until_step then
               (* Leaving the window restores the cross edges even when
-                 the base graph itself did not change. *)
-              { info with Dynet.changed = info.Dynet.changed || step = until_step }))
+                 the base graph itself did not change; diff against the
+                 last filtered exposure. *)
+              describe info info.Dynet.graph
+            else begin
+              (* Outside the window: consecutive inner exposures, so
+                 the inner delta passes through unchanged. *)
+              prev_exposed := Some info.Dynet.graph;
+              info
+            end))
   }
 
 let interleave nets =
@@ -168,8 +226,10 @@ let interleave nets =
                 Dynet.next instances.(step mod Array.length instances) ~informed
               in
               (* Consecutive exposed graphs come from different
-                 networks, so report changed conservatively. *)
-              { info with Dynet.changed = true }));
+                 networks: report changed conservatively, and drop the
+                 inner delta — it describes the inner network's own
+                 previous graph, not the one exposed last step. *)
+              { info with Dynet.changed = true; delta = None }));
     }
 
 let map_graph ?name f (base : Dynet.t) =

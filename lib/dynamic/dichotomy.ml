@@ -6,6 +6,8 @@ let g1 ~n =
   if n < 4 then invalid_arg "Dichotomy.g1: need n >= 4";
   let initial = Gen.clique_with_pendant n in
   let later = Gen.two_cliques_bridged n in
+  (* The single switch at step 1, diffed once at construction. *)
+  let switch = Dynet.delta_of_graphs initial later in
   {
     Dynet.n = n + 1;
     name = Printf.sprintf "G1(n=%d)" n;
@@ -14,7 +16,9 @@ let g1 ~n =
       (fun _rng ->
         Dynet.make_instance (fun ~step ~informed:_ ->
             if step = 0 then Dynet.info_of_graph ~changed:true initial
-            else Dynet.info_of_graph ~changed:(step = 1) later));
+            else if step = 1 then
+              Dynet.info_of_graph ~changed:true ?delta:switch later
+            else Dynet.info_of_graph ~changed:false later));
   }
 
 let star_graph ~n ~center =
@@ -30,9 +34,25 @@ let g2 ~n =
   let total = n + 1 in
   (* The star is 1-diligent, absolutely 1-diligent and has
      conductance 1. *)
-  let star_info ~changed center =
-    Dynet.info_of_graph ~changed ~phi:1.0 ~rho:1.0 ~rho_abs:1.0
+  let star_info ?delta ~changed center =
+    Dynet.info_of_graph ~changed ?delta ~phi:1.0 ~rho:1.0 ~rho_abs:1.0
       (star_graph ~n ~center)
+  in
+  (* Recentering c -> c' keeps the edge (c, c') and swaps the remaining
+     n - 1 spokes: an O(n) exact delta whose only degree changes are at
+     the two centres. *)
+  let recenter_delta ~old_c ~new_c =
+    let removed = Array.make (n - 1) (0, 0)
+    and added = Array.make (n - 1) (0, 0) in
+    let k = ref 0 in
+    for v = 0 to n do
+      if v <> old_c && v <> new_c then begin
+        removed.(!k) <- (old_c, v);
+        added.(!k) <- (new_c, v);
+        incr k
+      end
+    done;
+    Dynet.make_delta ~added ~removed
   in
   {
     Dynet.n = total;
@@ -69,7 +89,12 @@ let g2 ~n =
                 | l -> Rng.choose rng (Array.of_list l)
               in
               let changed = next_center <> !center in
+              let delta =
+                if changed then
+                  Some (recenter_delta ~old_c:!center ~new_c:next_center)
+                else None
+              in
               center := next_center;
-              star_info ~changed next_center
+              star_info ?delta ~changed next_center
             end))
   }

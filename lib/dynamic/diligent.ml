@@ -55,10 +55,11 @@ let network ?k ~n ~rho () =
       current := Some (graph, analysis);
       (graph, analysis)
     in
-    let info_of (graph, (analysis : Paper_h.analysis)) ~changed =
+    let info_of ?edge_delta (graph, (analysis : Paper_h.analysis)) ~changed =
       {
         Dynet.graph;
         changed;
+        delta = edge_delta;
         phi = Some analysis.phi_estimate;
         rho = Some analysis.rho_estimate;
         rho_abs = Some (1. /. (2. *. float_of_int delta));
@@ -74,7 +75,23 @@ let network ?k ~n ~rho () =
             informed;
           let after = Bitset.cardinal in_b in
           let shrank = after < before in
-          if after >= rebuild_floor && shrank then info_of (rebuild ()) ~changed:true
+          if after >= rebuild_floor && shrank then begin
+            let prev =
+              match !current with Some (g, _) -> Some g | None -> None
+            in
+            let ((graph, _) as cur) = rebuild () in
+            (* Rewirings are usually wholesale, so cap the diff: past the
+               cap a full rebuild is cheaper than replaying the delta. *)
+            let edge_delta =
+              match prev with
+              | None -> None
+              | Some p ->
+                Dynet.delta_of_graphs
+                  ~max_edges:(1 + (Rumor_graph.Graph.m graph / 2))
+                  p graph
+            in
+            info_of ?edge_delta cur ~changed:true
+          end
           else begin
             match !current with
             | Some cur -> info_of cur ~changed:false

@@ -1,13 +1,48 @@
 open Rumor_util
 open Rumor_rng
 
+type delta = {
+  added : (int * int) array;
+  removed : (int * int) array;
+  degree_changed : int array;
+}
+
 type info = {
   graph : Rumor_graph.Graph.t;
   changed : bool;
+  delta : delta option;
   phi : float option;
   rho : float option;
   rho_abs : float option;
 }
+
+let delta_size d = Array.length d.added + Array.length d.removed
+
+(* Net per-node degree balance of the edge delta; a node whose additions
+   and removals cancel keeps its degree and is excluded. *)
+let make_delta ~added ~removed =
+  let bal = Hashtbl.create (2 * (Array.length added + Array.length removed) + 1) in
+  let bump w (u, v) =
+    let go x =
+      let c = try Hashtbl.find bal x with Not_found -> 0 in
+      Hashtbl.replace bal x (c + w)
+    in
+    go u;
+    go v
+  in
+  Array.iter (bump 1) added;
+  Array.iter (bump (-1)) removed;
+  let changed = ref [] in
+  Hashtbl.iter (fun x c -> if c <> 0 then changed := x :: !changed) bal;
+  let degree_changed = Array.of_list !changed in
+  Array.sort compare degree_changed;
+  { added; removed; degree_changed }
+
+let delta_of_graphs ?max_edges prev next =
+  let added, removed = Rumor_graph.Graph.diff prev next in
+  match max_edges with
+  | Some cap when Array.length added + Array.length removed > cap -> None
+  | _ -> Some (make_delta ~added ~removed)
 
 type instance = {
   mutable steps : int;
@@ -33,8 +68,8 @@ type t = {
   spawn : Rng.t -> instance;
 }
 
-let info_of_graph ?(changed = true) ?phi ?rho ?rho_abs graph =
-  { graph; changed; phi; rho; rho_abs }
+let info_of_graph ?(changed = true) ?delta ?phi ?rho ?rho_abs graph =
+  { graph; changed; delta; phi; rho; rho_abs }
 
 let of_static ?name ?phi ?rho ?rho_abs graph =
   let name =
@@ -49,7 +84,7 @@ let of_static ?name ?phi ?rho ?rho_abs graph =
     spawn =
       (fun _rng ->
         make_instance (fun ~step ~informed:_ ->
-            { graph; changed = step = 0; phi; rho; rho_abs }));
+            { graph; changed = step = 0; delta = None; phi; rho; rho_abs }));
   }
 
 let of_sequence ?name graphs =
@@ -62,6 +97,16 @@ let of_sequence ?name graphs =
         invalid_arg "Dynet.of_sequence: node-count mismatch")
     graphs;
   let name = match name with Some s -> s | None -> Printf.sprintf "sequence-%d" len in
+  (* Per-index transition (changed flag + delta), computed once here
+     instead of an O(m) Graph.equal on every step of every run.
+     trans.(i) describes graphs.((i + len - 1) mod len) -> graphs.(i). *)
+  let trans =
+    Array.init len (fun i ->
+        let prev = graphs.((i + len - 1) mod len) in
+        let added, removed = Rumor_graph.Graph.diff prev graphs.(i) in
+        if Array.length added = 0 && Array.length removed = 0 then (false, None)
+        else (true, Some (make_delta ~added ~removed)))
+  in
   {
     n;
     name;
@@ -70,11 +115,10 @@ let of_sequence ?name graphs =
       (fun _rng ->
         make_instance (fun ~step ~informed:_ ->
             let g = graphs.(step mod len) in
-            let changed =
-              step = 0
-              || not (Rumor_graph.Graph.equal g graphs.((step - 1) mod len))
-            in
-            info_of_graph ~changed g));
+            if step = 0 then info_of_graph ~changed:true g
+            else
+              let changed, delta = trans.(step mod len) in
+              info_of_graph ~changed ?delta g));
   }
 
 let of_fun ~n ~name ?source_hint f =

@@ -12,9 +12,18 @@ open Rumor_graph
 val network :
   n:int -> p:float -> q:float -> ?init:Graph.t -> unit -> Dynet.t
 (** [network ~n ~p ~q ()] starts from [init] (default: the empty
-    graph) and evolves per step.
+    graph) and evolves per step.  Steps are sampled sparsely: geometric
+    skipping visits only the flipped pairs, so a step costs
+    O(#flips + p * m) expected instead of O(n^2), and each step carries
+    the exact {!Dynet.delta} of its flips.
     @raise Invalid_argument if [p] or [q] is outside [[0, 1]], or
     [init] has the wrong node count. *)
+
+val network_dense :
+  n:int -> p:float -> q:float -> ?init:Graph.t -> unit -> Dynet.t
+(** The direct O(n^2)-per-step sampler (one Bernoulli trial per node
+    pair), kept as a benchmark baseline and distributional cross-check
+    for {!network}.  Emits no deltas. *)
 
 val stationary_edge_probability : p:float -> q:float -> float
 (** The chain's stationary presence probability [p / (p + q)]

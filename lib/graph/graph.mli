@@ -1,10 +1,14 @@
-(** Immutable simple undirected graphs.
+(** Immutable simple undirected graphs in CSR form.
 
-    The node universe is [{0, ..., n-1}].  Graphs are immutable once
-    built (use {!Builder} to construct them); the simulators share
-    graph values freely across Monte-Carlo repetitions.  Parallel edges
-    and self-loops are rejected at construction time: every graph in
-    the paper's model is simple (Section 2). *)
+    The node universe is [{0, ..., n-1}].  Adjacency is stored as a
+    compressed sparse row: one offsets array plus one packed neighbour
+    array, ascending within each node's segment — cache-friendly on the
+    simulator hot paths and cheap to re-derive step over step via
+    {!patch}.  Graphs are immutable once built (use {!Builder}, or
+    {!patch} from a predecessor); the simulators share graph values
+    freely across Monte-Carlo repetitions.  Parallel edges and
+    self-loops are rejected at construction time: every graph in the
+    paper's model is simple (Section 2). *)
 
 type t
 
@@ -19,20 +23,33 @@ val degree : t -> int -> int
     range. *)
 
 val neighbors : t -> int -> int array
-(** Neighbour array of [u] in increasing order.  The returned array is
-    owned by the graph: callers must not mutate it. *)
+(** Neighbour array of [u] in increasing order, as a fresh array
+    (allocates — prefer {!iter_neighbors} or {!unsafe_neighbor} on hot
+    paths). *)
 
 val neighbor : t -> int -> int -> int
-(** [neighbor g u i] is the [i]-th neighbour of [u]; O(1).  Used by the
-    simulators to pick a uniform neighbour without allocating.
+(** [neighbor g u i] is the [i]-th neighbour of [u]; O(1).
     @raise Invalid_argument if [i >= degree g u]. *)
+
+val iter_neighbors : (int -> unit) -> t -> int -> unit
+(** Iterate the neighbours of a node in increasing order without
+    allocating.  Unchecked: the node must be in range. *)
+
+val unsafe_degree : t -> int -> int
+(** [degree] without the bounds check.  The engines validate node ids
+    once at creation and use this inside their event loops. *)
+
+val unsafe_neighbor : t -> int -> int -> int
+(** [neighbor] without any bounds check: [u] must be in range and
+    [0 <= i < degree g u]. *)
 
 val has_edge : t -> int -> int -> bool
 (** Adjacency test, O(log(degree)). *)
 
 val edges : t -> (int * int) array
 (** Every edge once, as [(u, v)] with [u < v], sorted
-    lexicographically.  Owned by the graph: do not mutate. *)
+    lexicographically.  Owned by the graph (computed once, lazily): do
+    not mutate. *)
 
 val iter_edges : (int -> int -> unit) -> t -> unit
 (** Iterate over edges [(u, v)] with [u < v]. *)
@@ -61,6 +78,27 @@ val of_edges : int -> (int * int) list -> t
     over {!Builder}.  Duplicate edges (in either orientation) and
     self-loops are rejected.
     @raise Invalid_argument on malformed input. *)
+
+(** {1 Structural deltas}
+
+    The dynamic-network layer evolves graphs step over step; these two
+    operations close the loop: [patch g ~add ~remove] is the next step's
+    graph and [diff] recovers the delta between two snapshots. *)
+
+val patch : t -> add:(int * int) array -> remove:(int * int) array -> t
+(** [patch g ~add ~remove] is [g] with the [add] edges inserted and the
+    [remove] edges deleted, built by segment blits in
+    O(n + |delta| * max-touched-degree) — no Builder round trip.  Edge
+    pairs may be given in either orientation.
+    @raise Invalid_argument if an added edge is already present (or
+    self-looping, or out of range), a removed edge is absent, or an
+    edge appears twice in the delta. *)
+
+val diff : t -> t -> (int * int) array * (int * int) array
+(** [diff a b] is [(added, removed)] with both arrays lex-sorted and
+    [(u, v)]-oriented ([u < v]), such that
+    [patch a ~add:added ~remove:removed] equals [b].  O(n + m_a + m_b).
+    @raise Invalid_argument on a node-count mismatch. *)
 
 (**/**)
 

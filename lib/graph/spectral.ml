@@ -11,10 +11,9 @@ type estimate = {
 let apply_lazy_walk g x out =
   let n = Graph.n g in
   for u = 0 to n - 1 do
-    let neigh = Graph.neighbors g u in
-    let d = Array.length neigh in
+    let d = Graph.degree g u in
     let sum = ref 0. in
-    Array.iter (fun v -> sum := !sum +. x.(v)) neigh;
+    Graph.iter_neighbors (fun v -> sum := !sum +. x.(v)) g u;
     out.(u) <- 0.5 *. (x.(u) +. (!sum /. float_of_int d))
   done
 
@@ -53,9 +52,9 @@ let sweep_cut g order =
     (fun idx u ->
       inside.(u) <- true;
       vol_s := !vol_s + Graph.degree g u;
-      Array.iter
+      Graph.iter_neighbors
         (fun v -> if inside.(v) then decr cut else incr cut)
-        (Graph.neighbors g u);
+        g u;
       if idx < n - 1 && !vol_s > 0 && !vol_s < vol_g then begin
         let phi =
           float_of_int !cut /. float_of_int (min !vol_s (vol_g - !vol_s))

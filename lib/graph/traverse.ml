@@ -6,13 +6,13 @@ let bfs g s =
   Queue.push s queue;
   while not (Queue.is_empty queue) do
     let u = Queue.pop queue in
-    Array.iter
+    Graph.iter_neighbors
       (fun v ->
         if dist.(v) < 0 then begin
           dist.(v) <- dist.(u) + 1;
           Queue.push v queue
         end)
-      (Graph.neighbors g u)
+      g u
   done;
   dist
 
@@ -36,13 +36,13 @@ let components g =
       Queue.push s queue;
       while not (Queue.is_empty queue) do
         let u = Queue.pop queue in
-        Array.iter
+        Graph.iter_neighbors
           (fun v ->
             if label.(v) < 0 then begin
               label.(v) <- c;
               Queue.push v queue
             end)
-          (Graph.neighbors g u)
+          g u
       done
     end
   done;

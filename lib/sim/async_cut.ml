@@ -18,6 +18,13 @@ let m_wasted_draws = Obs.counter "async_cut.wasted_draws"
 let m_steps = Obs.counter "async_cut.steps"
 let m_rebuilds = Obs.counter "async_cut.weight_rebuilds"
 let m_fenwick_ops = Obs.counter "async_cut.fenwick_ops"
+let m_delta_steps = Obs.counter "async_cut.delta_steps"
+let m_delta_updates = Obs.counter "async_cut.delta_node_updates"
+
+(* Worst observed |Fenwick total - freshly recomputed total| at a
+   periodic rebuild: the floating-point drift the incremental updates
+   accumulated before being canonicalised away. *)
+let g_drift = Obs.gauge "async_cut.weight_drift"
 
 (* Cut rate carried by an uninformed node v, per protocol:
    push-pull:  sum over informed neighbours u of (r_u/d_u + r_v/d_v)
@@ -47,72 +54,160 @@ type engine = {
   protocol : Protocol.t;
   rate : float;
   faults : Fault_plan.state;
+  use_deltas : bool;
+  rebuild_every : int;
   informed : Bitset.t;
   fenwick : Fenwick.t;
   scratch : float array;
   times : float array;
+  touch_mark : Bytes.t;
+  touch_buf : int array;
   mutable graph : Graph.t;
   mutable tau : float;
   mutable step : int;
   mutable lost : int;
+  mutable informs_since_rebuild : int;
+  mutable max_drift : float;
   (* telemetry tallies, flushed to Rumor_obs.Metrics by [run] *)
   mutable rebuilds : int;
   mutable fenwick_ops : int;
   mutable wasted_draws : int;
+  mutable delta_steps : int;
+  mutable delta_updates : int;
 }
 
+(* Cut weight of one slot, exactly as the full rebuild computes it
+   (same neighbour order, same accumulation order), so a node touched
+   by [apply_delta] carries the bit-identical weight a rebuild would
+   have given it. *)
+let node_weight e graph v =
+  if Bitset.mem e.informed v || not (Fault_plan.alive e.faults v) then 0.
+  else begin
+    let dv = float_of_int (Graph.unsafe_degree graph v) in
+    let rv = Fault_plan.rate e.faults v in
+    let w = ref 0. in
+    Graph.iter_neighbors
+      (fun u ->
+        if Bitset.mem e.informed u && Fault_plan.allows e.faults u v then
+          w :=
+            !w
+            +. pair_rate e.protocol
+                 ~du:(float_of_int (Graph.unsafe_degree graph u))
+                 ~ru:(Fault_plan.rate e.faults u)
+                 ~dv ~rv)
+      graph v;
+    !w *. e.rate
+  end
+
 let rebuild_weights e =
-  let graph = e.graph and informed = e.informed in
+  let graph = e.graph in
   let n = Graph.n graph in
   e.rebuilds <- e.rebuilds + 1;
   e.fenwick_ops <- e.fenwick_ops + n;
   for v = 0 to n - 1 do
-    e.scratch.(v) <- 0.
+    e.scratch.(v) <- node_weight e graph v
   done;
+  Fenwick.fill_from e.fenwick e.scratch;
+  e.informs_since_rebuild <- 0
+
+(* Same as [rebuild_weights], on an unchanged graph: measure how far
+   the incrementally maintained weights drifted from a from-scratch
+   recomputation before canonicalising them away.  Runs every
+   [rebuild_every] informs in both the delta and the rebuild engine
+   mode, so the two modes stay draw-for-draw comparable. *)
+let periodic_rebuild e =
+  let graph = e.graph in
+  let n = Graph.n graph in
+  let sum = ref 0. in
   for v = 0 to n - 1 do
-    if (not (Bitset.mem informed v)) && Fault_plan.alive e.faults v then begin
-      let neigh = Graph.neighbors graph v in
-      let dv = float_of_int (Array.length neigh) in
-      let rv = Fault_plan.rate e.faults v in
-      let w = ref 0. in
-      Array.iter
-        (fun u ->
-          if Bitset.mem informed u && Fault_plan.allows e.faults u v then
-            w :=
-              !w
-              +. pair_rate e.protocol
-                   ~du:(float_of_int (Graph.degree graph u))
-                   ~ru:(Fault_plan.rate e.faults u)
-                   ~dv ~rv)
-        neigh;
-      e.scratch.(v) <- !w *. e.rate
-    end
+    let w = node_weight e graph v in
+    e.scratch.(v) <- w;
+    sum := !sum +. w
   done;
-  Fenwick.fill_from e.fenwick e.scratch
+  let drift = Float.abs (Fenwick.total e.fenwick -. !sum) in
+  if drift > e.max_drift then e.max_drift <- drift;
+  e.rebuilds <- e.rebuilds + 1;
+  e.fenwick_ops <- e.fenwick_ops + n;
+  Fenwick.fill_from e.fenwick e.scratch;
+  e.informs_since_rebuild <- 0
+
+(* O(Delta * maxdeg) incremental re-weighting after an edge delta.  The
+   recompute set is exact: an uninformed node's weight depends on its
+   own degree and incident edges (it is then an endpoint of a touched
+   edge) and on the degrees of its informed neighbours (it is then a
+   new-graph neighbour of an informed degree-changed node).  Informed
+   slots are zero and stay zero. *)
+let apply_delta e (d : Dynet.delta) =
+  let graph = e.graph and informed = e.informed in
+  let nt = ref 0 in
+  let consider v =
+    if
+      Bytes.unsafe_get e.touch_mark v = '\000' && not (Bitset.mem informed v)
+    then begin
+      Bytes.unsafe_set e.touch_mark v '\001';
+      e.touch_buf.(!nt) <- v;
+      incr nt
+    end
+  in
+  let consider_edge (u, v) =
+    consider u;
+    consider v
+  in
+  Array.iter consider_edge d.Dynet.added;
+  Array.iter consider_edge d.Dynet.removed;
+  Array.iter
+    (fun w ->
+      if Bitset.mem informed w then Graph.iter_neighbors consider graph w)
+    d.Dynet.degree_changed;
+  for i = 0 to !nt - 1 do
+    let v = e.touch_buf.(i) in
+    Bytes.unsafe_set e.touch_mark v '\000';
+    Fenwick.set e.fenwick v (node_weight e graph v)
+  done;
+  e.fenwick_ops <- e.fenwick_ops + !nt;
+  e.delta_updates <- e.delta_updates + !nt;
+  e.delta_steps <- e.delta_steps + 1
+
+(* Estimated delta-apply cost versus the O(n + 2m) rebuild; families
+   like [alternating] legitimately ship deltas close to the full edge
+   set, where replaying them would be slower than rebuilding. *)
+let delta_affordable e (d : Dynet.delta) =
+  let graph = e.graph in
+  let est = ref (2 * Dynet.delta_size d) in
+  Array.iter
+    (fun w ->
+      if Bitset.mem e.informed w then
+        est := !est + Graph.unsafe_degree graph w)
+    d.Dynet.degree_changed;
+  2 * !est < Graph.n graph + Graph.volume graph
 
 let inform_node e v =
   ignore (Bitset.add e.informed v);
   e.times.(v) <- e.tau;
+  e.informs_since_rebuild <- e.informs_since_rebuild + 1;
   Fenwick.set e.fenwick v 0.;
   e.fenwick_ops <- e.fenwick_ops + 1;
   let graph = e.graph in
-  let dv = float_of_int (Graph.degree graph v) in
+  let dv = float_of_int (Graph.unsafe_degree graph v) in
   let rv = Fault_plan.rate e.faults v in
-  Array.iter
+  Graph.iter_neighbors
     (fun x ->
       if (not (Bitset.mem e.informed x)) && Fault_plan.allows e.faults v x then begin
         e.fenwick_ops <- e.fenwick_ops + 1;
         Fenwick.add e.fenwick x
           (e.rate
           *. pair_rate e.protocol ~du:dv ~ru:rv
-               ~dv:(float_of_int (Graph.degree graph x))
+               ~dv:(float_of_int (Graph.unsafe_degree graph x))
                ~rv:(Fault_plan.rate e.faults x))
       end)
-    (Graph.neighbors graph v)
+    graph v
 
 let create ?(protocol = Protocol.Push_pull) ?(rate = 1.0)
-    ?(faults = Fault_plan.none) rng (net : Dynet.t) ~source =
+    ?(faults = Fault_plan.none) ?(use_deltas = true) ?(rebuild_every = 8192)
+    rng (net : Dynet.t) ~source =
   if rate <= 0. then invalid_arg "Async_cut.run: rate must be positive";
+  if rebuild_every < 1 then
+    invalid_arg "Async_cut.run: rebuild_every must be positive";
   let n = net.n in
   if source < 0 || source >= n then
     invalid_arg (Printf.sprintf "Async_cut.run: source %d out of range" source);
@@ -130,17 +225,25 @@ let create ?(protocol = Protocol.Push_pull) ?(rate = 1.0)
       protocol;
       rate;
       faults;
+      use_deltas;
+      rebuild_every;
       informed;
       fenwick = Fenwick.create n;
       scratch = Array.make n 0.;
       times;
+      touch_mark = Bytes.make n '\000';
+      touch_buf = Array.make (max 1 n) 0;
       graph = info.Dynet.graph;
       tau = 0.;
       step = 0;
       lost = 0;
+      informs_since_rebuild = 0;
+      max_drift = 0.;
       rebuilds = 0;
       fenwick_ops = 0;
       wasted_draws = 0;
+      delta_steps = 0;
+      delta_updates = 0;
     }
   in
   rebuild_weights e;
@@ -158,13 +261,29 @@ let is_complete e = Bitset.is_full e.informed
 
 let lost_count e = e.lost
 
+let cut_weight e v = Fenwick.get e.fenwick v
+
+let total_cut_rate e = Fenwick.total e.fenwick
+
+let current_graph e = e.graph
+
+let max_weight_drift e = e.max_drift
+
 let advance_step e =
   e.tau <- float_of_int (e.step + 1);
   e.step <- e.step + 1;
   let next_info = Dynet.next e.instance ~informed:e.informed in
   e.graph <- next_info.Dynet.graph;
   let faults_changed = Fault_plan.advance e.faults e.rng ~step:e.step in
-  if next_info.Dynet.changed || faults_changed then rebuild_weights e;
+  (* A fault transition can re-weight arbitrary nodes (aliveness, clock
+     rates, partitions), which an edge delta does not describe: always
+     rebuild there. *)
+  if faults_changed then rebuild_weights e
+  else if next_info.Dynet.changed then begin
+    match next_info.Dynet.delta with
+    | Some d when e.use_deltas && delta_affordable e d -> apply_delta e d
+    | _ -> rebuild_weights e
+  end;
   Step_boundary (e.step, next_info.Dynet.changed)
 
 let rec next_event e =
@@ -195,14 +314,18 @@ let rec next_event e =
         end
         else begin
           inform_node e v;
+          (* Bound floating-point drift: canonicalise all weights every
+             [rebuild_every] informs (consumes no randomness). *)
+          if e.informs_since_rebuild >= e.rebuild_every then
+            periodic_rebuild e;
           Informed (v, e.tau)
         end
       end
     end
   end
 
-let run ?protocol ?rate ?faults ?(horizon = 1e7) ?max_events
-    ?(record_trace = false) rng (net : Dynet.t) ~source =
+let run ?protocol ?rate ?faults ?use_deltas ?rebuild_every ?(horizon = 1e7)
+    ?max_events ?(record_trace = false) rng (net : Dynet.t) ~source =
   let budget =
     match max_events with
     | None -> max_int
@@ -210,7 +333,7 @@ let run ?protocol ?rate ?faults ?(horizon = 1e7) ?max_events
       if b < 1 then invalid_arg "Async_cut.run: max_events must be positive";
       b
   in
-  let e = create ?protocol ?rate ?faults rng net ~source in
+  let e = create ?protocol ?rate ?faults ?use_deltas ?rebuild_every rng net ~source in
   let trace = ref [] in
   let record tau =
     if record_trace then trace := (tau, Bitset.cardinal e.informed) :: !trace
@@ -240,7 +363,10 @@ let run ?protocol ?rate ?faults ?(horizon = 1e7) ?max_events
     Obs.add m_wasted_draws e.wasted_draws;
     Obs.add m_steps (e.step + 1);
     Obs.add m_rebuilds e.rebuilds;
-    Obs.add m_fenwick_ops e.fenwick_ops
+    Obs.add m_fenwick_ops e.fenwick_ops;
+    Obs.add m_delta_steps e.delta_steps;
+    Obs.add m_delta_updates e.delta_updates;
+    if e.max_drift > Obs.gauge_value g_drift then Obs.set g_drift e.max_drift
   end;
   {
     Async_result.time = e.tau;

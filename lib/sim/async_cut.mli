@@ -16,8 +16,22 @@
     switches.
 
     Cost: O(log n) per informing event via a Fenwick tree over
-    per-node cut rates, O(deg) weight updates per informed node, O(m)
-    rebuilds only on steps whose graph actually changed.
+    per-node cut rates, O(deg) weight updates per informed node.  At a
+    step boundary whose graph changed, a supplied {!Dynet.delta} is
+    applied incrementally in O(Delta * maxdeg) — recomputing only the
+    uninformed endpoints of touched edges and the uninformed
+    neighbours of informed degree-changed nodes — with an O(m) full
+    rebuild as the fallback (no delta, fault transition, or a delta so
+    large that replaying it would cost more than rebuilding).  Every
+    [rebuild_every] informing events (default 8192) all weights are
+    recomputed from scratch to bound floating-point drift; the worst
+    observed drift is exported as the [async_cut.weight_drift] gauge.
+    The delta path recomputes touched weights with the rebuild's exact
+    summation order, so the two paths produce the same informing
+    sequence on the same seed (weights may differ by float
+    canonicalisation residue of order 2^-52, never enough to flip a
+    decision in practice — the differential suite pins outcome
+    equality across all shipped families).
 
     The test suite checks this engine against the literal per-tick
     engine ({!Async_tick}) in distribution (means and two-sample KS).
@@ -39,6 +53,8 @@ val run :
   ?protocol:Protocol.t ->
   ?rate:float ->
   ?faults:Fault_plan.t ->
+  ?use_deltas:bool ->
+  ?rebuild_every:int ->
   ?horizon:float ->
   ?max_events:int ->
   ?record_trace:bool ->
@@ -59,6 +75,14 @@ val run :
     the E13 self-check is non-trivial), node crash/recovery churn,
     per-node clock rates and partition windows.  With the trivial plan
     the engine consumes exactly the pre-fault random-draw sequence.
+
+    [use_deltas] (default [true]) lets the engine apply the network's
+    {!Dynet.delta}s incrementally; [false] forces the full O(m)
+    rebuild on every changed step (the pre-delta behaviour, kept for
+    differential testing and benchmarking).  [rebuild_every] (default
+    8192) is the drift-bounding full-recompute period in informing
+    events; it applies in both modes, so their weight states stay
+    comparable.
 
     [max_events] is a watchdog: when the total processed work
     (informing events + lost messages + step boundaries) reaches it,
@@ -85,6 +109,8 @@ val create :
   ?protocol:Protocol.t ->
   ?rate:float ->
   ?faults:Fault_plan.t ->
+  ?use_deltas:bool ->
+  ?rebuild_every:int ->
   Rng.t ->
   Dynet.t ->
   source:int ->
@@ -115,3 +141,19 @@ val is_complete : engine -> bool
 
 val lost_count : engine -> int
 (** Messages dropped so far by the fault plan (0 without faults). *)
+
+(** {1 Weight-state introspection} — exposed for the differential
+    tests comparing the delta and rebuild paths. *)
+
+val cut_weight : engine -> int -> float
+(** Current Fenwick weight of a node (0 once informed). *)
+
+val total_cut_rate : engine -> float
+(** Current total informing rate [lambda]. *)
+
+val current_graph : engine -> Rumor_graph.Graph.t
+(** The graph exposed at the engine's current step. *)
+
+val max_weight_drift : engine -> float
+(** Worst drift observed so far at a periodic rebuild (0 before the
+    first one). *)

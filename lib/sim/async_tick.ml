@@ -90,9 +90,11 @@ let run ?(protocol = Protocol.Push_pull) ?(rate = 1.0)
         incr ticks;
         let u = pick_node () in
         if Fault_plan.alive fstate u then begin
-          let deg = Graph.degree !graph u in
+          (* Node ids come from the engine's own sampler over [0, n):
+             skip the per-tick bounds checks. *)
+          let deg = Graph.unsafe_degree !graph u in
           if deg > 0 then begin
-            let v = Graph.neighbor !graph u (Rng.int rng deg) in
+            let v = Graph.unsafe_neighbor !graph u (Rng.int rng deg) in
             if Fault_plan.allows fstate u v then begin
               let u_informed = Bitset.mem informed u
               and v_informed = Bitset.mem informed v in

@@ -22,7 +22,7 @@ let run ?(max_rounds = 1_000_000) rng (net : Dynet.t) ~source =
     let snapshot = Bitset.copy informed in
     Bitset.iter
       (fun u ->
-        Array.iter (fun v -> ignore (Bitset.add informed v)) (Graph.neighbors graph u))
+        Graph.iter_neighbors (fun v -> ignore (Bitset.add informed v)) graph u)
       snapshot;
     incr rounds;
     if Bitset.is_full informed then complete := true

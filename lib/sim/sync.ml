@@ -44,9 +44,10 @@ let run ?(protocol = Protocol.Push_pull) ?(max_rounds = 1_000_000)
     let snapshot = Bitset.copy informed in
     for u = 0 to n - 1 do
       if Fault_plan.alive fstate u then begin
-        let deg = Graph.degree graph u in
+        (* [u] ranges over [0, n) by construction: unchecked access. *)
+        let deg = Graph.unsafe_degree graph u in
         if deg > 0 then begin
-          let v = Graph.neighbor graph u (Rng.int rng deg) in
+          let v = Graph.unsafe_neighbor graph u (Rng.int rng deg) in
           incr contacts;
           if Fault_plan.allows fstate u v then begin
             let u_informed = Bitset.mem snapshot u

@@ -29,8 +29,11 @@ let walk ?(laziness = 0.) ?(max_steps = 10_000_000) rng (net : Dynet.t) ~start
     (* One walk step per unit time against the current step's graph;
        the next step's graph is exposed at the integer boundary. *)
     if laziness = 0. || not (Rng.bernoulli rng laziness) then begin
-      let deg = Graph.degree !graph !position in
-      if deg > 0 then position := Graph.neighbor !graph !position (Rng.int rng deg)
+      (* [position] is validated at entry and only ever replaced by a
+         neighbour id: unchecked access. *)
+      let deg = Graph.unsafe_degree !graph !position in
+      if deg > 0 then
+        position := Graph.unsafe_neighbor !graph !position (Rng.int rng deg)
     end;
     ignore (Bitset.add visited !position);
     if stop visited !position then finished := true
