@@ -11,6 +11,10 @@
                  exception isolation, watchdog and checkpoint/resume
      experiment  run a registered paper-validation experiment (E1..E13,
                  A1, A2, O1, B1, R1, F1, L)
+     campaign    run registry experiments under the crash-safe supervised
+                 harness: durable WAL journal, per-replicate deadlines,
+                 retry/backoff, failure budget, graceful SIGINT/SIGTERM
+                 shutdown and bit-identical --resume
      obs         observability utilities: dump the metric registry,
                  compare BENCH_*.json reports (exit 1 on regression)
 
@@ -758,6 +762,147 @@ let experiment_cmd =
     (Cmd.info "experiment" ~doc:"Run a registered paper-validation experiment.")
     Term.(const experiment $ obs_term $ jobs_term $ id $ full $ seed)
 
+(* --- campaign --- *)
+
+let campaign () () ids dir resume deadline retries backoff fail_budget full
+    seed =
+  let experiments =
+    match String.lowercase_ascii (String.trim ids) with
+    | "all" -> Rumor_experiments.Registry.all
+    | spec ->
+      List.map
+        (fun id ->
+          let id = String.trim id in
+          match Rumor_experiments.Registry.find id with
+          | Some e -> e
+          | None ->
+            Printf.eprintf "unknown experiment %S; known: %s\n" id
+              (String.concat ", " Rumor_experiments.Registry.ids);
+            exit 2)
+        (String.split_on_char ',' spec)
+  in
+  let tasks =
+    List.map
+      (fun e ->
+        {
+          Campaign.id = e.Rumor_experiments.Experiment.id;
+          run = (fun () -> Rumor_experiments.Experiment.print ~full ~seed e);
+        })
+      experiments
+  in
+  Campaign.install_signal_handlers ();
+  let config =
+    {
+      (Campaign.default_config ~dir) with
+      Campaign.resume;
+      deadline_s = deadline;
+      retries;
+      backoff_s = backoff;
+      fail_budget;
+    }
+  in
+  let summary = Campaign.run config tasks in
+  Printf.printf "campaign: %d task%s under %s%s\n"
+    (List.length tasks)
+    (if List.length tasks = 1 then "" else "s")
+    dir
+    (if summary.Campaign.resumed then " (resumed)" else "");
+  List.iter
+    (fun (id, outcome) ->
+      Printf.printf "  %-4s %s\n" id
+        (match outcome with
+        | Campaign.Done wall -> Printf.sprintf "done (%.1fs)" wall
+        | Campaign.Cached -> "done (journaled by a previous run)"
+        | Campaign.Quarantined err -> Printf.sprintf "quarantined: %s" err
+        | Campaign.Interrupted -> "interrupted (re-run with --resume)"
+        | Campaign.Not_run -> "not run"))
+    summary.Campaign.outcomes;
+  if summary.Campaign.retries > 0 then
+    Printf.printf "  %d transient retr%s\n" summary.Campaign.retries
+      (if summary.Campaign.retries = 1 then "y" else "ies");
+  if summary.Campaign.wal_corrupt_records > 0 then
+    Printf.printf "  %d corrupt journal record%s quarantined on recovery\n"
+      summary.Campaign.wal_corrupt_records
+      (if summary.Campaign.wal_corrupt_records = 1 then "" else "s");
+  if summary.Campaign.interrupted then
+    Printf.printf
+      "campaign interrupted; resume with: rumor campaign %s --dir %s --resume\n"
+      ids dir;
+  if summary.Campaign.aborted then
+    Printf.printf "campaign aborted: quarantined fraction exceeded %.2f\n"
+      fail_budget;
+  Printf.printf "manifest: %s\n" (Campaign.manifest_path config);
+  exit (Campaign.exit_code summary)
+
+let campaign_cmd =
+  let ids =
+    Arg.(
+      value & pos 0 string "all"
+      & info [] ~docv:"IDS"
+          ~doc:"Experiment id, comma-separated list, or 'all'.")
+  in
+  let dir =
+    Arg.(
+      value & opt string "campaign"
+      & info [ "dir" ] ~docv:"DIR"
+          ~doc:"Campaign directory: the durable journal (campaign.wal) and \
+                the manifest (campaign.manifest.json) live here.")
+  in
+  let resume =
+    Arg.(
+      value & flag
+      & info [ "resume" ]
+          ~doc:"Reuse the journal in --dir: journaled-done tasks are \
+                skipped and the rest re-run bit-identically (replicate RNG \
+                streams are index-keyed).  Without this flag a fresh \
+                journal is started.")
+  in
+  let deadline =
+    Arg.(
+      value & opt (some float) None
+      & info [ "deadline" ] ~docv:"S"
+          ~doc:"Per-replicate wall-clock deadline in seconds; an expired \
+                replicate is censored (harness.deadline_censored) and fed \
+                to the censoring-aware estimators.")
+  in
+  let retries =
+    Arg.(
+      value & opt int 1
+      & info [ "retries" ] ~docv:"K"
+          ~doc:"Extra attempts per task after a transient failure \
+                (I/O errors, out-of-memory); deterministic failures are \
+                quarantined immediately.")
+  in
+  let backoff =
+    Arg.(
+      value & opt float 0.5
+      & info [ "backoff" ] ~docv:"S"
+          ~doc:"Base exponential backoff between retry attempts.")
+  in
+  let fail_budget =
+    Arg.(
+      value & opt float 1.0
+      & info [ "fail-budget" ] ~docv:"F"
+          ~doc:"Abort the campaign once quarantined tasks exceed this \
+                fraction of the task list (1.0 disables the gate).")
+  in
+  let full =
+    Arg.(
+      value & flag
+      & info [ "full" ] ~doc:"Full-size sweeps instead of quick mode.")
+  in
+  Cmd.v
+    (Cmd.info "campaign"
+       ~doc:
+         "Run registry experiments under the crash-safe supervised \
+          harness: durable CRC-framed journal, per-replicate wall-clock \
+          deadlines, transient retry with backoff, a failure budget, and \
+          graceful SIGINT/SIGTERM shutdown with --resume continuing \
+          bit-identically.")
+    Term.(
+      const campaign $ obs_term $ jobs_term $ ids $ dir $ resume $ deadline
+      $ retries $ backoff $ fail_budget $ full $ seed_arg)
+
 (* --- obs --- *)
 
 let obs_dump () =
@@ -894,5 +1039,6 @@ let () =
             trace_cmd;
             faults_cmd;
             experiment_cmd;
+            campaign_cmd;
             obs_cmd;
           ]))

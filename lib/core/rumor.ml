@@ -11,6 +11,7 @@ module Fenwick = Rumor_util.Fenwick
 module Table = Rumor_util.Table
 module Ascii_plot = Rumor_util.Ascii_plot
 module Env = Rumor_util.Env
+module Crc32 = Rumor_util.Crc32
 
 (* Randomness *)
 module Rng = Rumor_rng.Rng
@@ -54,6 +55,13 @@ module Adversary = Rumor_dynamic.Adversary
 module Fault_plan = Rumor_faults.Fault_plan
 module Checkpoint = Rumor_faults.Checkpoint
 module Inject = Rumor_faults.Inject
+
+(* Supervised campaign layer: durable WAL journal, replicate
+   supervision (deadlines, retry/backoff, failure budget), crash-safe
+   campaign runner with graceful shutdown and bit-identical resume. *)
+module Wal = Rumor_harness.Wal
+module Supervisor = Rumor_harness.Supervisor
+module Campaign = Rumor_harness.Campaign
 
 (* Parallelism: the chunked Domain pool behind every Monte-Carlo
    runner (Pool.nproc, Pool.set_default_jobs, Pool.run). *)

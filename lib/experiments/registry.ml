@@ -22,6 +22,8 @@ let all =
     L_lemmas.experiment;
   ]
 
+let ids = List.map (fun e -> e.Experiment.id) all
+
 let find id =
   let id = String.lowercase_ascii id in
   List.find_opt

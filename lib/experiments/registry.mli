@@ -2,6 +2,10 @@
 
 val all : Experiment.t list
 
+val ids : string list
+(** Registered ids, in {!all} order — what the CLI expands "all" to
+    and validates comma lists against. *)
+
 val find : string -> Experiment.t option
 (** Case-insensitive lookup by id (e.g. "e2"). *)
 

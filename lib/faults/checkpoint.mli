@@ -13,15 +13,27 @@
     through disk is exact.  The format is line-oriented text:
 
     {v
-    rumor-checkpoint v1
+    rumor-checkpoint v2 crc32=<hex8>
     <seed-hex> finished <time-hex>
     <seed-hex> censored <time-hex>
     <seed-hex> failed <escaped message>
     v}
 
-    Loading is tolerant: malformed lines are skipped (a torn write
-    loses at most its own replicate), and {!save} writes through a
-    temporary file renamed into place. *)
+    {b Durability} — {!save} writes through a temporary file that is
+    flushed and [fsync]ed {e before} [Sys.rename] publishes it, so a
+    crash at any point leaves either the old checkpoint or the new one,
+    never a torn file under the final name.  The header carries the
+    CRC-32 of the payload (everything after the header line).
+
+    {b Load validation} — {!load} rejects (with a stderr warning and
+    the [checkpoint.bad_magic] counter) any file whose first line is
+    not a known magic; legacy ["rumor-checkpoint v1"] files (no CRC)
+    are still read.  A v2 payload failing its CRC is surfaced via
+    [checkpoint.crc_mismatches] and degrades to per-line parsing.
+    Malformed lines are never silently dropped: they are counted in
+    [checkpoint.corrupt_lines] and one stderr warning reports the
+    first offending line number (a torn write still loses at most its
+    own replicate). *)
 
 type outcome =
   | Finished of float  (** every node informed at this time *)
@@ -39,5 +51,11 @@ val save : string -> seeds:int64 array -> outcomes:outcome option array -> unit
     @raise Invalid_argument if the arrays' lengths differ. *)
 
 val load : string -> (int64, outcome) Hashtbl.t
-(** Read a checkpoint file back; skips lines it cannot parse.  Returns
-    an empty table if the file does not exist. *)
+(** Read a checkpoint file back (v2 with CRC verification, or legacy
+    v1).  Returns an empty table if the file does not exist or its
+    magic line is wrong; lines it cannot parse are counted and warned
+    about, never silently skipped (see the format notes above). *)
+
+val magic : string
+(** First line of a freshly saved checkpoint file (version prefix;
+    the v2 header additionally carries [" crc32=<hex8>"]). *)

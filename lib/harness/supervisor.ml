@@ -1,0 +1,271 @@
+open Rumor_rng
+open Rumor_dynamic
+open Rumor_faults
+module Run = Rumor_sim.Run
+module Async_cut = Rumor_sim.Async_cut
+module Async_tick = Rumor_sim.Async_tick
+module Async_result = Rumor_sim.Async_result
+module Pool = Rumor_par.Pool
+module Obs = Rumor_obs.Metrics
+module Clock = Rumor_obs.Clock
+module Json = Rumor_obs.Json
+
+(* Telemetry (lib/obs).  [harness.deadline_censored] is shared with
+   lib/sim/Run — registration is idempotent by name, so both layers
+   feed the same cell whichever runner censored the replicate. *)
+let m_retries = Obs.counter "harness.retries"
+let m_quarantined = Obs.counter "harness.quarantined"
+let m_deadline_censored = Obs.counter "harness.deadline_censored"
+let m_wal_hits = Obs.counter "harness.wal_hits"
+let h_spread_time = Obs.histogram "run.spread_time"
+
+type classification = Transient | Poison
+
+(* Transient = the environment may behave differently next time;
+   poison = a deterministic replicate would fail identically forever
+   (retrying it burns the budget and hides the bug). *)
+let default_classify = function
+  | Sys_error _ | Unix.Unix_error (_, _, _) | Out_of_memory -> Transient
+  | _ -> Poison
+
+type config = {
+  deadline_s : float option;
+  retries : int;
+  backoff_s : float;
+  fail_budget : float;
+  classify : exn -> classification;
+}
+
+let default_config =
+  {
+    deadline_s = None;
+    retries = 2;
+    backoff_s = 0.05;
+    fail_budget = 1.0;
+    classify = default_classify;
+  }
+
+type report = {
+  outcomes : Run.outcome option array;
+  seeds : int64 array;
+  attempts : int array;
+  cached : int;
+  retried : int;
+  quarantined : int;
+  deadline_censored : int;
+  aborted : bool;
+  cancelled : bool;
+}
+
+(* --- journal records ---
+
+   {"k":"rep","seed":"<hex16>","att":N,"o":"finished","t":"<%h>"}
+
+   Seeds are the split-RNG fingerprints (hex), times are hex floats —
+   both round-trip exactly, so a resumed outcome is the decided one
+   bit for bit. *)
+
+let rep_to_json seed o att =
+  let tail =
+    match (o : Run.outcome) with
+    | Run.Finished t ->
+      [ ("o", Json.String "finished");
+        ("t", Json.String (Printf.sprintf "%h" t)) ]
+    | Run.Censored t ->
+      [ ("o", Json.String "censored");
+        ("t", Json.String (Printf.sprintf "%h" t)) ]
+    | Run.Failed msg -> [ ("o", Json.String "failed"); ("err", Json.String msg) ]
+  in
+  Json.Obj
+    ([ ("k", Json.String "rep");
+       ("seed", Json.String (Printf.sprintf "%016Lx" seed));
+       ("att", Json.Int att) ]
+    @ tail)
+
+let rep_of_json j =
+  let str field = Option.bind (Json.member field j) Json.to_string_opt in
+  let time field = Option.bind (str field) float_of_string_opt in
+  match str "k" with
+  | Some "rep" -> (
+    match
+      Option.bind (str "seed") (fun s -> Int64.of_string_opt ("0x" ^ s))
+    with
+    | None -> None
+    | Some seed -> (
+      match (str "o", time "t", str "err") with
+      | Some "finished", Some t, _ -> Some (seed, Run.Finished t)
+      | Some "censored", Some t, _ -> Some (seed, Run.Censored t)
+      | Some "failed", _, Some msg -> Some (seed, Run.Failed msg)
+      | _ -> None))
+  | _ -> None
+
+(* --- the sweep --- *)
+
+let sweep ?jobs ?(reps = 30) ?horizon ?(engine = Run.Cut) ?protocol ?rate
+    ?faults ?source ?max_events ?wal ?cancel ?(config = default_config) rng
+    (net : Dynet.t) =
+  if reps < 1 then invalid_arg "Supervisor.sweep: need at least one repetition";
+  let source = Run.source_of net source in
+  let deadline_s =
+    match config.deadline_s with
+    | Some _ as d -> d
+    | None -> Run.default_deadline ()
+  in
+  (* Same parent consumption and replicate keying as lib/sim/Run: one
+     bits64 draw, replicate r on [Rng.derive base r]. *)
+  let base = Rng.bits64 rng in
+  let seeds =
+    Array.init reps (fun r -> Checkpoint.fingerprint (Rng.derive base r))
+  in
+  let outcomes : Run.outcome option array = Array.make reps None in
+  let attempts = Array.make reps 0 in
+  (* Resume: the journal keys outcomes by fingerprint — a pure
+     function of (sweep seed, index) — so whatever scattered subset an
+     interrupted sweep decided lines up here, whatever [jobs] or
+     [reps] it used. *)
+  let cached = ref 0 in
+  (match wal with
+  | None -> ()
+  | Some w ->
+    let journaled = Hashtbl.create 64 in
+    List.iter
+      (fun j ->
+        match rep_of_json j with
+        | Some (seed, o) -> Hashtbl.replace journaled seed o
+        | None -> ())
+      (Wal.recovery w).Wal.records;
+    Array.iteri
+      (fun i seed ->
+        match Hashtbl.find_opt journaled seed with
+        | Some o ->
+          outcomes.(i) <- Some o;
+          incr cached;
+          Obs.incr m_wal_hits
+        | None -> ())
+      seeds);
+  let cancel = match cancel with Some t -> t | None -> Pool.token () in
+  let retried = Atomic.make 0 in
+  let quarantined = Atomic.make 0 in
+  let deadline_censored = Atomic.make 0 in
+  let failed = Atomic.make 0 in
+  let aborted = Atomic.make false in
+  (* Budget gate: quarantining is rare, so a plain atomic tally and a
+     compare on each failure is enough; the first tripper cancels the
+     token and the pool drains. *)
+  let note_failure () =
+    if
+      float_of_int (Atomic.fetch_and_add failed 1 + 1)
+      > config.fail_budget *. float_of_int reps
+    then
+      if not (Atomic.exchange aborted true) then Pool.cancel cancel
+  in
+  (* Deterministic seed-keyed jitter: the stream is a pure function of
+     (replicate seed, attempt), so concurrent retry storms spread out
+     the same way on every machine. *)
+  let backoff r k =
+    if config.backoff_s > 0. then begin
+      let jitter = Rng.float (Rng.derive seeds.(r) k) in
+      let delay =
+        Float.min 30. (config.backoff_s *. (2. ** float_of_int (k - 1)))
+        *. (0.5 +. jitter)
+      in
+      Unix.sleepf delay
+    end
+  in
+  let one ~domain:_ r =
+    if Option.is_none outcomes.(r) then begin
+      let rec attempt k =
+        (* Every attempt re-derives the same child stream: a replicate
+           that succeeds on retry is bit-identical to one that never
+           failed. *)
+        let child = Rng.derive base r in
+        let stop =
+          match deadline_s with
+          | None -> None
+          | Some s ->
+            let expiry = Clock.now_s () +. s in
+            Some (fun () -> Clock.now_s () >= expiry)
+        in
+        match
+          match engine with
+          | Run.Cut ->
+            Async_cut.run ?protocol ?rate ?faults ?horizon ?max_events ?stop
+              child net ~source
+          | Run.Tick ->
+            Async_tick.run ?protocol ?rate ?faults ?horizon ?max_events ?stop
+              child net ~source
+        with
+        | result ->
+          if result.Async_result.complete then
+            (Run.Finished result.Async_result.time, k)
+          else begin
+            (match stop with
+            | Some expired when expired () ->
+              Atomic.incr deadline_censored;
+              Obs.incr m_deadline_censored
+            | _ -> ());
+            (Run.Censored result.Async_result.time, k)
+          end
+        | exception e -> (
+          match config.classify e with
+          | Transient when k <= config.retries ->
+            Atomic.incr retried;
+            Obs.incr m_retries;
+            backoff r k;
+            attempt (k + 1)
+          | _ ->
+            Atomic.incr quarantined;
+            Obs.incr m_quarantined;
+            (Run.Failed (Printexc.to_string e), k))
+      in
+      let o, att = attempt 1 in
+      outcomes.(r) <- Some o;
+      attempts.(r) <- att;
+      (match o with
+      | Run.Finished t -> Obs.observe h_spread_time t
+      | Run.Censored _ -> ()
+      | Run.Failed _ -> note_failure ());
+      (* Journal the decision before moving on: a crash after this
+         line loses nothing, a crash before it re-runs the replicate
+         bit-identically. *)
+      match wal with
+      | None -> ()
+      | Some w -> Wal.append w (rep_to_json seeds.(r) o att)
+    end
+  in
+  let stats = Pool.run ?jobs ~cancel reps one in
+  {
+    outcomes;
+    seeds;
+    attempts;
+    cached = !cached;
+    retried = Atomic.get retried;
+    quarantined = Atomic.get quarantined;
+    deadline_censored = Atomic.get deadline_censored;
+    aborted = Atomic.get aborted;
+    cancelled = stats.Pool.cancelled;
+  }
+
+let counts report =
+  Array.fold_left
+    (fun (f, c, x) -> function
+      | Some (Run.Finished _) -> (f + 1, c, x)
+      | Some (Run.Censored _) -> (f, c + 1, x)
+      | Some (Run.Failed _) -> (f, c, x + 1)
+      | None -> (f, c, x))
+    (0, 0, 0) report.outcomes
+
+let finished_times report =
+  Array.of_seq
+    (Seq.filter_map
+       (function Some (Run.Finished t) -> Some t | _ -> None)
+       (Array.to_seq report.outcomes))
+
+let to_sweep report =
+  {
+    Run.outcomes =
+      Array.map
+        (function Some o -> o | None -> Run.Failed "replicate never ran")
+        report.outcomes;
+    seeds = report.seeds;
+  }

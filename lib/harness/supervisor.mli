@@ -1,0 +1,118 @@
+(** Supervised Monte-Carlo sweep: the replicate-level layer of the
+    campaign harness.
+
+    Runs the same split-seed replicate plan as
+    {!Rumor_sim.Run.async_spread_sweep} (replicate [r] on
+    [Rng.derive base r], so outcomes are bit-identical for any job
+    count and any interrupt/resume split), and adds the supervision
+    the hardened sweep does not have:
+
+    - {b wall-clock deadlines} — each attempt gets a fresh absolute
+      expiry fed to the engines' cooperative [stop] brake; an expired
+      replicate is [Censored] and tallied in
+      [harness.deadline_censored].  Deadline censoring is the one
+      machine-dependent outcome source, so a run that trips no
+      deadline stays inside the bit-identity contract.
+    - {b retry with backoff} — a raising replicate is classified
+      {!Transient} (I/O flakes, [Out_of_memory]) or {!Poison}
+      (everything else: a deterministic bug would fail identically
+      forever).  Transients are retried up to [retries] times with
+      exponential backoff and deterministic seed-keyed jitter; each
+      retry re-derives the {e same} child stream, so a
+      succeed-after-retry outcome is bit-identical to never having
+      failed.  Exhausted or poisoned replicates are quarantined:
+      recorded as [Failed] and tallied in [harness.quarantined].
+    - {b durable journal} — with [?wal], every decided outcome is
+      appended (CRC-framed, fsync'd) {e before} the sweep moves on,
+      keyed by the replicate's split-RNG fingerprint; on resume,
+      journaled outcomes are reused and only missing indices run.
+    - {b failure budget} — when more than
+      [fail_budget * reps] replicates have been quarantined the sweep
+      cancels its pool token and drains (in-flight replicates finish,
+      undecided ones stay [None]).
+    - {b graceful shutdown} — an external {!Rumor_par.Pool.token}
+      (or the process-wide {!Rumor_par.Pool.global} one, always
+      polled) drains the pool the same way; journaled outcomes make
+      the subsequent resume bit-identical. *)
+
+open Rumor_rng
+open Rumor_dynamic
+open Rumor_faults
+module Run = Rumor_sim.Run
+
+type classification = Transient | Poison
+
+val default_classify : exn -> classification
+(** [Sys_error], [Unix.Unix_error] and [Out_of_memory] are transient;
+    everything else is poison. *)
+
+type config = {
+  deadline_s : float option;
+      (** per-replicate wall-clock bound; [None] falls back to
+          {!Rumor_sim.Run.default_deadline} *)
+  retries : int;  (** extra attempts after the first, transients only *)
+  backoff_s : float;
+      (** base backoff; attempt [k] sleeps
+          [backoff_s * 2^(k-1) * (0.5 + jitter)] with jitter drawn
+          from a stream keyed by (replicate seed, attempt) — so
+          parallel retry storms decorrelate deterministically *)
+  fail_budget : float;
+      (** abort when quarantined replicates exceed this fraction of
+          [reps]; [1.0] disables the gate *)
+  classify : exn -> classification;
+}
+
+val default_config : config
+(** No deadline, [retries = 2], [backoff_s = 0.05],
+    [fail_budget = 1.0], {!default_classify}. *)
+
+type report = {
+  outcomes : Run.outcome option array;
+      (** per replicate; [None] = never decided (drained by
+          cancellation or the failure budget) *)
+  seeds : int64 array;  (** split-RNG fingerprints, the journal keys *)
+  attempts : int array;  (** attempts consumed per decided replicate *)
+  cached : int;  (** outcomes prefilled from the journal *)
+  retried : int;  (** transient retries performed this run *)
+  quarantined : int;  (** replicates recorded as [Failed] this run *)
+  deadline_censored : int;  (** deadline expiries this run *)
+  aborted : bool;  (** the failure budget tripped *)
+  cancelled : bool;
+      (** the pool drained early (abort, external token, or the global
+          shutdown token) *)
+}
+
+val sweep :
+  ?jobs:int ->
+  ?reps:int ->
+  ?horizon:float ->
+  ?engine:Run.engine ->
+  ?protocol:Rumor_sim.Protocol.t ->
+  ?rate:float ->
+  ?faults:Fault_plan.t ->
+  ?source:int ->
+  ?max_events:int ->
+  ?wal:Wal.t ->
+  ?cancel:Rumor_par.Pool.token ->
+  ?config:config ->
+  Rng.t ->
+  Dynet.t ->
+  report
+(** Engine parameters as in {!Rumor_sim.Run.async_spread_sweep}
+    (defaults: 30 reps, [Cut] engine).  The parent RNG is consumed
+    exactly like the unsupervised runners (one {!Rng.bits64} draw), so
+    a supervised sweep is outcome-identical to
+    [async_spread_sweep] when nothing fails, times out, or is
+    cancelled.
+    @raise Invalid_argument if [reps < 1] or [jobs < 1]. *)
+
+val counts : report -> int * int * int
+(** [(finished, censored, failed)] over the decided replicates. *)
+
+val finished_times : report -> float array
+(** Spread times of the [Finished] replicates, in replicate order. *)
+
+val to_sweep : report -> Run.sweep
+(** Collapse for the existing statistics helpers
+    ({!Rumor_sim.Run.usable_times}, {!Rumor_sim.Estimate});
+    undecided replicates become [Failed "replicate never ran"]. *)

@@ -14,7 +14,26 @@ type stats = {
   tasks : int;
   chunk : int array;
   wall_s : float array;
+  cancelled : bool;
 }
+
+(* Cooperative cancellation: a token is a one-way-settable flag the
+   chunk loops poll between tasks.  Cancelling never interrupts the
+   task in flight — it only stops further tasks from starting — so a
+   cancelled pool still drains cleanly and [run] still returns stats.
+   [global] is additionally polled by every pool in the process; the
+   harness's signal handlers cancel it for graceful shutdown. *)
+type token = bool Atomic.t
+
+let token () = Atomic.make false
+
+let cancel t = Atomic.set t true
+
+let is_cancelled t = Atomic.get t
+
+let reset t = Atomic.set t false
+
+let global : token = token ()
 
 let nproc () = Domain.recommended_domain_count ()
 
@@ -50,19 +69,29 @@ let last_stats : stats option Atomic.t = Atomic.make None
 
 let last () = Atomic.get last_stats
 
-let run ?jobs n body =
+let run ?jobs ?cancel n body =
   if n < 0 then invalid_arg "Par.Pool.run: negative task count";
   let jobs = resolve ?jobs n in
   let wall = Array.make jobs 0. in
+  (* Polled between tasks only — one or two atomic loads per task, and
+     never mid-task, so a cancelled pool drains its in-flight work. *)
+  let stop () =
+    Atomic.get global
+    || (match cancel with Some t -> Atomic.get t | None -> false)
+  in
+  let was_cancelled = Atomic.make false in
   let exec d =
     let t0 = Obs.Clock.now_s () in
     Fun.protect
       ~finally:(fun () -> wall.(d) <- Obs.Clock.now_s () -. t0)
       (fun () ->
         let lo, hi = chunk_bounds ~jobs ~n d in
-        for i = lo to hi - 1 do
-          body ~domain:d i
-        done)
+        let i = ref lo in
+        while !i < hi && not (stop ()) do
+          body ~domain:d !i;
+          incr i
+        done;
+        if !i < hi then Atomic.set was_cancelled true)
   in
   (* The lowest failing domain index wins, whatever the arrival order,
      so the re-raised exception is deterministic. *)
@@ -96,7 +125,15 @@ let run ?jobs n body =
         let lo, hi = chunk_bounds ~jobs ~n d in
         hi - lo)
   in
-  let st = { jobs; tasks = n; chunk; wall_s = wall } in
+  let st =
+    {
+      jobs;
+      tasks = n;
+      chunk;
+      wall_s = wall;
+      cancelled = Atomic.get was_cancelled;
+    }
+  in
   Atomic.set last_stats (Some st);
   Obs.Metrics.incr m_runs;
   Obs.Metrics.add m_tasks n;

@@ -24,11 +24,51 @@
 type stats = {
   jobs : int;  (** domains actually used (after clamping to [n]) *)
   tasks : int;  (** [n], the task count *)
-  chunk : int array;  (** tasks executed per domain, length [jobs] *)
+  chunk : int array;
+      (** tasks assigned per domain, length [jobs] (all of them
+          executed unless the run was cancelled) *)
   wall_s : float array;
       (** per-domain busy wall time, length [jobs] — recorded into run
           manifests so parallel efficiency is observable per run *)
+  cancelled : bool;
+      (** [true] iff a cancellation token stopped at least one domain
+          before it exhausted its chunk *)
 }
+
+(** {1 Cooperative cancellation} *)
+
+type token
+(** A one-way stop flag shared between a supervisor and the pools it
+    oversees.
+
+    {b Guarantee} — tokens are polled {e between} tasks only: when a
+    token is cancelled, every domain finishes the task it is currently
+    executing (nothing is interrupted mid-replicate, so no partial
+    outcome is ever observed), starts no further task, and joins; [run]
+    then returns normally with [stats.cancelled = true].  Tasks that
+    never started are simply not executed — callers that record
+    per-task outcomes see them as undecided and can re-run them later
+    (the index-keyed RNG streams make the re-run bit-identical).
+    Cancelling is safe from any domain and from a signal handler (one
+    atomic store, no allocation). *)
+
+val token : unit -> token
+
+val cancel : token -> unit
+
+val is_cancelled : token -> bool
+
+val reset : token -> unit
+(** Re-arm a cancelled token (for reuse across supervised campaigns in
+    one process; not synchronized with in-flight pools — only reset
+    between runs). *)
+
+val global : token
+(** Process-wide token polled by {e every} [run] in addition to the
+    explicit [?cancel] argument.  The campaign harness's SIGINT/SIGTERM
+    handlers cancel it, so a shutdown request drains every pool in the
+    process — including pools buried inside experiment code that was
+    never told about cancellation. *)
 
 val nproc : unit -> int
 (** Detected processor count ([Domain.recommended_domain_count]). *)
@@ -52,12 +92,17 @@ val resolve : ?jobs:int -> int -> int
     before calling {!run}.
     @raise Invalid_argument if [jobs < 1]. *)
 
-val run : ?jobs:int -> int -> (domain:int -> int -> unit) -> stats
+val run :
+  ?jobs:int -> ?cancel:token -> int -> (domain:int -> int -> unit) -> stats
 (** [run ?jobs n body] executes [body ~domain i] for every
     [i] in [0..n-1], partitioned into contiguous chunks across
     [resolve ?jobs n] domains.  [domain] is the executing domain's
     pool-local index in [0..jobs-1] (use it to select per-domain
     state; within one domain, tasks run in increasing index order).
+
+    [cancel] (plus the always-polled {!global} token) stops the pool
+    cooperatively between tasks — see {!type:token} for the drain
+    guarantee.
 
     {b Exception policy} — exceptions are isolated per domain: a
     raising task stops only its own domain's chunk; every spawned

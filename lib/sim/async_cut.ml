@@ -325,7 +325,10 @@ let rec next_event e =
   end
 
 let run ?protocol ?rate ?faults ?use_deltas ?rebuild_every ?(horizon = 1e7)
-    ?max_events ?(record_trace = false) rng (net : Dynet.t) ~source =
+    ?max_events ?stop ?(record_trace = false) rng (net : Dynet.t) ~source =
+  let should_stop =
+    match stop with None -> (fun () -> false) | Some f -> f
+  in
   let budget =
     match max_events with
     | None -> max_int
@@ -352,8 +355,12 @@ let run ?protocol ?rate ?faults ?use_deltas ?rebuild_every ?(horizon = 1e7)
       record tau);
     incr work;
     (* Watchdog: bound the total work (informing events, lost messages
-       and step boundaries) and degrade to a censored result. *)
-    if (not !finished) && !work + e.lost >= budget then out_of_time := true
+       and step boundaries) and degrade to a censored result.  [stop]
+       is the supervisor's cooperative brake (wall-clock deadlines):
+       checked once per event, it consumes no randomness and censors
+       the run exactly like an exhausted budget. *)
+    if (not !finished) && (!work + e.lost >= budget || should_stop ()) then
+      out_of_time := true
   done;
   if Obs.enabled () then begin
     Obs.incr m_runs;

@@ -57,6 +57,7 @@ val run :
   ?rebuild_every:int ->
   ?horizon:float ->
   ?max_events:int ->
+  ?stop:(unit -> bool) ->
   ?record_trace:bool ->
   Rng.t ->
   Dynet.t ->
@@ -89,6 +90,13 @@ val run :
     the run degrades gracefully to a censored, incomplete result
     instead of spinning — e.g. under churn that never lets the last
     node recover.
+
+    [stop] is a cooperative brake polled once per processed event: the
+    first [true] censors the run exactly like an exhausted budget.  The
+    supervised harness passes a wall-clock deadline check here; the
+    closure must be cheap and must not touch any RNG.  Whether a run
+    is stop-censored can depend on machine speed, but a censored
+    outcome is always explicit — never a silently truncated sample.
 
     @raise Invalid_argument if [source] is out of range, [rate <= 0]
     or [max_events < 1]. *)

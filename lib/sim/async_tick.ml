@@ -16,9 +16,12 @@ let m_lost = Obs.counter "async_tick.lost"
 let m_steps = Obs.counter "async_tick.steps"
 
 let run ?(protocol = Protocol.Push_pull) ?(rate = 1.0)
-    ?(faults = Fault_plan.none) ?(horizon = 1e5) ?max_events
+    ?(faults = Fault_plan.none) ?(horizon = 1e5) ?max_events ?stop
     ?(record_trace = false) rng (net : Dynet.t) ~source =
   if rate <= 0. then invalid_arg "Async_tick.run: rate must be positive";
+  let should_stop =
+    match stop with None -> (fun () -> false) | Some f -> f
+  in
   let n = net.n in
   if source < 0 || source >= n then
     invalid_arg (Printf.sprintf "Async_tick.run: source %d out of range" source);
@@ -113,7 +116,9 @@ let run ?(protocol = Protocol.Push_pull) ?(rate = 1.0)
             end
           end
         end;
-        if !ticks >= budget then out_of_time := true
+        (* [stop] is the supervisor's cooperative brake (wall-clock
+           deadlines): polled once per tick, consumes no randomness. *)
+        if !ticks >= budget || should_stop () then out_of_time := true
       end
     end
   done;

@@ -22,6 +22,7 @@ val run :
   ?faults:Fault_plan.t ->
   ?horizon:float ->
   ?max_events:int ->
+  ?stop:(unit -> bool) ->
   ?record_trace:bool ->
   Rng.t ->
   Dynet.t ->
@@ -40,7 +41,9 @@ val run :
     the engine consumes exactly the pre-fault random-draw sequence.
 
     [max_events] caps the number of clock ticks, degrading to a
-    censored result.
+    censored result.  [stop] is a cooperative brake polled once per
+    tick (see {!Async_cut.run}): the first [true] censors the run
+    like an exhausted budget.
 
     @raise Invalid_argument if [source] is out of range, [rate <= 0]
     or [max_events < 1]. *)

@@ -17,7 +17,40 @@ let m_checkpoint_hits = Obs.counter "run.sweep.checkpoint_hits"
 let m_checkpoint_writes = Obs.counter "run.sweep.checkpoint_writes"
 let h_spread_time = Obs.histogram "run.spread_time"
 
+(* Owned by the lib/harness supervision layer (hence the name), but
+   incremented here because this is where every replicate's engine
+   call lives: a replicate stopped by its wall-clock deadline is
+   recorded the moment it is censored, whichever runner ran it. *)
+let m_deadline_censored = Obs.counter "harness.deadline_censored"
+
 type engine = Cut | Tick
+
+(* --- per-replicate wall-clock deadlines --- *)
+
+(* Process-wide default, installed by the campaign harness (CLI
+   [--deadline]) so that replicates buried inside experiment code —
+   which never heard of deadlines — are still bounded.  Deadline
+   censoring is inherently machine-dependent (unlike every other
+   censoring source), so it is recorded explicitly and never silently
+   folded into the sample. *)
+let deadline_override : float option Atomic.t = Atomic.make None
+
+let set_default_deadline = function
+  | Some s when not (s > 0.) ->
+    invalid_arg "Run.set_default_deadline: deadline must be positive"
+  | v -> Atomic.set deadline_override v
+
+let default_deadline () = Atomic.get deadline_override
+
+(* Build one replicate's engine [stop] closure: absolute wall-clock
+   expiry captured at replicate start.  Returns the checker used for
+   attribution too (was this censoring caused by the deadline?). *)
+let deadline_clock deadline_s =
+  match deadline_s with
+  | None -> None
+  | Some s ->
+    let expiry = Rumor_obs.Clock.now_s () +. s in
+    Some (fun () -> Rumor_obs.Clock.now_s () >= expiry)
 
 type mc = {
   times : float array;
@@ -74,22 +107,42 @@ let monte_carlo ?jobs ~reps rng one =
   }
 
 let async_spread_times ?jobs ?(reps = 30) ?horizon ?(engine = Cut) ?protocol
-    ?rate ?faults ?source rng net =
+    ?rate ?faults ?source ?deadline_s rng net =
   let source = source_of net source in
+  let deadline_s =
+    match deadline_s with Some _ as d -> d | None -> default_deadline ()
+  in
   monte_carlo ?jobs ~reps rng (fun child ->
+      let stop = deadline_clock deadline_s in
       let result =
         match engine with
-        | Cut -> Async_cut.run ?protocol ?rate ?faults ?horizon child net ~source
-        | Tick -> Async_tick.run ?protocol ?rate ?faults ?horizon child net ~source
+        | Cut ->
+          Async_cut.run ?protocol ?rate ?faults ?horizon ?stop child net
+            ~source
+        | Tick ->
+          Async_tick.run ?protocol ?rate ?faults ?horizon ?stop child net
+            ~source
       in
+      (* Attribution: censored AND the deadline clock has expired means
+         the stop brake (not the horizon) ended this replicate.  The
+         counter is atomic, not shard-batched — deadline censoring is
+         nondeterministic anyway, so it is excluded from the
+         byte-identical-snapshot contract. *)
+      (match stop with
+      | Some expired when (not result.Async_result.complete) && expired () ->
+        Obs.incr m_deadline_censored
+      | _ -> ());
       (result.Async_result.time, result.Async_result.complete))
 
 (* --- hardened sweep --- *)
 
 let async_spread_sweep ?jobs ?(reps = 30) ?horizon ?(engine = Cut) ?protocol
-    ?rate ?faults ?source ?max_events ?checkpoint rng net =
+    ?rate ?faults ?source ?max_events ?checkpoint ?deadline_s rng net =
   if reps < 1 then invalid_arg "Run: need at least one repetition";
   let source = source_of net source in
+  let deadline_s =
+    match deadline_s with Some _ as d -> d | None -> default_deadline ()
+  in
   let base = Rng.bits64 rng in
   let children = Array.init reps (Rng.derive base) in
   let seeds = Array.map Checkpoint.fingerprint children in
@@ -126,20 +179,26 @@ let async_spread_sweep ?jobs ?(reps = 30) ?horizon ?(engine = Cut) ?protocol
   let one ~domain r =
     if Option.is_none outcomes.(r) then begin
       let shard = shards.(domain) in
+      let stop = deadline_clock deadline_s in
       let o =
         match
           match engine with
           | Cut ->
-            Async_cut.run ?protocol ?rate ?faults ?horizon ?max_events
+            Async_cut.run ?protocol ?rate ?faults ?horizon ?max_events ?stop
               children.(r) net ~source
           | Tick ->
-            Async_tick.run ?protocol ?rate ?faults ?horizon ?max_events
+            Async_tick.run ?protocol ?rate ?faults ?horizon ?max_events ?stop
               children.(r) net ~source
         with
         | result ->
           if result.Async_result.complete then
             Finished result.Async_result.time
-          else Censored result.Async_result.time
+          else begin
+            (match stop with
+            | Some expired when expired () -> Obs.incr m_deadline_censored
+            | _ -> ());
+            Censored result.Async_result.time
+          end
         | exception e -> Failed (Printexc.to_string e)
       in
       Obs.Shard.incr shard m_sweep_replicates;

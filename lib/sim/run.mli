@@ -63,6 +63,26 @@ val source_of : Dynet.t -> int option -> int
 (** Resolve an explicit source against the network's hint (explicit
     argument wins; hint next; node 0 otherwise). *)
 
+(** {1 Per-replicate wall-clock deadlines}
+
+    The supervised campaign harness (lib/harness) bounds every
+    replicate's wall-clock time: an expired replicate is censored via
+    the engines' cooperative [stop] brake, recorded in the
+    [harness.deadline_censored] counter, and fed to the
+    censoring-aware {!Estimate} path like any other censored sample.
+    Deadline censoring is the one machine-dependent censoring source,
+    so it is always explicit and excluded from the bit-identity
+    contract (a run that trips no deadline remains bit-identical). *)
+
+val set_default_deadline : float option -> unit
+(** Install (or with [None] clear) a process-wide per-replicate
+    deadline in seconds, applied by the async runners below when no
+    explicit [?deadline_s] is given — this is how [rumor campaign
+    --deadline] reaches replicates inside experiment code.
+    @raise Invalid_argument if the value is [<= 0]. *)
+
+val default_deadline : unit -> float option
+
 val async_spread_times :
   ?jobs:int ->
   ?reps:int ->
@@ -72,6 +92,7 @@ val async_spread_times :
   ?rate:float ->
   ?faults:Fault_plan.t ->
   ?source:int ->
+  ?deadline_s:float ->
   Rng.t ->
   Dynet.t ->
   mc
@@ -84,7 +105,9 @@ val async_spread_times :
     does not depend on [jobs] and is stable under changing [reps].
     Repetitions share no mutable state (each spawns its own [Dynet]
     instance).  A replicate exception propagates only after every
-    spawned domain has joined.
+    spawned domain has joined.  [deadline_s] (default
+    {!default_deadline}) censors any replicate whose wall-clock time
+    exceeds it.
     @raise Invalid_argument if [jobs < 1]. *)
 
 val async_spread_sweep :
@@ -98,6 +121,7 @@ val async_spread_sweep :
   ?source:int ->
   ?max_events:int ->
   ?checkpoint:string ->
+  ?deadline_s:float ->
   Rng.t ->
   Dynet.t ->
   sweep
@@ -121,6 +145,10 @@ val async_spread_sweep :
       and whatever [jobs] either sweep uses — and re-runs only the
       missing replicates, reproducing bit-identical samples to an
       uninterrupted sweep.
+    - {b deadline} — [deadline_s] (default {!default_deadline}) bounds
+      each replicate's wall-clock time via the engines' cooperative
+      [stop] brake; an expired replicate degrades to [Censored] and is
+      tallied in [harness.deadline_censored].
 
     @raise Invalid_argument if [jobs < 1] or [reps < 1]. *)
 

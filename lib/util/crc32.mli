@@ -1,0 +1,32 @@
+(** CRC-32 (IEEE 802.3, the zlib/PNG polynomial 0xEDB88320), table
+    driven.
+
+    Used by the durable-storage layers (the campaign WAL and the sweep
+    checkpoint) to detect torn writes and bit rot: every persisted
+    record carries the checksum of its payload, and loaders quarantine
+    records whose checksum does not match instead of silently
+    parsing garbage.
+
+    Reference vector: [digest "123456789" = 0xCBF43926l]. *)
+
+val update : int32 -> string -> pos:int -> len:int -> int32
+(** Fold [len] bytes of [s] starting at [pos] into a running CRC
+    state.  Start from {!init}; finish with {!finish} (the state is
+    the one's-complemented register, as usual).
+    @raise Invalid_argument on an out-of-bounds range. *)
+
+val init : int32
+(** Initial running state. *)
+
+val finish : int32 -> int32
+(** Close a running state into the final digest. *)
+
+val digest : string -> int32
+(** One-shot CRC-32 of a whole string. *)
+
+val to_hex : int32 -> string
+(** Lower-case, zero-padded 8-character hex rendering. *)
+
+val of_hex : string -> int32 option
+(** Inverse of {!to_hex}; [None] unless the input is exactly 8 hex
+    digits. *)

@@ -398,6 +398,78 @@ let test_checkpoint_missing_and_garbage () =
       check bool "valid line kept" true
         (Hashtbl.find table 0x7bL = Run.Finished 2.0))
 
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> In_channel.input_all ic)
+
+let write_file path content =
+  let oc = open_out_bin path in
+  output_string oc content;
+  close_out oc
+
+let with_metrics f =
+  Obs.Metrics.enable ();
+  Obs.Metrics.reset ();
+  Fun.protect ~finally:Obs.Metrics.disable f
+
+let counter_value name = Obs.Metrics.value (Obs.Metrics.counter name)
+
+let test_checkpoint_v2_header_and_crc () =
+  (* A fresh checkpoint carries the v2 magic and a payload CRC; a
+     flipped payload byte is surfaced via checkpoint.crc_mismatches
+     (the file still degrades to per-line parsing, it is not thrown
+     away). *)
+  with_temp_file (fun path ->
+      Checkpoint.save path ~seeds:[| 0x11L; 0x22L |]
+        ~outcomes:[| Some (Run.Finished 2.0); Some (Run.Censored 1.5) |];
+      let header = String.concat "" [ Checkpoint.magic; " crc32=" ] in
+      check bool "v2 header with crc" true
+        (String.length (read_file path) > String.length header
+        && String.sub (read_file path) 0 (String.length header) = header);
+      check int "round trip" 2 (Hashtbl.length (Checkpoint.load path));
+      with_metrics (fun () ->
+          let content = read_file path in
+          (* Flip a seed hex digit: every line still parses, but the
+             payload no longer matches the header CRC. *)
+          let flipped =
+            String.map (fun c -> if c = '2' then '3' else c) content
+          in
+          write_file path
+            (String.sub content 0 (String.index content '\n')
+            ^ String.sub flipped (String.index content '\n')
+                (String.length content - String.index content '\n'));
+          let table = Checkpoint.load path in
+          check int "crc mismatch counted" 1
+            (counter_value "checkpoint.crc_mismatches");
+          check int "degraded to per-line parsing" 2 (Hashtbl.length table)))
+
+let test_checkpoint_wrong_magic_rejected () =
+  with_metrics (fun () ->
+      with_temp_file (fun path ->
+          write_file path "rumor-checkpoint v9 bogus\n7b finished 0x1p+1\n";
+          let table = Checkpoint.load path in
+          check int "unknown magic loads nothing" 0 (Hashtbl.length table);
+          check int "checkpoint.bad_magic counted" 1
+            (counter_value "checkpoint.bad_magic")))
+
+let test_checkpoint_corrupt_lines_counted () =
+  (* Satellite of the harness PR: malformed lines are never silently
+     dropped — they are tallied in checkpoint.corrupt_lines (one
+     stderr warning names the first offender). *)
+  with_metrics (fun () ->
+      with_temp_file (fun path ->
+          write_file path
+            "rumor-checkpoint v1\n\
+             garbage one\n\
+             7b finished 0x1p+1\n\
+             garbage two\n";
+          let table = Checkpoint.load path in
+          check int "valid line kept" 1 (Hashtbl.length table);
+          check int "both corrupt lines counted" 2
+            (counter_value "checkpoint.corrupt_lines")))
+
 let test_checkpoint_resume_bit_identical () =
   (* Interrupt a sweep after 5 of 12 reps, resume from the checkpoint,
      and require Float-equality with an uninterrupted 12-rep sweep. *)
@@ -497,6 +569,12 @@ let () =
             test_checkpoint_roundtrip;
           Alcotest.test_case "missing and malformed input" `Quick
             test_checkpoint_missing_and_garbage;
+          Alcotest.test_case "v2 header and payload CRC" `Quick
+            test_checkpoint_v2_header_and_crc;
+          Alcotest.test_case "wrong magic rejected" `Quick
+            test_checkpoint_wrong_magic_rejected;
+          Alcotest.test_case "corrupt lines counted" `Quick
+            test_checkpoint_corrupt_lines_counted;
           Alcotest.test_case "resume is bit-identical" `Quick
             test_checkpoint_resume_bit_identical;
           Alcotest.test_case "checkpoint survives a failing replicate" `Quick

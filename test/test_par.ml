@@ -118,6 +118,57 @@ let test_single_domain_exception () =
   | _ -> Alcotest.fail "expected Boom"
   | exception Boom i -> check int "sequential raise propagates" 2 i)
 
+(* --- cooperative cancellation tokens --- *)
+
+let test_cancel_pre_cancelled () =
+  let token = Pool.token () in
+  Pool.cancel token;
+  check bool "is_cancelled reads the flag" true (Pool.is_cancelled token);
+  let hits = Atomic.make 0 in
+  let st =
+    Pool.run ~jobs:2 ~cancel:token 10 (fun ~domain:_ _ -> Atomic.incr hits)
+  in
+  check int "no task starts on a cancelled token" 0 (Atomic.get hits);
+  check bool "stats flag the drain" true st.Pool.cancelled;
+  Pool.reset token;
+  check bool "reset re-arms" false (Pool.is_cancelled token);
+  let st2 =
+    Pool.run ~jobs:2 ~cancel:token 10 (fun ~domain:_ _ -> Atomic.incr hits)
+  in
+  check int "re-armed token runs everything" 10 (Atomic.get hits);
+  check bool "clean run is not flagged" false st2.Pool.cancelled
+
+let test_cancel_drains_between_tasks () =
+  (* The drain guarantee (pool.mli): the in-flight task finishes,
+     nothing after it starts — so callers recording per-task outcomes
+     see undecided tasks, never partial ones. *)
+  let token = Pool.token () in
+  let ran = Array.make 12 false in
+  let st =
+    Pool.run ~jobs:1 ~cancel:token 12 (fun ~domain:_ i ->
+        ran.(i) <- true;
+        if i = 3 then Pool.cancel token)
+  in
+  check bool "cancellation reported" true st.Pool.cancelled;
+  check bool "in-flight task completed" true ran.(3);
+  for i = 4 to 11 do
+    check bool (Printf.sprintf "task %d never started" i) false ran.(i)
+  done
+
+let test_global_token_drains_every_pool () =
+  (* The process-wide token the SIGINT/SIGTERM handlers cancel is
+     polled by every run, even without an explicit ?cancel. *)
+  Fun.protect
+    ~finally:(fun () -> Pool.reset Pool.global)
+    (fun () ->
+      Pool.cancel Pool.global;
+      let hits = Atomic.make 0 in
+      let st = Pool.run ~jobs:2 6 (fun ~domain:_ _ -> Atomic.incr hits) in
+      check int "no task starts after shutdown" 0 (Atomic.get hits);
+      check bool "drain flagged" true st.Pool.cancelled);
+  let st = Pool.run ~jobs:2 6 (fun ~domain:_ _ -> ()) in
+  check bool "reset global runs normally" false st.Pool.cancelled
+
 (* --- Rng.derive: the index-keyed streams under everything --- *)
 
 let test_derive () =
@@ -300,6 +351,15 @@ let () =
             test_exception_isolation;
           Alcotest.test_case "sequential exception" `Quick
             test_single_domain_exception;
+        ] );
+      ( "cancellation",
+        [
+          Alcotest.test_case "pre-cancelled token" `Quick
+            test_cancel_pre_cancelled;
+          Alcotest.test_case "drains between tasks" `Quick
+            test_cancel_drains_between_tasks;
+          Alcotest.test_case "global shutdown token" `Quick
+            test_global_token_drains_every_pool;
         ] );
       ( "split-seed",
         [
