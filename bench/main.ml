@@ -252,6 +252,83 @@ let run_par_sweep () =
     ("par/sweep-e1-256-jobs4", w4 *. 1e9);
   ]
 
+(* --- Coordinator overhead --- *)
+
+(* Tasks/sec of the multi-process campaign coordinator at workers in
+   {1, 2, 4} over a batch of small E1-style tasks (async spread on a
+   clique, 2 replicates per task).  Tasks are deliberately tiny so the
+   number measures the supervision tax — fork/exec, socket round
+   trips, lease journaling, capture-file renames — rather than the
+   workload.  RUMOR_BENCH_COORD_TASKS sizes the batch (default 24);
+   RUMOR_BENCH_SKIP_COORD=1 skips the section. *)
+let run_coordinator_overhead () =
+  print_endline "\n=== Coordinator overhead (multi-process campaign) ===";
+  let open Rumor_core in
+  let ntasks = Env.int ~default:24 "RUMOR_BENCH_COORD_TASKS" in
+  let tasks = List.init ntasks (Printf.sprintf "t%02d") in
+  let seed = bench_seed () in
+  let run_task task =
+    let rng = Rumor.Rng.create (seed + Hashtbl.hash task) in
+    let net = Rumor.Dynet.of_static (Rumor.Gen.clique 64) in
+    let sweep = Rumor.Run.async_spread_sweep ~jobs:1 ~reps:2 rng net in
+    Printf.printf "%s: %d replicates\n" task
+      (Array.length sweep.Rumor.Run.outcomes)
+  in
+  let rec rm_rf path =
+    if Sys.file_exists path then
+      if Sys.is_directory path then begin
+        Array.iter
+          (fun e -> rm_rf (Filename.concat path e))
+          (Sys.readdir path);
+        Unix.rmdir path
+      end
+      else Sys.remove path
+  in
+  let timed workers =
+    let dir = Filename.temp_file "rumor-bench-coord" "" in
+    Sys.remove dir;
+    Unix.mkdir dir 0o755;
+    Fun.protect
+      ~finally:(fun () -> rm_rf dir)
+      (fun () ->
+        let config =
+          {
+            (Rumor.Coordinator.default_config ~dir ~workers) with
+            Rumor.Coordinator.fsync = false;
+          }
+        in
+        let spawn ~slot ~socket =
+          flush stdout;
+          flush stderr;
+          match Unix.fork () with
+          | 0 ->
+            Unix._exit
+              (try
+                 Rumor.Worker.run ~socket ~id:slot
+                   ~tasks_dir:(Rumor.Coordinator.tasks_dir config) ~run_task ()
+               with _ -> 4)
+          | pid -> pid
+        in
+        let t0 = Obs.Clock.now_s () in
+        let summary = Rumor.Coordinator.run ~spawn config tasks in
+        let wall = Obs.Clock.now_s () -. t0 in
+        if Rumor.Coordinator.exit_code summary <> 0 then begin
+          prerr_endline "FATAL: coordinator bench campaign failed";
+          exit 1
+        end;
+        wall)
+  in
+  List.map
+    (fun workers ->
+      let wall = timed workers in
+      Printf.printf
+        "coordinator workers=%d: %d tasks in %.3fs  (%.1f tasks/sec)\n" workers
+        ntasks wall
+        (float_of_int ntasks /. wall);
+      ( Printf.sprintf "harness/coordinator-overhead-w%d" workers,
+        wall /. float_of_int ntasks *. 1e9 ))
+    [ 1; 2; 4 ]
+
 (* The machine-readable counterpart of the printed tables: Bechamel
    estimates + the metric-registry counters accumulated during this
    process (experiments and micro-benches both run the engines), as a
@@ -296,5 +373,9 @@ let () =
   check_dyn_speedup rows;
   let rows =
     if env_flag "RUMOR_BENCH_SKIP_PAR" then rows else rows @ run_par_sweep ()
+  in
+  let rows =
+    if env_flag "RUMOR_BENCH_SKIP_COORD" then rows
+    else rows @ run_coordinator_overhead ()
   in
   if rows <> [] && not (env_flag "RUMOR_BENCH_NO_REPORT") then write_report rows

@@ -14,7 +14,12 @@
      campaign    run registry experiments under the crash-safe supervised
                  harness: durable WAL journal, per-replicate deadlines,
                  retry/backoff, failure budget, graceful SIGINT/SIGTERM
-                 shutdown and bit-identical --resume
+                 shutdown and bit-identical --resume; --workers N forks
+                 N supervised worker processes (lease/epoch fencing,
+                 heartbeats, crash recovery, optional chaos kills) with
+                 outputs byte-identical to --workers 1
+     worker      (internal) campaign worker process, forked by
+                 campaign --workers
      obs         observability utilities: dump the metric registry,
                  compare BENCH_*.json reports (exit 1 on regression)
 
@@ -764,8 +769,101 @@ let experiment_cmd =
 
 (* --- campaign --- *)
 
+let print_outcomes outcomes =
+  List.iter
+    (fun (id, outcome) ->
+      Printf.printf "  %-4s %s\n" id
+        (match outcome with
+        | Campaign.Done wall -> Printf.sprintf "done (%.1fs)" wall
+        | Campaign.Cached -> "done (journaled by a previous run)"
+        | Campaign.Quarantined err -> Printf.sprintf "quarantined: %s" err
+        | Campaign.Interrupted -> "interrupted (re-run with --resume)"
+        | Campaign.Not_run -> "not run"))
+    outcomes
+
+(* Multi-process path: fork [workers] re-execs of this binary in the
+   hidden [worker] mode; each pulls leased task batches from the
+   coordinator over the campaign directory's Unix-domain socket.  The
+   captured per-task outputs land in <dir>/tasks/<id>.out and are
+   byte-identical to a --workers 1 run whatever dies in between. *)
+let campaign_multiproc ~ids ~dir ~resume ~retries ~fail_budget ~full ~seed
+    ~workers ~min_workers ~batch ~heartbeat_timeout ~chaos task_ids =
+  Campaign.install_signal_handlers ();
+  let config =
+    {
+      (Coordinator.default_config ~dir ~workers) with
+      Coordinator.min_workers;
+      batch;
+      resume;
+      retries;
+      fail_budget;
+      seed;
+      heartbeat_timeout_s = heartbeat_timeout;
+      chaos_kill_every_s = chaos;
+    }
+  in
+  let spawn ~slot ~socket =
+    let args =
+      [
+        "rumor"; "worker"; "--socket"; socket; "--id"; string_of_int slot;
+        "--tasks-dir"; Coordinator.tasks_dir config; "--seed";
+        string_of_int seed;
+      ]
+      @ (if full then [ "--full" ] else [])
+    in
+    Unix.create_process Sys.executable_name (Array.of_list args) Unix.stdin
+      Unix.stdout Unix.stderr
+  in
+  let summary = Coordinator.run ~spawn config task_ids in
+  Printf.printf "campaign: %d task%s under %s, %d worker process%s%s%s\n"
+    (List.length task_ids)
+    (if List.length task_ids = 1 then "" else "s")
+    dir workers
+    (if workers = 1 then "" else "es")
+    (if summary.Coordinator.resumed then " (resumed)" else "")
+    (match chaos with
+    | Some d -> Printf.sprintf " (chaos: kill every %gs)" d
+    | None -> "");
+  print_outcomes summary.Coordinator.outcomes;
+  if summary.Coordinator.reassignments > 0 then
+    Printf.printf "  %d task reassignment%s after reclaimed leases\n"
+      summary.Coordinator.reassignments
+      (if summary.Coordinator.reassignments = 1 then "" else "s");
+  if summary.Coordinator.fences + summary.Coordinator.replay_fenced > 0 then
+    Printf.printf "  %d stale result%s fenced (%d live, %d at replay)\n"
+      (summary.Coordinator.fences + summary.Coordinator.replay_fenced)
+      (if summary.Coordinator.fences + summary.Coordinator.replay_fenced = 1
+       then ""
+       else "s")
+      summary.Coordinator.fences summary.Coordinator.replay_fenced;
+  if summary.Coordinator.worker_deaths + summary.Coordinator.chaos_kills > 0
+  then
+    Printf.printf "  %d worker death%s (%d chaos kills), %d restart%s\n"
+      (summary.Coordinator.worker_deaths + summary.Coordinator.chaos_kills)
+      (if summary.Coordinator.worker_deaths + summary.Coordinator.chaos_kills
+          = 1
+       then ""
+       else "s")
+      summary.Coordinator.chaos_kills summary.Coordinator.worker_restarts
+      (if summary.Coordinator.worker_restarts = 1 then "" else "s");
+  if summary.Coordinator.wal_corrupt_records > 0 then
+    Printf.printf "  %d corrupt journal record%s quarantined on recovery\n"
+      summary.Coordinator.wal_corrupt_records
+      (if summary.Coordinator.wal_corrupt_records = 1 then "" else "s");
+  if summary.Coordinator.interrupted then
+    Printf.printf
+      "campaign interrupted; resume with: rumor campaign %s --dir %s \
+       --workers %d --resume\n"
+      ids dir workers;
+  if summary.Coordinator.aborted then
+    Printf.printf "campaign aborted (min-workers or failure budget)\n";
+  Printf.printf "outputs: %s/<id>.out\nmanifest: %s\n"
+    (Coordinator.tasks_dir config)
+    (Coordinator.manifest_path config);
+  exit (Coordinator.exit_code summary)
+
 let campaign () () ids dir resume deadline retries backoff fail_budget full
-    seed =
+    seed workers min_workers batch heartbeat_timeout chaos =
   let experiments =
     match String.lowercase_ascii (String.trim ids) with
     | "all" -> Rumor_experiments.Registry.all
@@ -781,58 +879,56 @@ let campaign () () ids dir resume deadline retries backoff fail_budget full
             exit 2)
         (String.split_on_char ',' spec)
   in
-  let tasks =
-    List.map
-      (fun e ->
-        {
-          Campaign.id = e.Rumor_experiments.Experiment.id;
-          run = (fun () -> Rumor_experiments.Experiment.print ~full ~seed e);
-        })
-      experiments
-  in
-  Campaign.install_signal_handlers ();
-  let config =
-    {
-      (Campaign.default_config ~dir) with
-      Campaign.resume;
-      deadline_s = deadline;
-      retries;
-      backoff_s = backoff;
-      fail_budget;
-    }
-  in
-  let summary = Campaign.run config tasks in
-  Printf.printf "campaign: %d task%s under %s%s\n"
-    (List.length tasks)
-    (if List.length tasks = 1 then "" else "s")
-    dir
-    (if summary.Campaign.resumed then " (resumed)" else "");
-  List.iter
-    (fun (id, outcome) ->
-      Printf.printf "  %-4s %s\n" id
-        (match outcome with
-        | Campaign.Done wall -> Printf.sprintf "done (%.1fs)" wall
-        | Campaign.Cached -> "done (journaled by a previous run)"
-        | Campaign.Quarantined err -> Printf.sprintf "quarantined: %s" err
-        | Campaign.Interrupted -> "interrupted (re-run with --resume)"
-        | Campaign.Not_run -> "not run"))
-    summary.Campaign.outcomes;
-  if summary.Campaign.retries > 0 then
-    Printf.printf "  %d transient retr%s\n" summary.Campaign.retries
-      (if summary.Campaign.retries = 1 then "y" else "ies");
-  if summary.Campaign.wal_corrupt_records > 0 then
-    Printf.printf "  %d corrupt journal record%s quarantined on recovery\n"
-      summary.Campaign.wal_corrupt_records
-      (if summary.Campaign.wal_corrupt_records = 1 then "" else "s");
-  if summary.Campaign.interrupted then
-    Printf.printf
-      "campaign interrupted; resume with: rumor campaign %s --dir %s --resume\n"
-      ids dir;
-  if summary.Campaign.aborted then
-    Printf.printf "campaign aborted: quarantined fraction exceeded %.2f\n"
-      fail_budget;
-  Printf.printf "manifest: %s\n" (Campaign.manifest_path config);
-  exit (Campaign.exit_code summary)
+  if workers > 0 then
+    campaign_multiproc ~ids ~dir ~resume ~retries ~fail_budget ~full ~seed
+      ~workers ~min_workers ~batch ~heartbeat_timeout ~chaos
+      (List.map (fun e -> e.Rumor_experiments.Experiment.id) experiments)
+  else begin
+    let tasks =
+      List.map
+        (fun e ->
+          {
+            Campaign.id = e.Rumor_experiments.Experiment.id;
+            run = (fun () -> Rumor_experiments.Experiment.print ~full ~seed e);
+          })
+        experiments
+    in
+    Campaign.install_signal_handlers ();
+    let config =
+      {
+        (Campaign.default_config ~dir) with
+        Campaign.resume;
+        deadline_s = deadline;
+        retries;
+        backoff_s = backoff;
+        fail_budget;
+      }
+    in
+    let summary = Campaign.run config tasks in
+    Printf.printf "campaign: %d task%s under %s%s\n"
+      (List.length tasks)
+      (if List.length tasks = 1 then "" else "s")
+      dir
+      (if summary.Campaign.resumed then " (resumed)" else "");
+    print_outcomes summary.Campaign.outcomes;
+    if summary.Campaign.retries > 0 then
+      Printf.printf "  %d transient retr%s\n" summary.Campaign.retries
+        (if summary.Campaign.retries = 1 then "y" else "ies");
+    if summary.Campaign.wal_corrupt_records > 0 then
+      Printf.printf "  %d corrupt journal record%s quarantined on recovery\n"
+        summary.Campaign.wal_corrupt_records
+        (if summary.Campaign.wal_corrupt_records = 1 then "" else "s");
+    if summary.Campaign.interrupted then
+      Printf.printf
+        "campaign interrupted; resume with: rumor campaign %s --dir %s \
+         --resume\n"
+        ids dir;
+    if summary.Campaign.aborted then
+      Printf.printf "campaign aborted: quarantined fraction exceeded %.2f\n"
+        fail_budget;
+    Printf.printf "manifest: %s\n" (Campaign.manifest_path config);
+    exit (Campaign.exit_code summary)
+  end
 
 let campaign_cmd =
   let ids =
@@ -891,6 +987,66 @@ let campaign_cmd =
       value & flag
       & info [ "full" ] ~doc:"Full-size sweeps instead of quick mode.")
   in
+  let duration : float Arg.conv =
+    let parse s =
+      let s = String.trim (String.lowercase_ascii s) in
+      let num body scale =
+        match float_of_string_opt body with
+        | Some f when f > 0. -> Ok (f *. scale)
+        | _ -> Error (`Msg (Printf.sprintf "invalid duration %S" s))
+      in
+      if Filename.check_suffix s "ms" then
+        num (Filename.chop_suffix s "ms") 0.001
+      else if Filename.check_suffix s "s" then
+        num (Filename.chop_suffix s "s") 1.0
+      else num s 1.0
+    in
+    Arg.conv (parse, fun ppf f -> Format.fprintf ppf "%gs" f)
+  in
+  let workers =
+    Arg.(
+      value & opt int 0
+      & info [ "workers" ] ~docv:"N"
+          ~doc:
+            "Fork $(docv) worker processes and distribute tasks over a \
+             Unix-domain socket with lease/epoch fencing; dead workers \
+             (crash, OOM-kill, heartbeat timeout) have their leases \
+             reclaimed and tasks reassigned.  Captured outputs \
+             (<dir>/tasks/<id>.out) are byte-identical to --workers 1.  \
+             0 (the default) keeps the single-process campaign runner.")
+  in
+  let min_workers =
+    Arg.(
+      value & opt int 1
+      & info [ "min-workers" ] ~docv:"N"
+          ~doc:
+            "Abort the campaign when live (non-demoted) workers fall \
+             below $(docv).")
+  in
+  let batch =
+    Arg.(
+      value & opt int 1
+      & info [ "batch" ] ~docv:"K"
+          ~doc:"Tasks per lease grant (reassignment granularity).")
+  in
+  let heartbeat_timeout =
+    Arg.(
+      value & opt duration 30.
+      & info [ "heartbeat-timeout" ] ~docv:"DUR"
+          ~doc:
+            "Declare a worker dead after $(docv) of heartbeat silence \
+             (e.g. 10s, 500ms); its late results are fenced.")
+  in
+  let chaos =
+    Arg.(
+      value & opt (some duration) None
+      & info [ "chaos-kill-every" ] ~docv:"DUR"
+          ~doc:
+            "Chaos mode: SIGKILL a random live worker every $(docv).  \
+             Chaos kills charge no restart or retry budget — they \
+             exercise the recovery machinery, which must still produce \
+             outputs byte-identical to an undisturbed run.")
+  in
   Cmd.v
     (Cmd.info "campaign"
        ~doc:
@@ -898,10 +1054,62 @@ let campaign_cmd =
           harness: durable CRC-framed journal, per-replicate wall-clock \
           deadlines, transient retry with backoff, a failure budget, and \
           graceful SIGINT/SIGTERM shutdown with --resume continuing \
-          bit-identically.")
+          bit-identically.  With --workers N, tasks are distributed over \
+          N supervised worker processes with lease/epoch fencing and \
+          crash recovery.")
     Term.(
       const campaign $ obs_term $ jobs_term $ ids $ dir $ resume $ deadline
-      $ retries $ backoff $ fail_budget $ full $ seed_arg)
+      $ retries $ backoff $ fail_budget $ full $ seed_arg $ workers
+      $ min_workers $ batch $ heartbeat_timeout $ chaos)
+
+(* --- worker (hidden): the process forked by campaign --workers --- *)
+
+let worker_main () () socket id tasks_dir seed full =
+  (* The coordinator owns shutdown: a terminal SIGINT must not tear the
+     worker out from under an active lease (the Stop frame or a
+     reclaimed lease handles every orderly path). *)
+  (try Sys.set_signal Sys.sigint Sys.Signal_ignore
+   with Invalid_argument _ | Sys_error _ -> ());
+  (try Sys.set_signal Sys.sigterm Sys.Signal_ignore
+   with Invalid_argument _ | Sys_error _ -> ());
+  let run_task task =
+    match Rumor_experiments.Registry.find task with
+    | Some e -> Rumor_experiments.Experiment.print ~full ~seed e
+    | None -> failwith (Printf.sprintf "unknown experiment %S" task)
+  in
+  exit (Worker.run ~socket ~id ~tasks_dir ~run_task ())
+
+let worker_cmd =
+  let socket =
+    Arg.(
+      required & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH" ~doc:"Coordinator socket path.")
+  in
+  let id =
+    Arg.(
+      required & opt (some int) None
+      & info [ "id" ] ~docv:"SLOT" ~doc:"Worker slot number.")
+  in
+  let tasks_dir =
+    Arg.(
+      required & opt (some string) None
+      & info [ "tasks-dir" ] ~docv:"DIR"
+          ~doc:"Directory for captured task outputs.")
+  in
+  let full =
+    Arg.(
+      value & flag
+      & info [ "full" ] ~doc:"Full-size sweeps instead of quick mode.")
+  in
+  Cmd.v
+    (Cmd.info "worker"
+       ~doc:
+         "(internal) Campaign worker process: forked by $(b,rumor \
+          campaign --workers); connects to the coordinator socket and \
+          serves leased task batches.  Not intended for direct use.")
+    Term.(
+      const worker_main $ obs_term $ jobs_term $ socket $ id $ tasks_dir
+      $ seed_arg $ full)
 
 (* --- obs --- *)
 
@@ -1040,5 +1248,6 @@ let () =
             faults_cmd;
             experiment_cmd;
             campaign_cmd;
+            worker_cmd;
             obs_cmd;
           ]))

@@ -63,6 +63,13 @@ module Wal = Rumor_harness.Wal
 module Supervisor = Rumor_harness.Supervisor
 module Campaign = Rumor_harness.Campaign
 
+(* Multi-process campaign coordination: wire protocol, lease/epoch
+   fencing, worker loop and the supervising coordinator. *)
+module Proto = Rumor_harness.Proto
+module Lease = Rumor_harness.Lease
+module Worker = Rumor_harness.Worker
+module Coordinator = Rumor_harness.Coordinator
+
 (* Parallelism: the chunked Domain pool behind every Monte-Carlo
    runner (Pool.nproc, Pool.set_default_jobs, Pool.run). *)
 module Pool = Rumor_par.Pool

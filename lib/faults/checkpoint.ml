@@ -57,6 +57,9 @@ let save path ~seeds ~outcomes =
       flush oc;
       Unix.fsync (Unix.descr_of_out_channel oc));
   Sys.rename tmp path;
+  (* Directory-entry durability: the rename itself must survive power
+     loss, not just the bytes behind it. *)
+  Rumor_util.Fsutil.fsync_parent_dir path;
   Obs.incr m_saves
 
 let parse_line line =

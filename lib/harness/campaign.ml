@@ -69,8 +69,19 @@ let rec mkdirs dir =
 let install_signal_handlers () =
   (* One atomic store, no allocation — safe from a signal handler.
      The pools drain cooperatively; the campaign loop then observes
-     the cancelled token between (and after) tasks. *)
-  let handler = Sys.Signal_handle (fun _ -> Pool.cancel Pool.global) in
+     the cancelled token between (and after) tasks.
+
+     Idempotent: the first signal starts the drain; a second signal
+     means the operator is done waiting for it, so it hard-exits the
+     process immediately (128 + SIGINT, the conventional status)
+     instead of re-running the drain path.  [Unix._exit] skips
+     [at_exit] — nothing that could block or re-enter runs. *)
+  let handler =
+    Sys.Signal_handle
+      (fun _ ->
+        if Pool.is_cancelled Pool.global then Unix._exit 130
+        else Pool.cancel Pool.global)
+  in
   List.iter
     (fun signal ->
       try Sys.set_signal signal handler

@@ -76,8 +76,11 @@ val manifest_path : config -> string
 val install_signal_handlers : unit -> unit
 (** Route SIGINT and SIGTERM to cancelling
     {!Rumor_par.Pool.global} (one atomic store — handler-safe).
-    Call once, before {!run}; platforms without these signals are
-    ignored. *)
+    Idempotent: the {e first} signal starts the cooperative drain; a
+    {e second} signal (the token is already cancelled) hard-exits the
+    process immediately with status 130 — it never re-runs the drain
+    path, so a stuck drain cannot absorb repeated Ctrl-C.  Call once,
+    before {!run}; platforms without these signals are ignored. *)
 
 val run : ?cancel:Rumor_par.Pool.token -> config -> task list -> summary
 (** Execute the tasks in order under the journal.  [cancel] (default

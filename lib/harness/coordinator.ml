@@ -1,0 +1,916 @@
+module Pool = Rumor_par.Pool
+module Obs = Rumor_obs.Metrics
+module Clock = Rumor_obs.Clock
+module Json = Rumor_obs.Json
+module Rng = Rumor_rng.Rng
+
+(* Telemetry (lib/obs): the process-supervision layer.  These are the
+   numbers the chaos tests assert on — a recovery that silently loses
+   a reassignment shows up here first. *)
+let m_reassign = Obs.counter "harness.coord.reassignments"
+let m_fences = Obs.counter "harness.coord.lease_fences"
+let m_replay_fenced = Obs.counter "harness.coord.replay_fenced"
+let m_deaths = Obs.counter "harness.coord.worker_deaths"
+let m_restarts = Obs.counter "harness.coord.worker_restarts"
+let m_chaos = Obs.counter "harness.coord.chaos_kills"
+let h_beat_latency = Obs.histogram "harness.coord.heartbeat_latency_s"
+
+type config = {
+  dir : string;
+  workers : int;
+  min_workers : int;
+  batch : int;
+  resume : bool;
+  heartbeat_timeout_s : float;
+  chaos_kill_every_s : float option;
+  retries : int;
+  max_restarts : int;
+  fail_budget : float;
+  fsync : bool;
+  seed : int;
+}
+
+let default_config ~dir ~workers =
+  {
+    dir;
+    workers;
+    min_workers = 1;
+    batch = 1;
+    resume = false;
+    heartbeat_timeout_s = 30.;
+    chaos_kill_every_s = None;
+    retries = 1;
+    max_restarts = 3;
+    fail_budget = 1.0;
+    fsync = true;
+    seed = 2020;
+  }
+
+type worker_stats = {
+  slot : int;
+  restarts : int;
+  chaos_kills : int;
+  tasks_done : int;
+  fenced : int;
+  demoted : bool;
+}
+
+type summary = {
+  outcomes : (string * Campaign.task_outcome) list;
+  resumed : bool;
+  interrupted : bool;
+  aborted : bool;
+  cached : int;
+  retries : int;
+  quarantined : int;
+  reassignments : int;
+  fences : int;
+  replay_fenced : int;
+  worker_deaths : int;
+  worker_restarts : int;
+  chaos_kills : int;
+  wal_corrupt_records : int;
+  wall_s : float;
+  workers : worker_stats list;
+}
+
+let wal_path config = Filename.concat config.dir "campaign.wal"
+let manifest_path config = Filename.concat config.dir "campaign.manifest.json"
+let tasks_dir config = Filename.concat config.dir "tasks"
+let output_path config task = Filename.concat (tasks_dir config) (task ^ ".out")
+
+let rec mkdirs dir =
+  if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir)
+  then begin
+    mkdirs (Filename.dirname dir);
+    try Unix.mkdir dir 0o755
+    with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+(* sockaddr_un paths are capped around 104 bytes; a deeply nested
+   campaign dir must not silently break the coordinator. *)
+let socket_path config =
+  let candidate = Filename.concat config.dir "coord.sock" in
+  if String.length candidate < 100 then candidate
+  else begin
+    let tmp = Filename.temp_file "rumor-coord" ".sock" in
+    Sys.remove tmp;
+    tmp
+  end
+
+(* --- journal records ---
+
+   Task records share Campaign's shape ({"k":"task",...}) extended
+   with the fencing stamp; lease grant/reclaim records interleave so
+   replay can re-run the fencing decisions; incident records make the
+   failure history auditable. *)
+
+let task_record id ev ~att ?wall ?err ?lease ?epoch ?worker () =
+  Json.Obj
+    ([ ("k", Json.String "task");
+       ("id", Json.String id);
+       ("ev", Json.String ev);
+       ("att", Json.Int att) ]
+    @ (match wall with
+      | Some w -> [ ("wall", Json.String (Printf.sprintf "%h" w)) ]
+      | None -> [])
+    @ (match err with Some e -> [ ("err", Json.String e) ] | None -> [])
+    @ (match lease with Some l -> [ ("lease", Json.Int l) ] | None -> [])
+    @ (match epoch with Some e -> [ ("ep", Json.Int e) ] | None -> [])
+    @ match worker with Some w -> [ ("w", Json.Int w) ] | None -> [])
+
+let lease_record ev ~lease ~epoch ~worker ?(tasks = []) () =
+  Json.Obj
+    ([ ("k", Json.String "lease");
+       ("ev", Json.String ev);
+       ("lease", Json.Int lease);
+       ("ep", Json.Int epoch);
+       ("w", Json.Int worker) ]
+    @
+    if tasks = [] then []
+    else [ ("tasks", Json.List (List.map (fun t -> Json.String t) tasks)) ])
+
+let incident_record ev ~worker ?detail () =
+  Json.Obj
+    ([ ("k", Json.String "incident");
+       ("ev", Json.String ev);
+       ("w", Json.Int worker) ]
+    @ match detail with Some d -> [ ("detail", Json.String d) ] | None -> [])
+
+(* Replay: walk the journal in append order re-running the fencing
+   decisions.  A done record is trusted only if its (lease, epoch)
+   was granted and not reclaimed at that point in the log — and its
+   canonical output file actually exists (the rename precedes the
+   journal append, so a trusted record always has bytes behind it
+   unless the operator deleted them; re-run in that case). *)
+let replay_done config records =
+  let replay = Lease.Replay.create () in
+  let done_ = Hashtbl.create 16 in
+  let fenced = ref 0 in
+  List.iter
+    (fun j ->
+      let str field = Option.bind (Json.member field j) Json.to_string_opt in
+      let int field = Option.bind (Json.member field j) Json.to_int_opt in
+      match (str "k", str "ev") with
+      | Some "lease", Some "grant" -> (
+        match (int "lease", int "ep") with
+        | Some lease_id, Some epoch ->
+          Lease.Replay.note_grant replay ~lease_id ~epoch
+        | _ -> ())
+      | Some "lease", Some "reclaim" -> (
+        match int "lease" with
+        | Some lease_id -> Lease.Replay.note_reclaim replay ~lease_id
+        | None -> ())
+      | Some "task", Some "done" -> (
+        match str "id" with
+        | None -> ()
+        | Some id -> (
+          match (int "lease", int "ep") with
+          | Some lease_id, Some epoch -> (
+            match Lease.Replay.check_done replay ~lease_id ~epoch with
+            | `Trusted ->
+              if Sys.file_exists (output_path config id) then
+                Hashtbl.replace done_ id ()
+            | `Fenced ->
+              incr fenced;
+              Obs.incr m_replay_fenced)
+          | _ ->
+            (* Stampless done record: a single-process campaign journal
+               (PR 5).  Trust it — there were no processes to fence. *)
+            Hashtbl.replace done_ id ()))
+      | _ -> ())
+    records;
+  (done_, !fenced)
+
+(* --- per-slot worker state --- *)
+
+type incarnation = {
+  mutable pid : int;
+  mutable fd : Unix.file_descr option;
+  mutable reader : Proto.reader;
+  mutable last_seen : float;
+  mutable hello : bool;
+}
+
+type wslot = {
+  slot : int;
+  mutable inc : incarnation option;  (* current incarnation, if any *)
+  mutable lease : int option;
+  mutable restarts : int;
+  mutable chaos_kills : int;
+  mutable tasks_done : int;
+  mutable fenced : int;
+  mutable demoted : bool;
+  mutable chaos_pending : bool;  (* next death is ours, not the slot's *)
+}
+
+(* A connection no longer owned by a slot: a declared-dead worker we
+   keep draining so its late (fenced) writes are observed, or a fresh
+   accept that has not said hello yet. *)
+type stray = {
+  s_fd : Unix.file_descr;
+  s_reader : Proto.reader;
+  s_pid : int option;  (* known for zombies; None for fresh accepts *)
+}
+
+let close_quiet fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+let kill_quiet signal pid =
+  if pid > 0 then try Unix.kill pid signal with Unix.Unix_error _ -> ()
+
+let reap_quiet pid =
+  if pid > 0 then
+    try ignore (Unix.waitpid [ Unix.WNOHANG ] pid)
+    with Unix.Unix_error _ -> ()
+
+let run ?(cancel = Pool.global) ~spawn (config : config) task_ids =
+  if config.workers < 1 then
+    invalid_arg "Coordinator.run: need at least one worker";
+  if config.batch < 1 then invalid_arg "Coordinator.run: batch must be >= 1";
+  mkdirs config.dir;
+  mkdirs (tasks_dir config);
+  let wal_file = wal_path config in
+  if not config.resume then begin
+    List.iter
+      (fun p -> if Sys.file_exists p then Sys.remove p)
+      [ wal_file; Wal.quarantine_path wal_file ];
+    Array.iter
+      (fun e -> Sys.remove (Filename.concat (tasks_dir config) e))
+      (try Sys.readdir (tasks_dir config) with Sys_error _ -> [||])
+  end;
+  let resumed = config.resume && Sys.file_exists wal_file in
+  let wal = Wal.open_ ~fsync:config.fsync wal_file in
+  let recovery = Wal.recovery wal in
+  let finished, replay_fenced = replay_done config recovery.Wal.records in
+  let n_tasks = List.length task_ids in
+  (* Final per-task outcomes; a task is open until its slot is filled. *)
+  let outcomes : (string, Campaign.task_outcome) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  let cached = ref 0 in
+  let queue = Queue.create () in
+  List.iter
+    (fun id ->
+      if Hashtbl.mem finished id then begin
+        Hashtbl.replace outcomes id Campaign.Cached;
+        incr cached
+      end
+      else Queue.add id queue)
+    task_ids;
+  let remaining = ref (Queue.length queue) in
+  (* Chaos progress guarantee: once a task has been chaos-reassigned
+     this many times, its current holder is immune to further chaos
+     kills — otherwise a task longer than the kill interval livelocks
+     (holder killed, reassigned, killed again, forever). *)
+  let chaos_task_cap = 5 in
+  let chaos_reassigns : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  let attempts : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  let attempt_of id = 1 + Option.value ~default:0 (Hashtbl.find_opt attempts id) in
+  let leases = Lease.create () in
+  let retries = ref 0 in
+  let quarantined = ref 0 in
+  let reassignments = ref 0 in
+  let fences = ref 0 in
+  let worker_deaths = ref 0 in
+  let worker_restarts = ref 0 in
+  let chaos_kills = ref 0 in
+  let aborted = ref false in
+  let interrupted = ref false in
+  let t0 = Clock.now_s () in
+  (* --- socket plumbing --- *)
+  let sock_path = socket_path config in
+  if Sys.file_exists sock_path then Sys.remove sock_path;
+  let listen_fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind listen_fd (Unix.ADDR_UNIX sock_path);
+  Unix.listen listen_fd (2 * config.workers);
+  (* A worker dying mid-send must surface as EPIPE, not SIGPIPE. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ | Sys_error _ -> ());
+  let slots =
+    Array.init config.workers (fun slot ->
+        {
+          slot;
+          inc = None;
+          lease = None;
+          restarts = 0;
+          chaos_kills = 0;
+          tasks_done = 0;
+          fenced = 0;
+          demoted = false;
+          chaos_pending = false;
+        })
+  in
+  let strays : stray list ref = ref [] in
+  let spawn_slot w =
+    let pid = spawn ~slot:w.slot ~socket:sock_path in
+    w.inc <-
+      Some
+        {
+          pid;
+          fd = None;
+          reader = Proto.reader ();
+          last_seen = Clock.now_s ();
+          hello = false;
+        }
+  in
+  Array.iter spawn_slot slots;
+  let chaos_rng = Rng.create config.seed in
+  let next_chaos =
+    ref
+      (match config.chaos_kill_every_s with
+      | Some d -> Clock.now_s () +. d
+      | None -> infinity)
+  in
+  let live_slots () =
+    Array.to_list slots
+    |> List.filter (fun w -> (not w.demoted) && Option.is_some w.inc)
+  in
+  let journal rec_ = Wal.append wal rec_ in
+  (* Quarantine a task: its slot in the outcome table is final. *)
+  let quarantine id err =
+    Hashtbl.replace outcomes id (Campaign.Quarantined err);
+    incr quarantined;
+    decr remaining;
+    journal (task_record id "quarantined" ~att:(attempt_of id - 1) ~err ());
+    if
+      float_of_int !quarantined > config.fail_budget *. float_of_int n_tasks
+    then aborted := true
+  in
+  (* Return a task to the queue after a failure or a reclaimed lease.
+     [charge] is false for chaos-inflicted deaths: exogenous faults
+     prove the machinery and must not burn the task's budget. *)
+  let requeue ~charge ~why id =
+    if charge then begin
+      Hashtbl.replace attempts id (attempt_of id);
+      if attempt_of id > config.retries + 1 then
+        quarantine id (Printf.sprintf "retry budget exhausted (%s)" why)
+      else begin
+        Queue.add id queue;
+        incr reassignments;
+        Obs.incr m_reassign
+      end
+    end
+    else begin
+      Hashtbl.replace chaos_reassigns id
+        (1 + Option.value ~default:0 (Hashtbl.find_opt chaos_reassigns id));
+      Queue.add id queue;
+      incr reassignments;
+      Obs.incr m_reassign
+    end
+  in
+  let reclaim_lease ~charge w why =
+    match w.lease with
+    | None -> ()
+    | Some lease_id ->
+      let pending = Lease.reclaim leases ~lease_id in
+      w.lease <- None;
+      journal
+        (lease_record "reclaim" ~lease:lease_id ~epoch:(Lease.epoch leases)
+           ~worker:w.slot ());
+      List.iter (fun id -> requeue ~charge ~why id) pending
+  in
+  (* Uncommanded death or heartbeat timeout: reclaim, journal, respawn
+     within budget.  [zombie] keeps the old connection draining (the
+     process may still be alive and about to write something stale). *)
+  let declare_dead ~ev ~zombie w =
+    let chaos = w.chaos_pending in
+    w.chaos_pending <- false;
+    (match w.inc with
+    | None -> ()
+    | Some inc ->
+      (if zombie then
+         match inc.fd with
+         | Some fd ->
+           strays :=
+             { s_fd = fd; s_reader = inc.reader; s_pid = Some inc.pid }
+             :: !strays
+         | None -> kill_quiet Sys.sigkill inc.pid
+       else begin
+         (match inc.fd with Some fd -> close_quiet fd | None -> ());
+         kill_quiet Sys.sigkill inc.pid;
+         reap_quiet inc.pid
+       end);
+      w.inc <- None);
+    journal (incident_record ev ~worker:w.slot ());
+    if chaos then begin
+      incr chaos_kills;
+      w.chaos_kills <- w.chaos_kills + 1;
+      Obs.incr m_chaos
+    end
+    else begin
+      incr worker_deaths;
+      w.restarts <- w.restarts + 1;
+      Obs.incr m_deaths
+    end;
+    reclaim_lease ~charge:(not chaos) w ev;
+    if (not chaos) && w.restarts > config.max_restarts then begin
+      w.demoted <- true;
+      journal (incident_record "demoted" ~worker:w.slot ())
+    end
+    else if !remaining > 0 && not (Pool.is_cancelled cancel) then begin
+      spawn_slot w;
+      incr worker_restarts;
+      Obs.incr m_restarts;
+      journal (incident_record "restart" ~worker:w.slot ())
+    end;
+    if List.length (live_slots ()) < config.min_workers then begin
+      aborted := true;
+      journal (incident_record "min_workers_abort" ~worker:w.slot ())
+    end
+  in
+  let accept_result w_opt (lease_id, epoch, task, ok, wall_s, file, err, transient)
+      =
+    let file = Filename.basename file in
+    let partial = Filename.concat (tasks_dir config) file in
+    match Lease.complete leases ~lease_id ~epoch ~task with
+    | `Fenced ->
+      incr fences;
+      Obs.incr m_fences;
+      (match w_opt with Some w -> w.fenced <- w.fenced + 1 | None -> ());
+      journal
+        (incident_record "fence"
+           ~worker:(match w_opt with Some w -> w.slot | None -> -1)
+           ~detail:(Printf.sprintf "task %s lease %d ep %d" task lease_id epoch)
+           ());
+      if Sys.file_exists partial then Sys.remove partial
+    | `Unknown_task ->
+      journal
+        (incident_record "unknown_task"
+           ~worker:(match w_opt with Some w -> w.slot | None -> -1)
+           ~detail:task ());
+      if Sys.file_exists partial then Sys.remove partial
+    | `Ok ->
+      (match w_opt with
+      | Some w ->
+        if Lease.active leases ~lease_id = None then w.lease <- None
+      | None -> ());
+      if ok && Sys.file_exists partial then begin
+        (* Rename before journaling: a trusted done record always has
+           its canonical bytes on disk. *)
+        Sys.rename partial (output_path config task);
+        Rumor_util.Fsutil.fsync_parent_dir (output_path config task);
+        Hashtbl.replace outcomes task (Campaign.Done wall_s);
+        decr remaining;
+        (match w_opt with Some w -> w.tasks_done <- w.tasks_done + 1 | None -> ());
+        journal
+          (task_record task "done" ~att:(attempt_of task) ~wall:wall_s
+             ~lease:lease_id ~epoch
+             ?worker:(Option.map (fun w -> w.slot) w_opt)
+             ())
+      end
+      else begin
+        if Sys.file_exists partial then Sys.remove partial;
+        let err =
+          Option.value err
+            ~default:(if ok then "output file missing" else "failed")
+        in
+        let transient = transient || ok (* lost output: environmental *) in
+        if transient && attempt_of task <= config.retries then begin
+          incr retries;
+          journal (task_record task "retry" ~att:(attempt_of task) ~err ());
+          requeue ~charge:true ~why:"transient failure" task
+        end
+        else quarantine task err
+      end
+  in
+  let handle_msg w_opt msg =
+    (match w_opt with
+    | Some w -> (
+      match w.inc with
+      | Some inc ->
+        let now = Clock.now_s () in
+        (match msg with
+        | Proto.Beat _ -> Obs.observe h_beat_latency (now -. inc.last_seen)
+        | _ -> ());
+        inc.last_seen <- now
+      | None -> ())
+    | None -> ());
+    match msg with
+    | Proto.Hello { worker = _; pid = _ } -> (
+      match w_opt with
+      | Some w -> (
+        match w.inc with Some inc -> inc.hello <- true | None -> ())
+      | None -> ())
+    | Proto.Beat _ -> ()
+    | Proto.Result { lease; epoch; task; ok; wall_s; file; err; transient; _ }
+      ->
+      accept_result w_opt (lease, epoch, task, ok, wall_s, file, err, transient)
+    | Proto.Grant _ | Proto.Stop -> ()  (* not ours to receive *)
+  in
+  (* Route a raw frame: a hello from a fresh accept binds the stray
+     connection to its slot's current incarnation; everything else is
+     dispatched with whatever slot attribution the worker id gives. *)
+  let slot_of_worker_id w =
+    if w >= 0 && w < Array.length slots then Some slots.(w) else None
+  in
+  let grant_work () =
+    if not (Pool.is_cancelled cancel || !aborted) then
+      Array.iter
+        (fun w ->
+          if
+            (not w.demoted) && w.lease = None
+            && not (Queue.is_empty queue)
+          then
+            match w.inc with
+            | Some inc when inc.hello -> (
+              let batch = ref [] in
+              let n = min config.batch (Queue.length queue) in
+              for _ = 1 to n do
+                batch := Queue.pop queue :: !batch
+              done;
+              let batch = List.rev !batch in
+              let lease = Lease.grant leases ~worker:w.slot batch in
+              (* Journal the grant before sending it: replay must know
+                 every lease the worker could possibly stamp. *)
+              journal
+                (lease_record "grant" ~lease:lease.Lease.id
+                   ~epoch:lease.Lease.epoch ~worker:w.slot ~tasks:batch ());
+              w.lease <- Some lease.Lease.id;
+              match
+                Proto.send (Option.get inc.fd)
+                  (Proto.to_json
+                     (Proto.Grant
+                        {
+                          lease = lease.Lease.id;
+                          epoch = lease.Lease.epoch;
+                          tasks = batch;
+                        }))
+              with
+              | () -> ()
+              | exception (Unix.Unix_error (_, _, _) | Sys_error _) ->
+                declare_dead ~ev:"worker_death" ~zombie:false w)
+            | _ -> ())
+        slots
+  in
+  let read_fd fd =
+    let chunk = Bytes.create 65536 in
+    match Unix.read fd chunk 0 (Bytes.length chunk) with
+    | 0 -> `Eof
+    | n -> `Data (chunk, n)
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> `Data (chunk, 0)
+    | exception Unix.Unix_error (_, _, _) -> `Eof
+  in
+  let drain_reader w_opt reader =
+    let rec go () =
+      match Proto.next reader with
+      | Some j ->
+        (match Proto.of_json j with
+        | Some msg ->
+          let w_opt =
+            match msg with
+            | Proto.Hello { worker; _ }
+            | Proto.Beat { worker }
+            | Proto.Result { worker; _ } -> (
+              match w_opt with Some _ -> w_opt | None -> slot_of_worker_id worker)
+            | _ -> w_opt
+          in
+          handle_msg w_opt msg
+        | None -> ());
+        go ()
+      | None -> ()
+    in
+    go ()
+  in
+  let finished_campaign () =
+    !remaining = 0 && Lease.outstanding leases = 0
+  in
+  let cleanup () =
+    (* Orderly stop for live workers, hard stop for everything else. *)
+    Array.iter
+      (fun w ->
+        match w.inc with
+        | Some inc ->
+          (match inc.fd with
+          | Some fd ->
+            (try Proto.send fd (Proto.to_json Proto.Stop)
+             with Unix.Unix_error (_, _, _) | Sys_error _ -> ());
+            close_quiet fd
+          | None -> ());
+          let deadline = Clock.now_s () +. 2.0 in
+          let rec wait () =
+            match Unix.waitpid [ Unix.WNOHANG ] inc.pid with
+            | 0, _ ->
+              if Clock.now_s () > deadline then begin
+                kill_quiet Sys.sigkill inc.pid;
+                reap_quiet inc.pid
+              end
+              else begin
+                Unix.sleepf 0.02;
+                wait ()
+              end
+            | _ -> ()
+            | exception Unix.Unix_error (_, _, _) -> ()
+          in
+          wait ()
+        | None -> ())
+      slots;
+    List.iter
+      (fun s ->
+        close_quiet s.s_fd;
+        (match s.s_pid with
+        | Some pid ->
+          kill_quiet Sys.sigkill pid;
+          reap_quiet pid
+        | None -> ()))
+      !strays;
+    close_quiet listen_fd;
+    if Sys.file_exists sock_path then Sys.remove sock_path;
+    (* Stale stamped partials (fenced or never-accepted writes) must
+       not survive into a byte-compare of the tasks directory. *)
+    Array.iter
+      (fun e ->
+        if String.length e > 0 && e.[0] = '.' then
+          try Sys.remove (Filename.concat (tasks_dir config) e)
+          with Sys_error _ -> ())
+      (try Sys.readdir (tasks_dir config) with Sys_error _ -> [||]);
+    Wal.close wal
+  in
+  Fun.protect ~finally:cleanup (fun () ->
+      let drained_since_cancel = ref 0. in
+      while
+        (not (finished_campaign ()))
+        && (not !aborted)
+        &&
+        if Pool.is_cancelled cancel then begin
+          if !drained_since_cancel = 0. then
+            drained_since_cancel := Clock.now_s ();
+          interrupted := true;
+          (* Drain: in-flight leases finish (workers are between-task
+             cancellable only at batch granularity), bounded so a hung
+             worker cannot wedge the shutdown. *)
+          Lease.outstanding leases > 0
+          && Clock.now_s () -. !drained_since_cancel
+             < config.heartbeat_timeout_s
+        end
+        else true
+      do
+        grant_work ();
+        let now = Clock.now_s () in
+        let timeout =
+          let next = min (!next_chaos -. now) 0.2 in
+          Float.max 0.01 next
+        in
+        let watched =
+          (listen_fd
+          :: List.filter_map
+               (fun w ->
+                 match w.inc with Some { fd = Some fd; _ } -> Some fd | _ -> None)
+               (Array.to_list slots))
+          @ List.map (fun s -> s.s_fd) !strays
+        in
+        let readable, _, _ =
+          match Unix.select watched [] [] timeout with
+          | r -> r
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+        in
+        List.iter
+          (fun fd ->
+            if fd = listen_fd then begin
+              match Unix.accept ~cloexec:true listen_fd with
+              | conn_fd, _ ->
+                strays :=
+                  { s_fd = conn_fd; s_reader = Proto.reader (); s_pid = None }
+                  :: !strays
+              | exception Unix.Unix_error (_, _, _) -> ()
+            end
+            else begin
+              (* Slot connection? *)
+              let slot =
+                Array.to_list slots
+                |> List.find_opt (fun w ->
+                       match w.inc with
+                       | Some { fd = Some f; _ } -> f = fd
+                       | _ -> false)
+              in
+              match slot with
+              | Some w -> (
+                let inc = Option.get w.inc in
+                match read_fd fd with
+                | `Eof -> declare_dead ~ev:"worker_death" ~zombie:false w
+                | `Data (chunk, n) ->
+                  Proto.feed inc.reader chunk n;
+                  (match drain_reader (Some w) inc.reader with
+                  | () -> ()
+                  | exception Proto.Protocol_error _ ->
+                    declare_dead ~ev:"protocol_error" ~zombie:false w))
+              | None -> (
+                match List.find_opt (fun s -> s.s_fd = fd) !strays with
+                | None -> ()
+                | Some s -> (
+                  match read_fd fd with
+                  | `Eof ->
+                    close_quiet fd;
+                    (match s.s_pid with Some pid -> reap_quiet pid | None -> ());
+                    strays := List.filter (fun x -> x.s_fd <> fd) !strays
+                  | `Data (chunk, n) -> (
+                    Proto.feed s.s_reader chunk n;
+                    (* A hello binds this stray to its slot; results
+                       and beats are dispatched by worker id (stale
+                       ones fence naturally). *)
+                    let rec pump () =
+                      match Proto.next s.s_reader with
+                      | None -> ()
+                      | Some j ->
+                        (match Proto.of_json j with
+                        | Some (Proto.Hello { worker; pid }) -> (
+                          match slot_of_worker_id worker with
+                          | Some w -> (
+                            match w.inc with
+                            | Some inc
+                              when inc.fd = None && inc.pid = pid ->
+                              inc.fd <- Some fd;
+                              inc.reader <- s.s_reader;
+                              inc.hello <- true;
+                              inc.last_seen <- Clock.now_s ();
+                              strays :=
+                                List.filter (fun x -> x.s_fd <> fd) !strays
+                            | _ ->
+                              (* Not the incarnation we are waiting
+                                 for: keep it stray (it is a zombie). *)
+                              handle_msg None (Proto.Hello { worker; pid }))
+                          | None -> ())
+                        | Some
+                            (Proto.Result
+                               {
+                                 worker; lease; epoch; task; ok; wall_s;
+                                 file; err; transient;
+                               }) ->
+                          (* A zombie's late result: its lease was
+                             reclaimed when we declared it dead, so
+                             this fences — attributed to the slot. *)
+                          accept_result
+                            (slot_of_worker_id worker)
+                            (lease, epoch, task, ok, wall_s, file, err,
+                             transient)
+                        | Some _ -> ()  (* stray beats: ignore *)
+                        | None -> ());
+                        if List.exists (fun x -> x.s_fd = fd) !strays then
+                          pump ()
+                    in
+                    match pump () with
+                    | () -> ()
+                    | exception Proto.Protocol_error _ ->
+                      close_quiet fd;
+                      strays := List.filter (fun x -> x.s_fd <> fd) !strays)))
+            end)
+          readable;
+        (* Heartbeat deadlines: silence past the timeout means dead —
+           maybe hung, maybe OOM-killed before the socket closed.  The
+           connection (if any) survives as a stray so late writes are
+           fenced rather than lost in a closed pipe. *)
+        let now = Clock.now_s () in
+        Array.iter
+          (fun w ->
+            match w.inc with
+            | Some inc when now -. inc.last_seen > config.heartbeat_timeout_s
+              ->
+              declare_dead ~ev:"heartbeat_timeout" ~zombie:true w
+            | _ -> ())
+          slots;
+        (* Reap exited children: the WNOHANG at death time can race
+           the SIGKILL, so sweep every iteration or defunct processes
+           pile up across a long chaos run. *)
+        let rec sweep () =
+          match Unix.waitpid [ Unix.WNOHANG ] (-1) with
+          | 0, _ -> ()
+          | _ -> sweep ()
+          | exception Unix.Unix_error (_, _, _) -> ()
+        in
+        sweep ();
+        (* Chaos: SIGKILL a random live worker, lease held or not —
+           that is the scenario the recovery machinery exists for. *)
+        if now >= !next_chaos && not (Pool.is_cancelled cancel) then begin
+          (match config.chaos_kill_every_s with
+          | Some d -> next_chaos := now +. d
+          | None -> next_chaos := infinity);
+          let victims =
+            List.filter
+              (fun w ->
+                match w.inc with
+                | Some { hello = true; _ } -> (
+                  match w.lease with
+                  | None -> true
+                  | Some lease_id -> (
+                    match Lease.active leases ~lease_id with
+                    | None -> true
+                    | Some l ->
+                      List.for_all
+                        (fun t ->
+                          Option.value ~default:0
+                            (Hashtbl.find_opt chaos_reassigns t)
+                          < chaos_task_cap)
+                        l.Lease.tasks))
+                | _ -> false)
+              (live_slots ())
+          in
+          match victims with
+          | [] -> ()
+          | _ ->
+            let w = List.nth victims (Rng.int chaos_rng (List.length victims)) in
+            (match w.inc with
+            | Some inc ->
+              w.chaos_pending <- true;
+              journal (incident_record "chaos_kill" ~worker:w.slot ());
+              kill_quiet Sys.sigkill inc.pid
+            | None -> ())
+        end
+      done;
+      (* Tasks never decided: shutdown or abort upstream. *)
+      List.iter
+        (fun id ->
+          if not (Hashtbl.mem outcomes id) then
+            Hashtbl.replace outcomes id
+              (if !interrupted then Campaign.Interrupted else Campaign.Not_run))
+        task_ids);
+  let summary =
+    {
+      outcomes =
+        List.map
+          (fun id ->
+            ( id,
+              Option.value ~default:Campaign.Not_run
+                (Hashtbl.find_opt outcomes id) ))
+          task_ids;
+      resumed;
+      interrupted = !interrupted || Pool.is_cancelled cancel;
+      aborted = !aborted;
+      cached = !cached;
+      retries = !retries;
+      quarantined = !quarantined;
+      reassignments = !reassignments;
+      fences = !fences;
+      replay_fenced;
+      worker_deaths = !worker_deaths;
+      worker_restarts = !worker_restarts;
+      chaos_kills = !chaos_kills;
+      wal_corrupt_records = recovery.Wal.corrupt_records;
+      wall_s = Clock.now_s () -. t0;
+      workers =
+        Array.to_list
+          (Array.map
+             (fun w ->
+               {
+                 slot = w.slot;
+                 restarts = w.restarts;
+                 chaos_kills = w.chaos_kills;
+                 tasks_done = w.tasks_done;
+                 fenced = w.fenced;
+                 demoted = w.demoted;
+               })
+             slots);
+    }
+  in
+  let manifest =
+    Json.Obj
+      [
+        ("schema", Json.String "rumor-campaign/2");
+        ("workers", Json.Int config.workers);
+        ("resumed", Json.Bool summary.resumed);
+        ("interrupted", Json.Bool summary.interrupted);
+        ("aborted", Json.Bool summary.aborted);
+        ("cached", Json.Int summary.cached);
+        ("retries", Json.Int summary.retries);
+        ("quarantined", Json.Int summary.quarantined);
+        ("reassignments", Json.Int summary.reassignments);
+        ("lease_fences", Json.Int summary.fences);
+        ("replay_fenced", Json.Int summary.replay_fenced);
+        ("worker_deaths", Json.Int summary.worker_deaths);
+        ("worker_restarts", Json.Int summary.worker_restarts);
+        ("chaos_kills", Json.Int summary.chaos_kills);
+        ("wal_corrupt_records", Json.Int summary.wal_corrupt_records);
+        ("wall_s", Json.Float summary.wall_s);
+        ( "tasks",
+          Json.Obj
+            (List.map
+               (fun (id, o) ->
+                 ( id,
+                   Json.String
+                     (match o with
+                     | Campaign.Done _ -> "done"
+                     | Campaign.Cached -> "cached"
+                     | Campaign.Quarantined _ -> "quarantined"
+                     | Campaign.Interrupted -> "interrupted"
+                     | Campaign.Not_run -> "not-run") ))
+               summary.outcomes) );
+        ( "worker_stats",
+          Json.List
+            (List.map
+               (fun (w : worker_stats) ->
+                 Json.Obj
+                   [
+                     ("slot", Json.Int w.slot);
+                     ("restarts", Json.Int w.restarts);
+                     ("chaos_kills", Json.Int w.chaos_kills);
+                     ("tasks_done", Json.Int w.tasks_done);
+                     ("fenced", Json.Int w.fenced);
+                     ("demoted", Json.Bool w.demoted);
+                   ])
+               summary.workers) );
+      ]
+  in
+  Wal.write_atomic (manifest_path config)
+    (Json.to_string ~pretty:true manifest ^ "\n");
+  summary
+
+let exit_code summary =
+  if summary.aborted || summary.quarantined > 0 then 1 else 0

@@ -1,0 +1,134 @@
+(** Multi-process campaign coordinator: process-level supervision on
+    top of the PR-5 WAL/campaign substrate.
+
+    [run ~spawn config tasks] forks [config.workers] worker processes
+    (via [spawn], typically a re-exec of the [rumor] binary in its
+    hidden [worker] mode) and feeds them task batches over a
+    Unix-domain socket with the length-prefixed JSONL protocol of
+    {!Proto}.  Each batch is a {!Lease}: lease id + fencing epoch,
+    journaled to the campaign WAL before the grant is sent, so the
+    log always knows who was allowed to produce what.
+
+    {b Failure model} — a worker can die at any instant (crash,
+    segfault, OOM-kill, [kill -9]) or hang (heartbeat timeout).  On
+    either, the coordinator reclaims the lease (bumping the fencing
+    epoch), journals the incident, returns the unfinished tasks to
+    the queue for a surviving worker, and — unless the slot exhausted
+    its restart budget — forks a replacement.  A {e zombie} (declared
+    dead on heartbeat timeout but still running) can only speak with
+    its stale lease/epoch pair; its results are fenced, counted, and
+    its stamped output file deleted, so it can never corrupt the
+    campaign.  The same fencing check runs over the journal at
+    [--resume] time ({!Lease.Replay}), rejecting a zombie's writes
+    that raced a crash into the WAL.
+
+    {b Determinism} — workers run tasks with the ordinary in-process
+    machinery (index-keyed split-seed replicate streams), each task's
+    stdout captured to [<dir>/tasks/<id>.out] via an atomic
+    epoch-stamped rename.  However many workers die, restart or get
+    chaos-killed, the accepted output files are byte-identical to a
+    [workers = 1] run of the same campaign.
+
+    {b Graceful degradation} — the campaign finishes with however
+    many workers survive; it aborts only when live workers fall below
+    [min_workers], or quarantined tasks exceed [fail_budget].  A
+    flapping worker (more than [max_restarts] uncommanded deaths) is
+    demoted — no longer respawned — before it burns the campaign
+    budget.  Chaos kills ({!config.chaos_kill_every_s}, used by tests
+    and CI) are coordinator-inflicted and charge {e no} budget: they
+    prove the recovery machinery, not the workload.
+
+    {b Shutdown} — the [cancel] token (default
+    {!Rumor_par.Pool.global}, wired to SIGINT/SIGTERM by
+    {!Campaign.install_signal_handlers}) stops new grants; in-flight
+    batches drain, workers are stopped, and a [--resume] run
+    continues bit-identically from the journal. *)
+
+type config = {
+  dir : string;  (** journal, manifest and [tasks/] outputs live here *)
+  workers : int;  (** processes to fork; at least 1 *)
+  min_workers : int;
+      (** abort when live (non-demoted) workers fall below this *)
+  batch : int;  (** tasks per lease (default 1) *)
+  resume : bool;  (** replay the journal; [false] starts fresh *)
+  heartbeat_timeout_s : float;
+      (** a worker silent for this long is declared dead (zombied) *)
+  chaos_kill_every_s : float option;
+      (** SIGKILL a random live worker this often (chaos mode).
+          Progress is guaranteed: a task chaos-reassigned 5 times makes
+          its next holder immune, so a task longer than the kill
+          interval cannot livelock the campaign. *)
+  retries : int;
+      (** per-task budget for transient failures and uncommanded
+          worker deaths before the task is quarantined *)
+  max_restarts : int;
+      (** per-slot uncommanded-death budget before demotion *)
+  fail_budget : float;
+      (** abort when quarantined tasks exceed this fraction of the
+          task list; [1.0] disables the gate *)
+  fsync : bool;  (** fsync journal appends (tests may turn it off) *)
+  seed : int;  (** seeds the chaos-victim RNG only *)
+}
+
+val default_config : dir:string -> workers:int -> config
+(** [min_workers = 1], [batch = 1], [resume = false],
+    [heartbeat_timeout_s = 30.], no chaos, [retries = 1],
+    [max_restarts = 3], [fail_budget = 1.0], [fsync = true],
+    [seed = 2020]. *)
+
+type worker_stats = {
+  slot : int;
+  restarts : int;  (** uncommanded deaths charged to the slot *)
+  chaos_kills : int;  (** coordinator-inflicted SIGKILLs (uncharged) *)
+  tasks_done : int;
+  fenced : int;  (** stale-epoch results rejected from this slot *)
+  demoted : bool;
+}
+
+type summary = {
+  outcomes : (string * Campaign.task_outcome) list;  (** task order *)
+  resumed : bool;
+  interrupted : bool;
+  aborted : bool;
+  cached : int;  (** trusted journal replays (task skipped) *)
+  retries : int;
+  quarantined : int;
+  reassignments : int;
+      (** tasks returned to the queue by a reclaimed lease *)
+  fences : int;  (** live stale-epoch results rejected *)
+  replay_fenced : int;  (** journal done-records rejected at replay *)
+  worker_deaths : int;  (** uncommanded deaths (timeouts included) *)
+  worker_restarts : int;
+  chaos_kills : int;
+  wal_corrupt_records : int;
+  wall_s : float;
+  workers : worker_stats list;
+}
+
+val wal_path : config -> string
+val manifest_path : config -> string
+
+val tasks_dir : config -> string
+(** [<dir>/tasks] — canonical captured outputs ([<id>.out]) plus the
+    workers' epoch-stamped [.partial] files awaiting acceptance. *)
+
+val output_path : config -> string -> string
+(** Canonical captured output of a task: [<dir>/tasks/<id>.out]. *)
+
+val run :
+  ?cancel:Rumor_par.Pool.token ->
+  spawn:(slot:int -> socket:string -> int) ->
+  config ->
+  string list ->
+  summary
+(** Run the campaign over the named tasks.  [spawn] forks one worker
+    process for a slot and returns its pid; the worker must connect
+    to [socket] and speak {!Proto} (use {!Worker.run}, either behind
+    an exec of the CLI's [worker] subcommand or directly after
+    [Unix.fork]).  The manifest is written on every exit path.
+    @raise Invalid_argument on [workers < 1] or [batch < 1]
+    @raise Wal.Bad_magic if [resume] finds a non-WAL file in the way. *)
+
+val exit_code : summary -> int
+(** As {!Campaign.exit_code}: [0] clean or interrupted, [1] when
+    anything was quarantined or the campaign aborted. *)

@@ -1,0 +1,167 @@
+module Json = Rumor_obs.Json
+
+exception Protocol_error of string
+
+let max_frame = 1 lsl 20
+
+(* --- framing --- *)
+
+let send fd json =
+  let payload = Bytes.of_string (Json.to_string json) in
+  let n = Bytes.length payload in
+  if n > max_frame then
+    raise (Protocol_error (Printf.sprintf "outgoing frame of %d bytes" n));
+  let frame = Bytes.create (4 + n) in
+  Bytes.set_uint8 frame 0 ((n lsr 24) land 0xff);
+  Bytes.set_uint8 frame 1 ((n lsr 16) land 0xff);
+  Bytes.set_uint8 frame 2 ((n lsr 8) land 0xff);
+  Bytes.set_uint8 frame 3 (n land 0xff);
+  Bytes.blit payload 0 frame 4 n;
+  let len = Bytes.length frame in
+  let written = ref 0 in
+  while !written < len do
+    written := !written + Unix.write fd frame !written (len - !written)
+  done
+
+type reader = { mutable buf : Buffer.t }
+
+let reader () = { buf = Buffer.create 256 }
+
+let feed r bytes n = Buffer.add_subbytes r.buf bytes 0 n
+
+let next r =
+  let len = Buffer.length r.buf in
+  if len < 4 then None
+  else begin
+    let b i = Char.code (Buffer.nth r.buf i) in
+    let n = (b 0 lsl 24) lor (b 1 lsl 16) lor (b 2 lsl 8) lor b 3 in
+    if n > max_frame then
+      raise (Protocol_error (Printf.sprintf "frame length %d exceeds %d" n max_frame));
+    if len < 4 + n then None
+    else begin
+      let payload = Buffer.sub r.buf 4 n in
+      let rest = Buffer.sub r.buf (4 + n) (len - 4 - n) in
+      Buffer.clear r.buf;
+      Buffer.add_string r.buf rest;
+      match Json.parse payload with
+      | Ok j -> Some j
+      | Error e -> raise (Protocol_error ("bad frame payload: " ^ e))
+    end
+  end
+
+let recv fd r =
+  let chunk = Bytes.create 65536 in
+  let rec go () =
+    match next r with
+    | Some _ as frame -> frame
+    | None -> (
+      match Unix.read fd chunk 0 (Bytes.length chunk) with
+      | 0 -> None
+      | n ->
+        feed r chunk n;
+        go ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ())
+  in
+  go ()
+
+(* --- messages --- *)
+
+type msg =
+  | Hello of { worker : int; pid : int }
+  | Beat of { worker : int }
+  | Result of {
+      worker : int;
+      lease : int;
+      epoch : int;
+      task : string;
+      ok : bool;
+      wall_s : float;
+      file : string;
+      err : string option;
+      transient : bool;
+    }
+  | Grant of { lease : int; epoch : int; tasks : string list }
+  | Stop
+
+let to_json = function
+  | Hello { worker; pid } ->
+    Json.Obj
+      [ ("k", Json.String "hello"); ("w", Json.Int worker);
+        ("pid", Json.Int pid) ]
+  | Beat { worker } ->
+    Json.Obj [ ("k", Json.String "beat"); ("w", Json.Int worker) ]
+  | Result { worker; lease; epoch; task; ok; wall_s; file; err; transient } ->
+    Json.Obj
+      ([ ("k", Json.String "res");
+         ("w", Json.Int worker);
+         ("lease", Json.Int lease);
+         ("ep", Json.Int epoch);
+         ("task", Json.String task);
+         ("ok", Json.Bool ok);
+         ("wall", Json.String (Printf.sprintf "%h" wall_s));
+         ("file", Json.String file) ]
+      @ (match err with Some e -> [ ("err", Json.String e) ] | None -> [])
+      @
+      if ok then []
+      else
+        [ ("cls", Json.String (if transient then "transient" else "poison")) ])
+  | Grant { lease; epoch; tasks } ->
+    Json.Obj
+      [ ("k", Json.String "grant");
+        ("lease", Json.Int lease);
+        ("ep", Json.Int epoch);
+        ("tasks", Json.List (List.map (fun t -> Json.String t) tasks)) ]
+  | Stop -> Json.Obj [ ("k", Json.String "stop") ]
+
+let of_json j =
+  let str field = Option.bind (Json.member field j) Json.to_string_opt in
+  let int field = Option.bind (Json.member field j) Json.to_int_opt in
+  let ( let* ) = Option.bind in
+  match str "k" with
+  | Some "hello" ->
+    let* worker = int "w" in
+    let* pid = int "pid" in
+    Some (Hello { worker; pid })
+  | Some "beat" ->
+    let* worker = int "w" in
+    Some (Beat { worker })
+  | Some "res" ->
+    let* worker = int "w" in
+    let* lease = int "lease" in
+    let* epoch = int "ep" in
+    let* task = str "task" in
+    let* ok =
+      match Json.member "ok" j with Some (Json.Bool b) -> Some b | _ -> None
+    in
+    let* wall_s = Option.bind (str "wall") float_of_string_opt in
+    let* file = str "file" in
+    Some
+      (Result
+         {
+           worker;
+           lease;
+           epoch;
+           task;
+           ok;
+           wall_s;
+           file;
+           err = str "err";
+           transient = str "cls" = Some "transient";
+         })
+  | Some "grant" ->
+    let* lease = int "lease" in
+    let* epoch = int "ep" in
+    let* tasks =
+      match Json.member "tasks" j with
+      | Some (Json.List l) ->
+        List.fold_right
+          (fun t acc ->
+            match (Json.to_string_opt t, acc) with
+            | Some s, Some acc -> Some (s :: acc)
+            | _ -> None)
+          l (Some [])
+      | _ -> None
+    in
+    Some (Grant { lease; epoch; tasks })
+  | Some "stop" -> Some Stop
+  | _ -> None

@@ -1,0 +1,85 @@
+(** Coordinator↔worker wire protocol: length-prefixed JSON frames
+    over a Unix-domain stream socket.
+
+    {b Framing} — every message is a 4-byte big-endian payload length
+    followed by exactly that many bytes of compact JSON (the same
+    canonical renderings the WAL CRCs, so a frame is one
+    {!Rumor_obs.Json.t} document; a trailing newline is {e not} part
+    of the frame).  Length-prefixing survives payloads containing
+    newlines and lets the receiver find frame boundaries without
+    parsing.
+
+    {b Messages} (field [k] discriminates):
+
+    worker → coordinator:
+    - [{"k":"hello","w":W,"pid":P}] — sent once after connecting.
+    - [{"k":"beat","w":W}] — periodic liveness heartbeat.
+    - [{"k":"res","w":W,"lease":L,"ep":E,"task":ID,"ok":B,
+        "wall":"<%h>","file":F (,"err":MSG,"cls":"transient"|"poison")}]
+      — one task of lease [L] (fencing epoch [E]) finished; [file] is
+      the basename of the captured-output file the worker wrote.
+
+    coordinator → worker:
+    - [{"k":"grant","lease":L,"ep":E,"tasks":[ID,...]}] — a lease on a
+      batch of task ids.
+    - [{"k":"stop"}] — drain and exit cleanly.
+
+    A reader tolerates partial frames (stream reassembly) and reports
+    EOF distinctly; oversized or malformed frames raise
+    {!Protocol_error} — the peer is not speaking this protocol. *)
+
+module Json = Rumor_obs.Json
+
+exception Protocol_error of string
+
+val max_frame : int
+(** Upper bound on accepted payload length (1 MiB) — a corrupt length
+    prefix must not trigger a gigabyte allocation. *)
+
+val send : Unix.file_descr -> Json.t -> unit
+(** Write one frame, handling short writes.
+    @raise Unix.Unix_error as [write] (EPIPE = peer is gone). *)
+
+type reader
+(** Per-connection reassembly buffer. *)
+
+val reader : unit -> reader
+
+val feed : reader -> bytes -> int -> unit
+(** [feed r buf n] appends the first [n] bytes just read from the
+    socket. *)
+
+val next : reader -> Json.t option
+(** Pop the next complete frame, [None] if more bytes are needed.
+    @raise Protocol_error on an oversized length prefix or a payload
+    that does not parse. *)
+
+val recv : Unix.file_descr -> reader -> Json.t option
+(** Blocking convenience for the worker side: read until one frame
+    completes; [None] on EOF.
+    @raise Protocol_error as {!next}. *)
+
+(** {1 Message constructors / parsers}
+
+    Parsers return [None] on shape mismatch — an unknown [k] is the
+    caller's to handle (log and ignore, for forward compatibility). *)
+
+type msg =
+  | Hello of { worker : int; pid : int }
+  | Beat of { worker : int }
+  | Result of {
+      worker : int;
+      lease : int;
+      epoch : int;
+      task : string;
+      ok : bool;
+      wall_s : float;
+      file : string;
+      err : string option;
+      transient : bool;
+    }
+  | Grant of { lease : int; epoch : int; tasks : string list }
+  | Stop
+
+val to_json : msg -> Json.t
+val of_json : Json.t -> msg option

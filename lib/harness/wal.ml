@@ -44,7 +44,10 @@ let write_atomic path content =
     (fun () ->
       output_string oc content;
       sync_channel oc);
-  Sys.rename tmp path
+  Sys.rename tmp path;
+  (* The rename lives in the directory inode: without this, power loss
+     can roll the publication back even though the contents synced. *)
+  Rumor_util.Fsutil.fsync_parent_dir path
 
 (* --- record framing --- *)
 

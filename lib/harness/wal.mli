@@ -90,7 +90,8 @@ val read : string -> recovery
 
 val write_atomic : string -> string -> unit
 (** [write_atomic path content] publishes [content] under [path] via
-    tmp-file, flush, [fsync], [Sys.rename] — the discipline used for
-    the WAL header, compaction, and the campaign manifest.  A crash at
-    any point leaves either the old file or the new one, never a torn
-    mix. *)
+    tmp-file, flush, [fsync], [Sys.rename], then an [fsync] of the
+    parent directory (so the rename itself survives power loss, not
+    just the file contents) — the discipline used for the WAL header,
+    compaction, and the campaign manifest.  A crash at any point
+    leaves either the old file or the new one, never a torn mix. *)

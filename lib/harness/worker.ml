@@ -1,0 +1,141 @@
+module Clock = Rumor_obs.Clock
+
+let partial_name ~task ~lease ~epoch =
+  Printf.sprintf ".%s.l%de%d.partial" task lease epoch
+
+(* Serialize socket writes: the heartbeat domain and the main loop
+   share one stream, and an interleaved frame would desynchronize the
+   coordinator's reader. *)
+type conn = { fd : Unix.file_descr; lock : Mutex.t }
+
+let send conn msg =
+  Mutex.lock conn.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock conn.lock)
+    (fun () -> Proto.send conn.fd (Proto.to_json msg))
+
+let connect path =
+  let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let rec attempt k =
+    match Unix.connect fd (Unix.ADDR_UNIX path) with
+    | () -> Some fd
+    | exception Unix.Unix_error ((Unix.ENOENT | Unix.ECONNREFUSED), _, _)
+      when k < 20 ->
+      Unix.sleepf 0.05;
+      attempt (k + 1)
+    | exception Unix.Unix_error (_, _, _) ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      None
+  in
+  attempt 0
+
+(* Run one task with stdout redirected to its stamped capture file.
+   The file is complete (flushed, synced) before the result frame is
+   sent, so an accepted result always has its bytes behind it. *)
+let run_captured ~tasks_dir ~task ~lease ~epoch run_task =
+  let file = partial_name ~task ~lease ~epoch in
+  let path = Filename.concat tasks_dir file in
+  flush stdout;
+  let saved = Unix.dup ~cloexec:true Unix.stdout in
+  let out =
+    Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
+  in
+  let restore () =
+    flush stdout;
+    (try Unix.fsync out with Unix.Unix_error _ -> ());
+    Unix.dup2 saved Unix.stdout;
+    (try Unix.close saved with Unix.Unix_error _ -> ());
+    try Unix.close out with Unix.Unix_error _ -> ()
+  in
+  Unix.dup2 out Unix.stdout;
+  let t0 = Clock.now_s () in
+  let outcome =
+    match run_task task with
+    | () -> Ok (Clock.now_s () -. t0)
+    | exception e -> Error (Clock.now_s () -. t0, e)
+  in
+  restore ();
+  (file, outcome)
+
+let run ?(heartbeat_s = 0.5) ~socket ~id ~tasks_dir ~run_task () =
+  (* A coordinator that died mid-write must surface as EPIPE on our
+     next send, not kill the process. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ | Sys_error _ -> ());
+  match connect socket with
+  | None ->
+    Printf.eprintf "rumor worker %d: cannot reach coordinator at %s\n%!" id
+      socket;
+    3
+  | Some fd ->
+    let conn = { fd; lock = Mutex.create () } in
+    let stop_beats = Atomic.make false in
+    let beats =
+      Domain.spawn (fun () ->
+          (* Sleep in small slices: an orderly Stop must not wait out
+             a whole heartbeat period before the domain can join. *)
+          let rec nap left =
+            if left > 0. && not (Atomic.get stop_beats) then begin
+              let dt = Float.min 0.05 left in
+              Unix.sleepf dt;
+              nap (left -. dt)
+            end
+          in
+          while not (Atomic.get stop_beats) do
+            nap heartbeat_s;
+            if not (Atomic.get stop_beats) then
+              try send conn (Proto.Beat { worker = id })
+              with Unix.Unix_error (_, _, _) | Sys_error _ ->
+                (* Coordinator is gone: the main loop will see EOF. *)
+                Atomic.set stop_beats true
+          done)
+    in
+    let reader = Proto.reader () in
+    let code = ref 0 in
+    Fun.protect
+      ~finally:(fun () ->
+        Atomic.set stop_beats true;
+        Domain.join beats;
+        try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () ->
+        try
+          send conn (Proto.Hello { worker = id; pid = Unix.getpid () });
+          let running = ref true in
+          while !running do
+            match Option.bind (Proto.recv fd reader) Proto.of_json with
+            | None | Some Proto.Stop -> running := false
+            | Some (Proto.Grant { lease; epoch; tasks }) ->
+              List.iter
+                (fun task ->
+                  let file, outcome =
+                    run_captured ~tasks_dir ~task ~lease ~epoch run_task
+                  in
+                  let msg =
+                    match outcome with
+                    | Ok wall_s ->
+                      Proto.Result
+                        {
+                          worker = id; lease; epoch; task; ok = true;
+                          wall_s; file; err = None; transient = false;
+                        }
+                    | Error (wall_s, e) ->
+                      Proto.Result
+                        {
+                          worker = id; lease; epoch; task; ok = false;
+                          wall_s; file;
+                          err = Some (Printexc.to_string e);
+                          transient =
+                            Supervisor.default_classify e
+                            = Supervisor.Transient;
+                        }
+                  in
+                  send conn msg)
+                tasks
+            | Some _ -> ()  (* unknown message: ignore, stay compatible *)
+          done
+        with
+        | Unix.Unix_error (_, _, _) | Sys_error _ | Proto.Protocol_error _ ->
+          (* Coordinator vanished or the stream corrupted: exit quietly;
+             the coordinator reclaims our lease either way. *)
+          code := 0);
+    !code

@@ -1,0 +1,42 @@
+(** Worker-process side of the multi-process campaign: connect to the
+    coordinator's Unix-domain socket, pull leased task batches, run
+    them with stdout captured per task, report results, heartbeat.
+
+    A worker is intentionally dumb: it holds no queue state, never
+    touches the WAL, and can be SIGKILLed at any instant — everything
+    it was doing is reconstructed by the coordinator from the lease
+    table.  The one durable thing it produces is the captured output
+    file of each task, written under a {e lease-and-epoch-stamped}
+    name ([.<task>.l<lease>e<epoch>.partial] inside [tasks_dir]); only
+    the coordinator renames an accepted file to its canonical
+    [<task>.out], so a zombie worker's late file can never clobber the
+    output of the reassigned run.
+
+    {b Heartbeats} — a dedicated domain sends a beat every
+    [heartbeat_s] whatever the main loop is doing, so a worker grinding
+    through a long replicate still proves liveness; socket writes are
+    mutex-serialized against result frames.
+
+    {b Determinism} — tasks run in-process through [run_task] exactly
+    as the single-process campaign would run them ([Experiment.print]
+    and friends), replicates on the ordinary {!Rumor_par.Pool} Domain
+    pool; the split-seed contract makes the captured bytes identical
+    whichever worker, attempt or job count executed the task. *)
+
+val partial_name : task:string -> lease:int -> epoch:int -> string
+(** Basename of the stamped capture file — shared with the
+    coordinator, which renames or deletes it. *)
+
+val run :
+  ?heartbeat_s:float ->
+  socket:string ->
+  id:int ->
+  tasks_dir:string ->
+  run_task:(string -> unit) ->
+  unit ->
+  int
+(** Serve until the coordinator says [Stop] or hangs up; returns the
+    process exit code (0 on an orderly stop or coordinator EOF, 3 when
+    the socket cannot be reached).  [run_task] exceptions are caught,
+    classified with {!Supervisor.default_classify} and reported in the
+    result frame — they never kill the worker. *)

@@ -68,7 +68,10 @@ val global : token
     explicit [?cancel] argument.  The campaign harness's SIGINT/SIGTERM
     handlers cancel it, so a shutdown request drains every pool in the
     process — including pools buried inside experiment code that was
-    never told about cancellation. *)
+    never told about cancellation.  The handlers are idempotent on this
+    token: a second signal finds it already cancelled and hard-exits
+    the process (status 130) rather than re-entering the drain — see
+    {!Rumor_harness.Campaign.install_signal_handlers}. *)
 
 val nproc : unit -> int
 (** Detected processor count ([Domain.recommended_domain_count]). *)

@@ -1,0 +1,19 @@
+(** Filesystem durability helpers shared by the WAL and checkpoint
+    layers.
+
+    The atomic tmp→[fsync]→rename discipline makes file {e contents}
+    durable, but the rename itself lives in the parent directory's
+    entry table: until the directory inode is flushed, a power loss can
+    roll the rename back and resurrect the old file (or nothing).
+    {!fsync_dir} closes that window. *)
+
+val fsync_dir : string -> unit
+(** Open [dir] read-only, [fsync] it, close it.  Errors are swallowed:
+    some filesystems (and all non-POSIX platforms) refuse to fsync a
+    directory fd, and the publication is still as durable as it was
+    before the call — this is a best-effort hardening, never a new
+    failure mode. *)
+
+val fsync_parent_dir : string -> unit
+(** [fsync_parent_dir path] = [fsync_dir (Filename.dirname path)] —
+    call after renaming something {e to} [path]. *)

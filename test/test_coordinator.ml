@@ -1,0 +1,694 @@
+(* Tests for the multi-process campaign layer (lib/harness): the
+   length-prefixed wire protocol, the lease table and its epoch
+   fencing (live and at journal replay), and the coordinator driving
+   real forked worker processes — including the chaos scenarios the
+   subsystem exists for: kill -9 mid-batch, heartbeat-timeout zombies
+   whose late writes must fence, and byte-identity of the captured
+   outputs against a single-worker run.
+
+   Also here: the WAL record-codec fuzzer (random payloads with
+   embedded newlines; random byte corruption), asserting recovery
+   never crashes, never invents records, and never drops a record
+   whose bytes were not touched. *)
+
+open Rumor_core.Rumor
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+let int = Alcotest.int
+
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+      Unix.rmdir path
+    end
+    else Sys.remove path
+
+let with_temp_dir f =
+  let dir = Filename.temp_file "rumor-coord" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> f dir)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> In_channel.input_all ic)
+
+let write_file path content =
+  let oc = open_out_bin path in
+  output_string oc content;
+  close_out oc
+
+(* --- wire protocol --- *)
+
+let msg_roundtrip m =
+  match Proto.of_json (Proto.to_json m) with
+  | Some m' -> m = m'
+  | None -> false
+
+let test_proto_roundtrip () =
+  check bool "hello" true (msg_roundtrip (Proto.Hello { worker = 3; pid = 42 }));
+  check bool "beat" true (msg_roundtrip (Proto.Beat { worker = 0 }));
+  check bool "grant" true
+    (msg_roundtrip (Proto.Grant { lease = 7; epoch = 19; tasks = [ "E1"; "E2" ] }));
+  check bool "stop" true (msg_roundtrip Proto.Stop);
+  check bool "ok result" true
+    (msg_roundtrip
+       (Proto.Result
+          {
+            worker = 1; lease = 7; epoch = 19; task = "E1"; ok = true;
+            wall_s = 1.25; file = ".E1.l7e19.partial"; err = None;
+            transient = false;
+          }));
+  check bool "failed transient result" true
+    (msg_roundtrip
+       (Proto.Result
+          {
+            worker = 1; lease = 7; epoch = 19; task = "E1"; ok = false;
+            wall_s = 0.5; file = ".E1.l7e19.partial";
+            err = Some "oops\nwith a newline"; transient = true;
+          }));
+  check bool "unknown k rejected" true
+    (Proto.of_json (Obs.Json.Obj [ ("k", Obs.Json.String "nope") ]) = None)
+
+(* Frames survive a socketpair in arbitrarily small reads, newlines in
+   payload strings included (the framing is length-prefixed, not
+   line-delimited). *)
+let test_proto_framing () =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      Unix.close a;
+      Unix.close b)
+    (fun () ->
+      let msgs =
+        [
+          Proto.Hello { worker = 0; pid = 1 };
+          Proto.Result
+            {
+              worker = 0; lease = 1; epoch = 1; task = "t\nwith\nnewlines";
+              ok = false; wall_s = 0.; file = "f"; err = Some "line1\nline2";
+              transient = false;
+            };
+          Proto.Stop;
+        ]
+      in
+      List.iter (fun m -> Proto.send a (Proto.to_json m)) msgs;
+      (* Feed the reader one byte at a time: reassembly must not care
+         where the reads split. *)
+      let reader = Proto.reader () in
+      let buf = Bytes.create 1 in
+      let got = ref [] in
+      (try
+         while List.length !got < List.length msgs do
+           match Unix.read b buf 0 1 with
+           | 0 -> raise Exit
+           | n ->
+             Proto.feed reader buf n;
+             let rec pop () =
+               match Proto.next reader with
+               | Some j ->
+                 got := j :: !got;
+                 pop ()
+               | None -> ()
+             in
+             pop ()
+         done
+       with Exit -> ());
+      let got = List.rev_map Proto.of_json !got in
+      check bool "all frames recovered" true
+        (got = List.map (fun m -> Some m) msgs))
+
+let test_proto_oversize_rejected () =
+  let reader = Proto.reader () in
+  let bogus = Bytes.create 4 in
+  (* Length prefix claiming 2 GiB: must raise, not allocate. *)
+  Bytes.set bogus 0 '\x7f';
+  Bytes.set bogus 1 '\xff';
+  Bytes.set bogus 2 '\xff';
+  Bytes.set bogus 3 '\xff';
+  Proto.feed reader bogus 4;
+  check bool "oversize raises" true
+    (match Proto.next reader with
+    | exception Proto.Protocol_error _ -> true
+    | _ -> false)
+
+(* --- lease table --- *)
+
+let test_lease_grant_complete () =
+  let t = Lease.create () in
+  let l = Lease.grant t ~worker:0 [ "a"; "b" ] in
+  check int "outstanding after grant" 1 (Lease.outstanding t);
+  check bool "complete a" true
+    (Lease.complete t ~lease_id:l.Lease.id ~epoch:l.Lease.epoch ~task:"a"
+     = `Ok);
+  check bool "complete a twice" true
+    (Lease.complete t ~lease_id:l.Lease.id ~epoch:l.Lease.epoch ~task:"a"
+     = `Unknown_task);
+  check bool "complete b retires the lease" true
+    (Lease.complete t ~lease_id:l.Lease.id ~epoch:l.Lease.epoch ~task:"b"
+     = `Ok);
+  check int "retired" 0 (Lease.outstanding t);
+  check bool "late duplicate fences" true
+    (Lease.complete t ~lease_id:l.Lease.id ~epoch:l.Lease.epoch ~task:"b"
+     = `Fenced)
+
+let test_lease_fencing () =
+  let t = Lease.create () in
+  let l1 = Lease.grant t ~worker:0 [ "a"; "b" ] in
+  (* The worker dies with "b" unfinished; its lease is reclaimed and
+     "b" regranted under a fresh lease/epoch. *)
+  check bool "complete a" true
+    (Lease.complete t ~lease_id:l1.Lease.id ~epoch:l1.Lease.epoch ~task:"a"
+     = `Ok);
+  let pending = Lease.reclaim t ~lease_id:l1.Lease.id in
+  check bool "reclaim returns the unfinished task" true (pending = [ "b" ]);
+  let l2 = Lease.grant t ~worker:1 [ "b" ] in
+  check bool "epoch advanced past the reclaim" true
+    (l2.Lease.epoch > l1.Lease.epoch + 1);
+  (* The zombie's late write carries the dead lease: fenced. *)
+  check bool "stale lease fences" true
+    (Lease.complete t ~lease_id:l1.Lease.id ~epoch:l1.Lease.epoch ~task:"b"
+     = `Fenced);
+  (* The legitimate holder is unaffected. *)
+  check bool "fresh lease completes" true
+    (Lease.complete t ~lease_id:l2.Lease.id ~epoch:l2.Lease.epoch ~task:"b"
+     = `Ok)
+
+let test_lease_wrong_epoch_fences () =
+  let t = Lease.create () in
+  let l = Lease.grant t ~worker:0 [ "a" ] in
+  check bool "mismatched epoch fences even with a live lease id" true
+    (Lease.complete t ~lease_id:l.Lease.id ~epoch:(l.Lease.epoch + 1)
+       ~task:"a"
+     = `Fenced)
+
+let test_lease_replay () =
+  let r = Lease.Replay.create () in
+  Lease.Replay.note_grant r ~lease_id:1 ~epoch:1;
+  check bool "granted is trusted" true
+    (Lease.Replay.check_done r ~lease_id:1 ~epoch:1 = `Trusted);
+  check bool "wrong epoch fenced" true
+    (Lease.Replay.check_done r ~lease_id:1 ~epoch:2 = `Fenced);
+  check bool "unknown lease fenced" true
+    (Lease.Replay.check_done r ~lease_id:9 ~epoch:1 = `Fenced);
+  Lease.Replay.note_reclaim r ~lease_id:1;
+  check bool "reclaimed is fenced" true
+    (Lease.Replay.check_done r ~lease_id:1 ~epoch:1 = `Fenced)
+
+(* --- WAL record-codec fuzzer ---
+
+   Deterministic pseudo-random campaigns of records (strings with
+   embedded newlines, quotes, control bytes), then random single-byte
+   corruption of the log body.  Recovery must never crash, never
+   produce a record that was not appended, and never lose a record
+   none of whose bytes were touched. *)
+
+let fuzz_string rng =
+  let len = Rng.int rng 24 in
+  String.init len (fun _ ->
+      (* Bias towards the characters that stress JSONL framing. *)
+      match Rng.int rng 6 with
+      | 0 -> '\n'
+      | 1 -> '"'
+      | 2 -> '\\'
+      | 3 -> Char.chr (Rng.int rng 32)  (* control bytes *)
+      | _ -> Char.chr (32 + Rng.int rng 95))
+
+let fuzz_record rng i =
+  Obs.Json.Obj
+    [
+      ("i", Obs.Json.Int i);
+      ("s", Obs.Json.String (fuzz_string rng));
+      ( "nested",
+        Obs.Json.List
+          [ Obs.Json.String (fuzz_string rng); Obs.Json.Int (Rng.int rng 1000) ]
+      );
+    ]
+
+let prop_wal_codec_fuzz =
+  QCheck.Test.make ~count:150
+    ~name:"WAL recovery: no crash, no invention, no untouched loss"
+    QCheck.(
+      triple (int_range 0 1_000_000) (int_range 1 20) (int_range 0 30))
+    (fun (seed, nrec, nflips) ->
+      let rng = Rng.create seed in
+      let path = Filename.temp_file "rumor-fuzz" ".wal" in
+      Sys.remove path;
+      Fun.protect
+        ~finally:(fun () ->
+          List.iter
+            (fun p -> try Sys.remove p with Sys_error _ -> ())
+            [ path; Wal.quarantine_path path ])
+        (fun () ->
+          let records = List.init nrec (fuzz_record rng) in
+          let wal = Wal.open_ ~fsync:false path in
+          List.iter (Wal.append wal) records;
+          Wal.close wal;
+          let content = Bytes.of_string (read_file path) in
+          (* Line layout: magic header, then one line per record.
+             Ranges are computed on the pristine bytes — an earlier
+             flip may destroy a separator newline. *)
+          let header_end = 1 + Bytes.index content '\n' in
+          let ranges =
+            Array.init nrec
+              (let start = ref header_end in
+               fun _ ->
+                 let stop = Bytes.index_from content !start '\n' in
+                 let r = (!start, stop) in
+                 start := stop + 1;
+                 r)
+          in
+          let touched = Array.make nrec false in
+          for _ = 1 to nflips do
+            let len = Bytes.length content in
+            if len > header_end then begin
+              let pos = header_end + Rng.int rng (len - header_end) in
+              Bytes.set content pos (Char.chr (Rng.int rng 256));
+              (* Mark every record whose line covers the corrupted
+                 byte; a flipped separator newline merges two lines,
+                 so it touches the records on both sides. *)
+              for i = 0 to nrec - 1 do
+                let start, stop = ranges.(i) in
+                if pos >= start && pos <= stop then touched.(i) <- true;
+                if pos = stop && i + 1 < nrec then touched.(i + 1) <- true
+              done
+            end
+          done;
+          write_file path (Bytes.to_string content);
+          let recovery = Wal.read path in
+          let render j = Obs.Json.to_string j in
+          let count tbl k =
+            Option.value ~default:0 (Hashtbl.find_opt tbl k)
+          in
+          let bump tbl k = Hashtbl.replace tbl k (count tbl k + 1) in
+          let original_counts = Hashtbl.create 16 in
+          List.iter (fun r -> bump original_counts (render r)) records;
+          let recovered_counts = Hashtbl.create 16 in
+          List.iter
+            (fun r -> bump recovered_counts (render r))
+            recovery.Wal.records;
+          (* No invention: recovered is a sub-multiset of appended.
+             (A flip that leaves the CRC valid for different bytes has
+             probability ~2^-32; not a flake source at this count.) *)
+          Hashtbl.iter
+            (fun k n ->
+              if n > count original_counts k then
+                QCheck.Test.fail_reportf "invented record %s" k)
+            recovered_counts;
+          (* No untouched loss: every record whose bytes survived must
+             be recovered at least as many times as it survived. *)
+          let untouched = Hashtbl.create 16 in
+          List.iteri
+            (fun i r -> if not touched.(i) then bump untouched (render r))
+            records;
+          Hashtbl.iter
+            (fun k n ->
+              if count recovered_counts k < n then
+                QCheck.Test.fail_reportf "dropped untouched record %s" k)
+            untouched;
+          true))
+
+(* --- coordinator, with real forked workers ---
+
+   [spawn] forks this very process; the child runs {!Worker.run} and
+   [_exit]s without ever returning into Alcotest.  Forking is safe
+   here because the coordinator side never has secondary domains live
+   (the worker's heartbeat domain exists only in children). *)
+
+let fork_spawn ?(heartbeat_s = 0.05) ~tasks_dir ~run_task () ~slot ~socket =
+  flush stdout;
+  flush stderr;
+  match Unix.fork () with
+  | 0 ->
+    let code =
+      try Worker.run ~heartbeat_s ~socket ~id:slot ~tasks_dir ~run_task ()
+      with _ -> 4
+    in
+    Unix._exit code
+  | pid -> pid
+
+let quick_config ~dir ~workers =
+  {
+    (Coordinator.default_config ~dir ~workers) with
+    Coordinator.fsync = false;
+    heartbeat_timeout_s = 5.;
+  }
+
+(* A deterministic pseudo-experiment: what [Experiment.print] is to
+   the CLI, keyed only by the task id. *)
+let print_task task =
+  let rng = Rng.create (Hashtbl.hash task) in
+  Printf.printf "task %s\n" task;
+  for _ = 1 to 20 do
+    Printf.printf "%Lx\n" (Rng.bits64 rng)
+  done
+
+let test_coordinator_runs_tasks () =
+  with_temp_dir (fun dir ->
+      let tasks = [ "a"; "b"; "c"; "d"; "e" ] in
+      let config = quick_config ~dir ~workers:2 in
+      let spawn =
+        fork_spawn ~tasks_dir:(Coordinator.tasks_dir config)
+          ~run_task:print_task ()
+      in
+      let summary = Coordinator.run ~spawn config tasks in
+      check int "exit code" 0 (Coordinator.exit_code summary);
+      List.iter
+        (fun (id, outcome) ->
+          check bool (id ^ " done") true
+            (match outcome with Campaign.Done _ -> true | _ -> false);
+          check bool (id ^ " output captured") true
+            (let out = read_file (Coordinator.output_path config id) in
+             String.length out > 0))
+        summary.Coordinator.outcomes)
+
+let run_campaign ~dir ~workers ?chaos ?(run_task = print_task)
+    ?(tasks = [ "a"; "b"; "c"; "d"; "e" ]) () =
+  let config =
+    { (quick_config ~dir ~workers) with Coordinator.chaos_kill_every_s = chaos }
+  in
+  let spawn =
+    fork_spawn ~tasks_dir:(Coordinator.tasks_dir config) ~run_task ()
+  in
+  (Coordinator.run ~spawn config tasks, config)
+
+let outputs config tasks =
+  List.map (fun id -> read_file (Coordinator.output_path config id)) tasks
+
+let test_coordinator_byte_identity () =
+  let tasks = [ "a"; "b"; "c"; "d"; "e" ] in
+  with_temp_dir (fun dir1 ->
+      with_temp_dir (fun dir4 ->
+          let s1, c1 = run_campaign ~dir:dir1 ~workers:1 ~tasks () in
+          let s4, c4 = run_campaign ~dir:dir4 ~workers:4 ~tasks () in
+          check int "workers 1 clean" 0 (Coordinator.exit_code s1);
+          check int "workers 4 clean" 0 (Coordinator.exit_code s4);
+          check bool "captured outputs byte-identical" true
+            (outputs c1 tasks = outputs c4 tasks)))
+
+(* kill -9 mid-batch: the first attempt of the victim task SIGKILLs
+   its own worker after leaving a marker; the reassigned attempt sees
+   the marker and completes normally.  The campaign must finish with
+   the reassignment journaled, the output byte-identical to an
+   undisturbed single-worker run, and --resume all-cached. *)
+let test_coordinator_kill9_reassign_and_resume () =
+  let tasks = [ "a"; "b"; "victim"; "d" ] in
+  with_temp_dir (fun ref_dir ->
+      with_temp_dir (fun dir ->
+          let ref_summary, ref_config =
+            run_campaign ~dir:ref_dir ~workers:1 ~tasks ()
+          in
+          check int "reference clean" 0 (Coordinator.exit_code ref_summary);
+          let marker = Filename.concat dir "victim-died-once" in
+          let run_task task =
+            if task = "victim" && not (Sys.file_exists marker) then begin
+              write_file marker "";
+              Unix.kill (Unix.getpid ()) Sys.sigkill
+            end;
+            print_task task
+          in
+          let config = quick_config ~dir ~workers:2 in
+          let spawn =
+            fork_spawn ~tasks_dir:(Coordinator.tasks_dir config) ~run_task ()
+          in
+          let summary = Coordinator.run ~spawn config tasks in
+          check int "clean completion" 0 (Coordinator.exit_code summary);
+          check bool "victim done" true
+            (List.assoc "victim" summary.Coordinator.outcomes
+             |> function Campaign.Done _ -> true | _ -> false);
+          check bool "death observed" true
+            (summary.Coordinator.worker_deaths >= 1);
+          check bool "lease reassigned" true
+            (summary.Coordinator.reassignments >= 1);
+          check bool "replacement forked" true
+            (summary.Coordinator.worker_restarts >= 1);
+          check bool "outputs match the undisturbed run" true
+            (outputs ref_config tasks = outputs config tasks);
+          (* Resume: everything journaled-done is served from cache;
+             nothing re-runs, outputs untouched. *)
+          let resumed =
+            Coordinator.run ~spawn
+              { config with Coordinator.resume = true }
+              tasks
+          in
+          check bool "resume flag" true resumed.Coordinator.resumed;
+          check int "all cached" (List.length tasks)
+            resumed.Coordinator.cached;
+          check bool "resume outputs identical" true
+            (outputs ref_config tasks = outputs config tasks)))
+
+(* A poison task that kills every worker it lands on: each death
+   charges the attempt budget, so it must end quarantined (not loop
+   forever), with the rest of the campaign unharmed. *)
+let test_coordinator_poison_task_quarantined () =
+  with_temp_dir (fun dir ->
+      let run_task task =
+        if task = "poison" then Unix.kill (Unix.getpid ()) Sys.sigkill;
+        print_task task
+      in
+      let config =
+        { (quick_config ~dir ~workers:2) with Coordinator.retries = 1 }
+      in
+      let spawn =
+        fork_spawn ~tasks_dir:(Coordinator.tasks_dir config) ~run_task ()
+      in
+      let summary = Coordinator.run ~spawn config [ "a"; "poison"; "b" ] in
+      check int "exit code 1" 1 (Coordinator.exit_code summary);
+      check bool "poison quarantined" true
+        (List.assoc "poison" summary.Coordinator.outcomes
+         |> function Campaign.Quarantined _ -> true | _ -> false);
+      List.iter
+        (fun id ->
+          check bool (id ^ " survived") true
+            (List.assoc id summary.Coordinator.outcomes
+             |> function Campaign.Done _ -> true | _ -> false))
+        [ "a"; "b" ])
+
+(* Chaos mode on forked workers: kills land every 50ms across a
+   5-task campaign of ~150ms tasks (so lease holders are hit), and
+   the outputs must still be byte-identical to an undisturbed run —
+   the sleep shapes the race, never the bytes. *)
+let test_coordinator_chaos_byte_identity () =
+  let tasks = [ "a"; "b"; "c"; "d"; "e" ] in
+  let slow_task task =
+    Unix.sleepf 0.15;
+    print_task task
+  in
+  with_temp_dir (fun ref_dir ->
+      with_temp_dir (fun dir ->
+          let _, ref_config = run_campaign ~dir:ref_dir ~workers:1 ~tasks () in
+          let summary, config =
+            run_campaign ~dir ~workers:3 ~chaos:0.05 ~run_task:slow_task
+              ~tasks ()
+          in
+          check int "chaos run clean" 0 (Coordinator.exit_code summary);
+          check bool "chaos kills landed" true
+            (summary.Coordinator.chaos_kills >= 1);
+          check bool "outputs byte-identical under chaos" true
+            (outputs ref_config tasks = outputs config tasks)))
+
+(* Heartbeat-timeout zombie: a hand-rolled first incarnation of slot 0
+   connects, takes a lease, then stops heartbeating — without dying.
+   After the timeout the coordinator must reclaim the lease and regrant
+   it; when the zombie finally submits its stale result, the stale
+   (lease, epoch) stamp must fence it, and the canonical output must be
+   the replacement's bytes. *)
+let test_coordinator_zombie_is_fenced () =
+  with_temp_dir (fun dir ->
+      let config =
+        {
+          (quick_config ~dir ~workers:1) with
+          Coordinator.heartbeat_timeout_s = 0.3;
+        }
+      in
+      let tdir = Coordinator.tasks_dir config in
+      let zombie_payload = "ZOMBIE OUTPUT: must never be accepted\n" in
+      let slot0_spawns = ref 0 in
+      let spawn ~slot ~socket =
+        if slot = 0 then incr slot0_spawns;
+        if slot = 0 && !slot0_spawns = 1 then begin
+          flush stdout;
+          flush stderr;
+          match Unix.fork () with
+          | 0 ->
+            (try
+               let fd =
+                 Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0
+               in
+               Unix.connect fd (Unix.ADDR_UNIX socket);
+               Proto.send fd
+                 (Proto.to_json
+                    (Proto.Hello { worker = slot; pid = Unix.getpid () }));
+               let reader = Proto.reader () in
+               (match Option.bind (Proto.recv fd reader) Proto.of_json with
+               | Some (Proto.Grant { lease; epoch; tasks = task :: _ }) ->
+                 (* Outlive the declared death, then submit with the
+                    (by now reclaimed) lease stamp. *)
+                 Unix.sleepf 0.9;
+                 let file = Worker.partial_name ~task ~lease ~epoch in
+                 write_file (Filename.concat tdir file) zombie_payload;
+                 Proto.send fd
+                   (Proto.to_json
+                      (Proto.Result
+                         {
+                           worker = slot; lease; epoch; task; ok = true;
+                           wall_s = 0.; file; err = None; transient = false;
+                         }));
+                 (* Stay alive until the coordinator hangs up. *)
+                 let rec drain () =
+                   match Proto.recv fd reader with
+                   | Some _ -> drain ()
+                   | None -> ()
+                 in
+                 drain ()
+               | _ -> ())
+             with _ -> ());
+            Unix._exit 0
+          | pid -> pid
+        end
+        else
+          fork_spawn ~tasks_dir:tdir
+            ~run_task:(fun task ->
+              (* Slow enough that the campaign is still running when
+                 the zombie's stale result arrives. *)
+              Unix.sleepf 1.0;
+              print_task task)
+            () ~slot ~socket
+      in
+      let summary = Coordinator.run ~spawn config [ "t" ] in
+      check int "clean completion" 0 (Coordinator.exit_code summary);
+      check bool "zombie death journaled" true
+        (summary.Coordinator.worker_deaths >= 1);
+      check bool "stale result fenced" true (summary.Coordinator.fences >= 1);
+      check bool "task reassigned" true
+        (summary.Coordinator.reassignments >= 1);
+      let out = read_file (Coordinator.output_path config "t") in
+      check bool "canonical output is the replacement's" true
+        (out <> zombie_payload && String.length out > 0))
+
+(* Journal replay fencing: hand-craft a WAL in which task [t1]'s done
+   record carries a lease that was reclaimed earlier in the log (the
+   zombie's write raced a coordinator crash into the journal), while
+   [t2]'s done record is properly fenced and has its output on disk.
+   A --resume must re-run t1 and serve t2 from cache. *)
+let test_coordinator_replay_fencing () =
+  with_temp_dir (fun dir ->
+      let config =
+        { (quick_config ~dir ~workers:1) with Coordinator.resume = true }
+      in
+      Unix.mkdir (Coordinator.tasks_dir config) 0o755;
+      let wal = Wal.open_ ~fsync:false (Coordinator.wal_path config) in
+      let j fields = Obs.Json.Obj fields in
+      let s v = Obs.Json.String v and i v = Obs.Json.Int v in
+      List.iter (Wal.append wal)
+        [
+          j [ ("k", s "lease"); ("ev", s "grant"); ("lease", i 1);
+              ("ep", i 1); ("w", i 0);
+              ("tasks", Obs.Json.List [ s "t1" ]) ];
+          j [ ("k", s "lease"); ("ev", s "reclaim"); ("lease", i 1);
+              ("ep", i 2); ("w", i 0) ];
+          (* Zombie's record: lease 1 was reclaimed above — fence. *)
+          j [ ("k", s "task"); ("id", s "t1"); ("ev", s "done");
+              ("att", i 1); ("wall", s "0x1p-1"); ("lease", i 1);
+              ("ep", i 1); ("w", i 0) ];
+          j [ ("k", s "lease"); ("ev", s "grant"); ("lease", i 2);
+              ("ep", i 3); ("w", i 0);
+              ("tasks", Obs.Json.List [ s "t2" ]) ];
+          j [ ("k", s "task"); ("id", s "t2"); ("ev", s "done");
+              ("att", i 1); ("wall", s "0x1p-1"); ("lease", i 2);
+              ("ep", i 3); ("w", i 0) ];
+        ];
+      Wal.close wal;
+      (* t1's output exists too — replay must reject it anyway, on the
+         lease stamp alone. *)
+      write_file (Coordinator.output_path config "t1") "stale zombie bytes\n";
+      write_file (Coordinator.output_path config "t2") "trusted bytes\n";
+      let spawn =
+        fork_spawn ~tasks_dir:(Coordinator.tasks_dir config)
+          ~run_task:print_task ()
+      in
+      let summary = Coordinator.run ~spawn config [ "t1"; "t2" ] in
+      check int "replay fenced t1" 1 summary.Coordinator.replay_fenced;
+      check int "t2 cached" 1 summary.Coordinator.cached;
+      check bool "t1 re-ran" true
+        (List.assoc "t1" summary.Coordinator.outcomes
+         |> function Campaign.Done _ -> true | _ -> false);
+      check bool "t1 output replaced" true
+        (read_file (Coordinator.output_path config "t1")
+        <> "stale zombie bytes\n");
+      check bool "t2 output untouched" true
+        (read_file (Coordinator.output_path config "t2") = "trusted bytes\n"))
+
+(* A trusted done record whose output file was deleted out from under
+   the journal must re-run, not silently count as cached. *)
+let test_coordinator_replay_missing_output_reruns () =
+  with_temp_dir (fun dir ->
+      let tasks = [ "a"; "b" ] in
+      let summary1, config = run_campaign ~dir ~workers:1 ~tasks () in
+      check int "first run clean" 0 (Coordinator.exit_code summary1);
+      Sys.remove (Coordinator.output_path config "a");
+      let spawn =
+        fork_spawn ~tasks_dir:(Coordinator.tasks_dir config)
+          ~run_task:print_task ()
+      in
+      let summary =
+        Coordinator.run ~spawn
+          { config with Coordinator.resume = true }
+          tasks
+      in
+      check int "only b cached" 1 summary.Coordinator.cached;
+      check bool "a re-ran" true
+        (List.assoc "a" summary.Coordinator.outcomes
+         |> function Campaign.Done _ -> true | _ -> false);
+      check bool "a output restored" true
+        (Sys.file_exists (Coordinator.output_path config "a")))
+
+let () =
+  Alcotest.run "coordinator"
+    [
+      ( "proto",
+        [
+          Alcotest.test_case "message codec round trip" `Quick
+            test_proto_roundtrip;
+          Alcotest.test_case "framing survives 1-byte reads" `Quick
+            test_proto_framing;
+          Alcotest.test_case "oversize frame rejected" `Quick
+            test_proto_oversize_rejected;
+        ] );
+      ( "lease",
+        [
+          Alcotest.test_case "grant and complete" `Quick
+            test_lease_grant_complete;
+          Alcotest.test_case "reclaim fences the old holder" `Quick
+            test_lease_fencing;
+          Alcotest.test_case "wrong epoch fences" `Quick
+            test_lease_wrong_epoch_fences;
+          Alcotest.test_case "replay fencing decisions" `Quick
+            test_lease_replay;
+        ] );
+      ( "wal-fuzz",
+        [ QCheck_alcotest.to_alcotest prop_wal_codec_fuzz ] );
+      ( "coordinator",
+        [
+          Alcotest.test_case "runs tasks on forked workers" `Quick
+            test_coordinator_runs_tasks;
+          Alcotest.test_case "byte-identity across worker counts" `Quick
+            test_coordinator_byte_identity;
+          Alcotest.test_case "kill -9 mid-batch, reassign, resume" `Quick
+            test_coordinator_kill9_reassign_and_resume;
+          Alcotest.test_case "poison task quarantined" `Quick
+            test_coordinator_poison_task_quarantined;
+          Alcotest.test_case "chaos kills keep byte-identity" `Quick
+            test_coordinator_chaos_byte_identity;
+          Alcotest.test_case "zombie's late result fenced" `Quick
+            test_coordinator_zombie_is_fenced;
+          Alcotest.test_case "journal replay fences reclaimed lease" `Quick
+            test_coordinator_replay_fencing;
+          Alcotest.test_case "missing output re-runs despite journal" `Quick
+            test_coordinator_replay_missing_output_reruns;
+        ] );
+    ]
