@@ -329,6 +329,100 @@ let run_coordinator_overhead () =
         wall /. float_of_int ntasks *. 1e9 ))
     [ 1; 2; 4 ]
 
+(* Serve daemon: cold compute vs warm cache-hit latency for an
+   E1-style query (clique, n=256).  The server runs in-process on an
+   ephemeral port; the warm path is driven closed-loop by the load
+   generator.  RUMOR_BENCH_SERVE_MIN_SPEEDUP=100 turns the printed
+   cold/hit speedup into a gate; RUMOR_BENCH_SKIP_SERVE=1 skips. *)
+let run_serve_bench () =
+  print_endline "\n=== Serve daemon (memoized query cache) ===";
+  let open Rumor_core in
+  let module Server = Rumor.Serve.Server in
+  let module Query = Rumor.Serve.Query in
+  let module Loadgen = Rumor.Serve.Loadgen in
+  let dir = Filename.temp_file "rumor-bench-serve" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  let query =
+    { (Query.default ~family:"clique" ~n:256) with Query.reps = 32 }
+  in
+  let config =
+    { (Server.default_config ~dir) with Server.fsync = false; port = 0 }
+  in
+  let server = Server.create config in
+  let port = Server.port server in
+  let domain = Domain.spawn (fun () -> Server.serve server) in
+  let roundtrip () =
+    let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () ->
+        Unix.connect fd
+          (Unix.ADDR_INET (Unix.inet_addr_of_string "127.0.0.1", port));
+        let req =
+          Bytes.of_string (Obs.Json.to_string (Query.to_json query) ^ "\n")
+        in
+        ignore (Unix.write fd req 0 (Bytes.length req));
+        let buf = Buffer.create 512 in
+        let chunk = Bytes.create 4096 in
+        let rec read_line () =
+          if not (String.contains (Buffer.contents buf) '\n') then begin
+            let n = Unix.read fd chunk 0 (Bytes.length chunk) in
+            if n > 0 then begin
+              Buffer.add_subbytes buf chunk 0 n;
+              read_line ()
+            end
+          end
+        in
+        let t0 = Obs.Clock.now_s () in
+        read_line ();
+        Obs.Clock.now_s () -. t0)
+  in
+  let cold_s = roundtrip () in
+  let warm =
+    Loadgen.run
+      {
+        (Loadgen.default_config ~port ~queries:[ query ]) with
+        Loadgen.duration_s = 2.;
+        concurrency = 2;
+      }
+  in
+  Server.stop server;
+  Domain.join domain;
+  let rec rm_rf path =
+    if Sys.file_exists path then
+      if Sys.is_directory path then begin
+        Array.iter
+          (fun e -> rm_rf (Filename.concat path e))
+          (Sys.readdir path);
+        Unix.rmdir path
+      end
+      else Sys.remove path
+  in
+  rm_rf dir;
+  let c = Server.counters server in
+  let speedup = cold_s /. warm.Loadgen.p50_s in
+  Printf.printf
+    "serve clique-256x32: cold %.4fs, hit p50 %.6fs, p99 %.6fs  (%.0fx \
+     speedup, %d hits, %d misses)\n"
+    cold_s warm.Loadgen.p50_s warm.Loadgen.p99_s speedup warm.Loadgen.hits
+    c.Server.misses;
+  (match Env.string "RUMOR_BENCH_SERVE_MIN_SPEEDUP" with
+  | Some s -> (
+    match float_of_string_opt s with
+    | Some min_speedup when speedup < min_speedup ->
+      Printf.printf
+        "FATAL: warm-cache speedup %.0fx below required %.0fx\n" speedup
+        min_speedup;
+      exit 1
+    | _ -> ())
+  | None -> ());
+  [
+    ("serve/cold-e1-256", cold_s *. 1e9);
+    ("serve/hit-e1-256", warm.Loadgen.p50_s *. 1e9);
+    ("serve/hit-p99-e1-256", warm.Loadgen.p99_s *. 1e9);
+  ]
+
 (* The machine-readable counterpart of the printed tables: Bechamel
    estimates + the metric-registry counters accumulated during this
    process (experiments and micro-benches both run the engines), as a
@@ -377,5 +471,9 @@ let () =
   let rows =
     if env_flag "RUMOR_BENCH_SKIP_COORD" then rows
     else rows @ run_coordinator_overhead ()
+  in
+  let rows =
+    if env_flag "RUMOR_BENCH_SKIP_SERVE" then rows
+    else rows @ run_serve_bench ()
   in
   if rows <> [] && not (env_flag "RUMOR_BENCH_NO_REPORT") then write_report rows

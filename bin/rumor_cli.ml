@@ -20,6 +20,12 @@
                  outputs byte-identical to --workers 1
      worker      (internal) campaign worker process, forked by
                  campaign --workers
+     serve       long-lived spread-time query daemon: JSONL (or
+                 length-prefixed) queries over TCP, memoized sweep cache
+                 with WAL-backed restart, request coalescing, bounded
+                 admission queue with explicit load shedding
+     loadgen     drive a query mix against a serve daemon (open/closed
+                 loop) and report throughput + latency quantiles
      obs         observability utilities: dump the metric registry,
                  compare BENCH_*.json reports (exit 1 on regression)
 
@@ -43,7 +49,7 @@ open Rumor_core.Rumor
 
 (* --- network construction from CLI parameters --- *)
 
-type net_params = {
+type net_params = Family.params = {
   family : string;
   n : int;
   rho : float;
@@ -53,42 +59,7 @@ type net_params = {
   seed : int;
 }
 
-let build_network params =
-  let { family; n; rho; degree; p; q; seed } = params in
-  let rng = Rng.create seed in
-  match String.lowercase_ascii family with
-  | "clique" -> Dynet.of_static ~name:"clique" ~rho:1.0 (Gen.clique n)
-  | "star" -> Dynet.of_static ~name:"star" ~phi:1.0 ~rho:1.0 ~rho_abs:1.0 (Gen.star n)
-  | "cycle" ->
-    Dynet.of_static ~name:"cycle"
-      ~phi:(2. /. float_of_int n)
-      ~rho:1.0 ~rho_abs:0.5 (Gen.cycle n)
-  | "path" -> Dynet.of_static ~name:"path" (Gen.path n)
-  | "hypercube" ->
-    let d =
-      let rec log2 x acc = if x <= 1 then acc else log2 (x / 2) (acc + 1) in
-      log2 n 0
-    in
-    Dynet.of_static ~name:"hypercube"
-      ~phi:(1. /. float_of_int d)
-      ~rho:1.0
-      ~rho_abs:(1. /. float_of_int d)
-      (Gen.hypercube d)
-  | "regular" ->
-    Dynet.of_static ~name:"random-regular" ~rho:1.0
-      ~rho_abs:(1. /. float_of_int degree)
-      (Gen.random_connected_regular rng n degree)
-  | "er" -> Dynet.of_static ~name:"erdos-renyi" (Gen.erdos_renyi rng n p)
-  | "g1" -> Dichotomy.g1 ~n
-  | "g2" -> Dichotomy.g2 ~n
-  | "diligent" -> Diligent.network ~n ~rho ()
-  | "absolute" -> Absolute.network ~n ~rho
-  | "alternating" -> Alternating.network ~n ()
-  | "markovian" -> Markovian.network ~n ~p ~q ()
-  | "mobile" ->
-    let side = max 4 (int_of_float (sqrt (float_of_int (4 * n)))) in
-    Mobile.network ~agents:n ~width:side ~height:side ~radius:2
-  | other -> failwith (Printf.sprintf "unknown network family %S" other)
+let build_network params = Family.build params
 
 (* --- observability --- *)
 
@@ -113,6 +84,16 @@ let setup_obs obs_out =
 (* Evaluated before every subcommand body: each command term below
    composes [$ obs_term] first. *)
 let obs_term = Term.(const setup_obs $ obs_out_arg)
+
+(* Durations ("500ms", "10s", "5m", "1h", bare seconds) share one
+   parser with the RUMOR_* environment knobs. *)
+let duration_conv : float Arg.conv =
+  let parse s =
+    match Env.parse_duration s with
+    | Ok v -> Ok v
+    | Error e -> Error (`Msg e)
+  in
+  Arg.conv (parse, fun ppf f -> Format.fprintf ppf "%gs" f)
 
 (* --- replicate pool --- *)
 
@@ -987,22 +968,7 @@ let campaign_cmd =
       value & flag
       & info [ "full" ] ~doc:"Full-size sweeps instead of quick mode.")
   in
-  let duration : float Arg.conv =
-    let parse s =
-      let s = String.trim (String.lowercase_ascii s) in
-      let num body scale =
-        match float_of_string_opt body with
-        | Some f when f > 0. -> Ok (f *. scale)
-        | _ -> Error (`Msg (Printf.sprintf "invalid duration %S" s))
-      in
-      if Filename.check_suffix s "ms" then
-        num (Filename.chop_suffix s "ms") 0.001
-      else if Filename.check_suffix s "s" then
-        num (Filename.chop_suffix s "s") 1.0
-      else num s 1.0
-    in
-    Arg.conv (parse, fun ppf f -> Format.fprintf ppf "%gs" f)
-  in
+  let duration = duration_conv in
   let workers =
     Arg.(
       value & opt int 0
@@ -1227,6 +1193,288 @@ let obs_cmd =
           reports.")
     [ obs_dump_cmd; obs_compare_cmd ]
 
+(* --- serve --- *)
+
+let serve_run () () dir host port queue_cap cache_cap chunk read_timeout
+    throttle no_fsync =
+  let config =
+    {
+      (Serve.Server.default_config ~dir) with
+      Serve.Server.host;
+      port;
+      queue_cap;
+      cache_cap;
+      chunk;
+      read_timeout_s = read_timeout;
+      throttle_s = throttle;
+      fsync = not no_fsync;
+    }
+  in
+  let t = Serve.Server.create config in
+  let stop _ = Serve.Server.stop t in
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
+  Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
+  Printf.printf "rumor serve: listening on %s:%d (cache dir %s, queue %d, \
+                 chunk %d)\n%!"
+    config.Serve.Server.host (Serve.Server.port t) dir queue_cap chunk;
+  Serve.Server.serve t;
+  let c = Serve.Server.counters t in
+  Printf.printf
+    "drained: %d requests — %d hits, %d misses, %d coalesced, %d shed, %d \
+     stalled drops, %d errors\n"
+    c.Serve.Server.requests c.hits c.misses c.coalesced c.shed c.stalled_drops
+    c.errors
+
+let serve_cmd =
+  let dir =
+    Arg.(
+      value & opt string "serve-cache"
+      & info [ "dir" ] ~docv:"DIR"
+          ~doc:"Cache directory: the WAL-journaled result store \
+                (results.wal), sweep checkpoints and the shutdown manifest \
+                (serve.manifest.json) live here; a restarted server serves \
+                its warm set again.")
+  in
+  let host =
+    Arg.(
+      value & opt string "127.0.0.1"
+      & info [ "host" ] ~docv:"HOST" ~doc:"Listen address.")
+  in
+  let port =
+    Arg.(
+      value & opt int 4123
+      & info [ "port" ] ~docv:"PORT" ~doc:"Listen port (0 = ephemeral).")
+  in
+  let queue_cap =
+    Arg.(
+      value & opt int 64
+      & info [ "queue-cap" ] ~docv:"K"
+          ~doc:"Admission-queue bound; at capacity new queries are shed \
+                immediately with an 'overloaded' response.")
+  in
+  let cache_cap =
+    Arg.(
+      value & opt int 512
+      & info [ "cache-cap" ] ~docv:"K" ~doc:"LRU capacity (cached sweeps).")
+  in
+  let chunk =
+    Arg.(
+      value & opt int 8
+      & info [ "chunk" ] ~docv:"K"
+          ~doc:"Replicates per compute chunk (streamed partial-update \
+                granularity).")
+  in
+  let read_timeout =
+    Arg.(
+      value & opt duration_conv 30.
+      & info [ "read-timeout" ] ~docv:"DUR"
+          ~doc:"Drop a connection holding an incomplete request longer \
+                than $(docv) (e.g. 500ms, 10s; 0 disables).")
+  in
+  let throttle =
+    Arg.(
+      value & opt duration_conv 0.
+      & info [ "throttle" ] ~docv:"DUR"
+          ~doc:"Testing hook: sleep $(docv) before each compute chunk.")
+  in
+  let no_fsync =
+    Arg.(
+      value & flag
+      & info [ "no-fsync" ]
+          ~doc:"Skip fsync on journal appends (testing only).")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Long-lived spread-time query service: line-delimited JSON (or \
+          length-prefixed frames) over TCP, memoized sweep cache with \
+          WAL-backed restart, request coalescing, bounded admission queue \
+          with load shedding.")
+    Term.(
+      const serve_run $ obs_term $ jobs_term $ dir $ host $ port $ queue_cap
+      $ cache_cap $ chunk $ read_timeout $ throttle $ no_fsync)
+
+(* --- loadgen --- *)
+
+(* "--mix clique:128:8,er:256:16" -> one query per entry; --distinct K
+   clones each with seeds seed, seed+1, ..., seed+K-1 so the cache-hit
+   ratio under load is controllable. *)
+let parse_mix ~seed ~distinct spec =
+  let parse_one item =
+    match String.split_on_char ':' (String.trim item) with
+    | [ family ] -> Ok (Serve.Query.default ~family ~n:128)
+    | [ family; n ] | [ family; n; "" ] -> (
+      match int_of_string_opt n with
+      | Some n -> Ok (Serve.Query.default ~family ~n)
+      | None -> Error (Printf.sprintf "bad node count in %S" item))
+    | [ family; n; reps ] -> (
+      match (int_of_string_opt n, int_of_string_opt reps) with
+      | Some n, Some reps ->
+        Ok { (Serve.Query.default ~family ~n) with Serve.Query.reps }
+      | _ -> Error (Printf.sprintf "bad mix entry %S" item))
+    | _ -> Error (Printf.sprintf "bad mix entry %S (want FAMILY:N[:REPS])" item)
+  in
+  let items = String.split_on_char ',' spec in
+  List.fold_right
+    (fun item acc ->
+      match (acc, parse_one item) with
+      | Error _, _ -> acc
+      | _, Error e -> Error e
+      | Ok acc, Ok q ->
+        let clones =
+          List.init distinct (fun d ->
+              { q with Serve.Query.seed = seed + d })
+        in
+        Ok (clones @ acc))
+    items (Ok [])
+
+let loadgen_run () host port duration concurrency rate mix distinct seed
+    stream binary json_out min_hits max_p99 =
+  match parse_mix ~seed ~distinct mix with
+  | Error e ->
+    Printf.eprintf "rumor loadgen: %s\n" e;
+    exit 2
+  | Ok queries -> (
+    (match
+       List.find_opt
+         (fun q -> not (Family.is_known q.Serve.Query.family))
+         queries
+     with
+    | Some q ->
+      Printf.eprintf "rumor loadgen: unknown family %S\n"
+        q.Serve.Query.family;
+      exit 2
+    | None -> ());
+    let cfg =
+      {
+        (Serve.Loadgen.default_config ~port ~queries) with
+        Serve.Loadgen.host;
+        duration_s = duration;
+        concurrency;
+        rate;
+        stream;
+        binary;
+      }
+    in
+    let r = Serve.Loadgen.run cfg in
+    if json_out then
+      print_endline (Obs.Json.to_string (Serve.Loadgen.report_json r))
+    else begin
+      Printf.printf
+        "loadgen: %d sent, %d ok (%d hits, %d misses, %d coalesced), %d \
+         shed, %d errors, %d partials in %.2fs (%.1f req/s)\n"
+        r.Serve.Loadgen.sent r.ok r.hits r.misses r.coalesced r.shed r.errors
+        r.partials r.wall_s r.rps;
+      if r.ok > 0 then
+        Printf.printf
+          "latency: mean %.4fs  p50 %.4fs  p90 %.4fs  p99 %.4fs  max %.4fs\n"
+          r.mean_s r.p50_s r.p90_s r.p99_s r.max_s
+    end;
+    let failed = ref false in
+    (match min_hits with
+    | Some m when r.Serve.Loadgen.hits < m ->
+      Printf.eprintf "FAIL: %d cache hits < required %d\n"
+        r.Serve.Loadgen.hits m;
+      failed := true
+    | _ -> ());
+    (match max_p99 with
+    | Some bound
+      when r.Serve.Loadgen.ok > 0 && r.Serve.Loadgen.p99_s > bound ->
+      Printf.eprintf "FAIL: p99 %.4fs exceeds bound %.4fs\n"
+        r.Serve.Loadgen.p99_s bound;
+      failed := true
+    | _ -> ());
+    if !failed then exit 1)
+
+let loadgen_cmd =
+  let host =
+    Arg.(
+      value & opt string "127.0.0.1"
+      & info [ "host" ] ~docv:"HOST" ~doc:"Server address.")
+  in
+  let port =
+    Arg.(
+      value & opt int 4123 & info [ "port" ] ~docv:"PORT" ~doc:"Server port.")
+  in
+  let duration =
+    Arg.(
+      value & opt duration_conv 5.
+      & info [ "duration" ] ~docv:"DUR"
+          ~doc:"Send phase length (e.g. 10s, 2m).")
+  in
+  let concurrency =
+    Arg.(
+      value & opt int 4
+      & info [ "concurrency"; "c" ] ~docv:"N" ~doc:"Concurrent connections.")
+  in
+  let rate =
+    Arg.(
+      value & opt (some float) None
+      & info [ "rate" ] ~docv:"R"
+          ~doc:"Open-loop offered load in requests/second (paced sends \
+                regardless of completions — this is what exposes queueing \
+                and shedding).  Default: closed loop, one outstanding \
+                request per connection.")
+  in
+  let mix =
+    Arg.(
+      value & opt string "clique:128:8"
+      & info [ "mix" ] ~docv:"SPEC"
+          ~doc:"Comma-separated query mix, each entry FAMILY:N[:REPS] \
+                (e.g. 'clique:128:8,er:256:16'), cycled round-robin.")
+  in
+  let distinct =
+    Arg.(
+      value & opt int 1
+      & info [ "distinct" ] ~docv:"K"
+          ~doc:"Clone each mix entry $(docv) times with distinct seeds — \
+                higher values mean more distinct cache keys (lower hit \
+                ratio).")
+  in
+  let seed =
+    Arg.(
+      value & opt int 2020 & info [ "seed" ] ~docv:"SEED" ~doc:"Base seed.")
+  in
+  let stream =
+    Arg.(
+      value & flag
+      & info [ "stream" ] ~doc:"Request streamed partial quantile updates.")
+  in
+  let binary =
+    Arg.(
+      value & flag
+      & info [ "binary" ]
+          ~doc:"Length-prefixed binary frames instead of JSONL.")
+  in
+  let json_out =
+    Arg.(
+      value & flag & info [ "json" ] ~doc:"Print the report as one JSON \
+                                           document.")
+  in
+  let min_hits =
+    Arg.(
+      value & opt (some int) None
+      & info [ "min-hits" ] ~docv:"N"
+          ~doc:"Exit 1 unless at least $(docv) responses were cache hits \
+                (CI gate).")
+  in
+  let max_p99 =
+    Arg.(
+      value & opt (some duration_conv) None
+      & info [ "max-p99" ] ~docv:"DUR"
+          ~doc:"Exit 1 when p99 latency exceeds $(docv) (CI gate).")
+  in
+  Cmd.v
+    (Cmd.info "loadgen"
+       ~doc:
+         "Drive a query mix against a running serve daemon (open or closed \
+          loop) and report throughput, latency quantiles and the \
+          hit/miss/coalesced/shed breakdown.")
+    Term.(
+      const loadgen_run $ obs_term $ host $ port $ duration $ concurrency
+      $ rate $ mix $ distinct $ seed $ stream $ binary $ json_out $ min_hits
+      $ max_p99)
+
 (* --- main --- *)
 
 let () =
@@ -1249,5 +1497,7 @@ let () =
             experiment_cmd;
             campaign_cmd;
             worker_cmd;
+            serve_cmd;
+            loadgen_cmd;
             obs_cmd;
           ]))

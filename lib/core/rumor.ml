@@ -28,6 +28,7 @@ module Regression = Rumor_stats.Regression
 module Bootstrap = Rumor_stats.Bootstrap
 module Summary = Rumor_stats.Summary
 module Ks = Rumor_stats.Ks
+module Stream = Rumor_stats.Stream
 
 (* Graphs *)
 module Graph = Rumor_graph.Graph
@@ -50,6 +51,7 @@ module Alternating = Rumor_dynamic.Alternating
 module Markovian = Rumor_dynamic.Markovian
 module Mobile = Rumor_dynamic.Mobile
 module Adversary = Rumor_dynamic.Adversary
+module Family = Rumor_dynamic.Family
 
 (* Faults & hardened harness *)
 module Fault_plan = Rumor_faults.Fault_plan
@@ -69,6 +71,11 @@ module Proto = Rumor_harness.Proto
 module Lease = Rumor_harness.Lease
 module Worker = Rumor_harness.Worker
 module Coordinator = Rumor_harness.Coordinator
+module Provenance = Rumor_harness.Provenance
+
+(* Query service: memoized spread-time daemon (Serve.Query,
+   Serve.Store, Serve.Server, Serve.Loadgen). *)
+module Serve = Rumor_serve
 
 (* Parallelism: the chunked Domain pool behind every Monte-Carlo
    runner (Pool.nproc, Pool.set_default_jobs, Pool.run). *)

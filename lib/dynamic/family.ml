@@ -1,0 +1,61 @@
+open Rumor_rng
+open Rumor_graph
+
+type params = {
+  family : string;
+  n : int;
+  rho : float;
+  degree : int;
+  p : float;
+  q : float;
+  seed : int;
+}
+
+let default ~family ~n =
+  { family; n; rho = 0.25; degree = 8; p = 0.05; q = 0.2; seed = 2020 }
+
+let known =
+  [
+    "clique"; "star"; "cycle"; "path"; "hypercube"; "regular"; "er"; "g1";
+    "g2"; "diligent"; "absolute"; "alternating"; "markovian"; "mobile";
+  ]
+
+let is_known family = List.mem (String.lowercase_ascii family) known
+
+let build params =
+  let { family; n; rho; degree; p; q; seed } = params in
+  let rng = Rng.create seed in
+  match String.lowercase_ascii family with
+  | "clique" -> Dynet.of_static ~name:"clique" ~rho:1.0 (Gen.clique n)
+  | "star" ->
+    Dynet.of_static ~name:"star" ~phi:1.0 ~rho:1.0 ~rho_abs:1.0 (Gen.star n)
+  | "cycle" ->
+    Dynet.of_static ~name:"cycle"
+      ~phi:(2. /. float_of_int n)
+      ~rho:1.0 ~rho_abs:0.5 (Gen.cycle n)
+  | "path" -> Dynet.of_static ~name:"path" (Gen.path n)
+  | "hypercube" ->
+    let d =
+      let rec log2 x acc = if x <= 1 then acc else log2 (x / 2) (acc + 1) in
+      log2 n 0
+    in
+    Dynet.of_static ~name:"hypercube"
+      ~phi:(1. /. float_of_int d)
+      ~rho:1.0
+      ~rho_abs:(1. /. float_of_int d)
+      (Gen.hypercube d)
+  | "regular" ->
+    Dynet.of_static ~name:"random-regular" ~rho:1.0
+      ~rho_abs:(1. /. float_of_int degree)
+      (Gen.random_connected_regular rng n degree)
+  | "er" -> Dynet.of_static ~name:"erdos-renyi" (Gen.erdos_renyi rng n p)
+  | "g1" -> Dichotomy.g1 ~n
+  | "g2" -> Dichotomy.g2 ~n
+  | "diligent" -> Diligent.network ~n ~rho ()
+  | "absolute" -> Absolute.network ~n ~rho
+  | "alternating" -> Alternating.network ~n ()
+  | "markovian" -> Markovian.network ~n ~p ~q ()
+  | "mobile" ->
+    let side = max 4 (int_of_float (sqrt (float_of_int (4 * n)))) in
+    Mobile.network ~agents:n ~width:side ~height:side ~radius:2
+  | other -> failwith (Printf.sprintf "unknown network family %S" other)

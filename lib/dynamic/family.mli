@@ -1,0 +1,31 @@
+(** Network construction from flat, serializable parameters.
+
+    One record names every shipped family with its knobs; {!build}
+    instantiates the {!Dynet.t}.  This is the construction path shared
+    by the CLI front end ([-N]/[--network] and friends) and the serve
+    layer, whose cached queries must rebuild {e exactly} the network
+    the offline command would have: randomized families ([regular],
+    [er]) draw from [Rng.create seed], so a [params] value is a
+    complete, reproducible network description. *)
+
+type params = {
+  family : string;  (** one of {!known} (case-insensitive) *)
+  n : int;  (** number of nodes *)
+  rho : float;  (** diligence parameter of the adaptive families *)
+  degree : int;  (** degree for [regular] *)
+  p : float;  (** edge/birth probability ([er], [markovian]) *)
+  q : float;  (** edge death probability ([markovian]) *)
+  seed : int;  (** RNG seed for the randomized constructions *)
+}
+
+val default : family:string -> n:int -> params
+(** The CLI's default knobs: [rho = 0.25], [degree = 8], [p = 0.05],
+    [q = 0.2], [seed = 2020]. *)
+
+val known : string list
+(** Every family {!build} accepts, lower-case. *)
+
+val is_known : string -> bool
+
+val build : params -> Dynet.t
+(** @raise Failure on an unknown family name. *)

@@ -128,7 +128,7 @@ let outcome_status = function
 let write_manifest config summary =
   let manifest =
     Json.Obj
-      [
+      ([
         ("schema", Json.String "rumor-campaign/1");
         ("resumed", Json.Bool summary.resumed);
         ("interrupted", Json.Bool summary.interrupted);
@@ -143,6 +143,7 @@ let write_manifest config summary =
                (fun (id, o) -> (id, Json.String (outcome_status o)))
                summary.outcomes) );
       ]
+      @ Provenance.manifest_fields ())
   in
   Wal.write_atomic (manifest_path config)
     (Json.to_string ~pretty:true manifest ^ "\n")

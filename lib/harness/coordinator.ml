@@ -13,6 +13,7 @@ let m_replay_fenced = Obs.counter "harness.coord.replay_fenced"
 let m_deaths = Obs.counter "harness.coord.worker_deaths"
 let m_restarts = Obs.counter "harness.coord.worker_restarts"
 let m_chaos = Obs.counter "harness.coord.chaos_kills"
+let m_stalled = Obs.counter "harness.coord.stalled_drops"
 let h_beat_latency = Obs.histogram "harness.coord.heartbeat_latency_s"
 
 type config = {
@@ -69,6 +70,7 @@ type summary = {
   worker_deaths : int;
   worker_restarts : int;
   chaos_kills : int;
+  stalled_drops : int;
   wal_corrupt_records : int;
   wall_s : float;
   workers : worker_stats list;
@@ -274,6 +276,7 @@ let run ?(cancel = Pool.global) ~spawn (config : config) task_ids =
   let worker_deaths = ref 0 in
   let worker_restarts = ref 0 in
   let chaos_kills = ref 0 in
+  let stalled_drops = ref 0 in
   let aborted = ref false in
   let interrupted = ref false in
   let t0 = Clock.now_s () in
@@ -767,6 +770,34 @@ let run ?(cancel = Pool.global) ~spawn (config : config) task_ids =
               declare_dead ~ev:"heartbeat_timeout" ~zombie:true w
             | _ -> ())
           slots;
+        (* Stalled strays: a half-open connection holding bytes of an
+           incomplete frame — or a fresh accept that never said hello —
+           past the heartbeat timeout is dropped, or it would pin its
+           select slot forever.  Quiet zombies at a clean frame
+           boundary stay: they exist so late writes fence. *)
+        (let timeout = config.heartbeat_timeout_s in
+         let dropped, kept =
+           List.partition
+             (fun s ->
+               Proto.stalled s.s_reader ~now ~timeout
+               || (s.s_pid = None && Proto.age s.s_reader ~now > timeout))
+             !strays
+         in
+         if dropped <> [] then begin
+           strays := kept;
+           List.iter
+             (fun s ->
+               incr stalled_drops;
+               Obs.incr m_stalled;
+               journal
+                 (incident_record "stalled_drop" ~worker:(-1)
+                    ?detail:
+                      (Option.map (Printf.sprintf "zombie pid %d") s.s_pid)
+                    ());
+               close_quiet s.s_fd;
+               match s.s_pid with Some pid -> reap_quiet pid | None -> ())
+             dropped
+         end);
         (* Reap exited children: the WNOHANG at death time can race
            the SIGKILL, so sweep every iteration or defunct processes
            pile up across a long chaos run. *)
@@ -843,6 +874,7 @@ let run ?(cancel = Pool.global) ~spawn (config : config) task_ids =
       worker_deaths = !worker_deaths;
       worker_restarts = !worker_restarts;
       chaos_kills = !chaos_kills;
+      stalled_drops = !stalled_drops;
       wal_corrupt_records = recovery.Wal.corrupt_records;
       wall_s = Clock.now_s () -. t0;
       workers =
@@ -862,7 +894,7 @@ let run ?(cancel = Pool.global) ~spawn (config : config) task_ids =
   in
   let manifest =
     Json.Obj
-      [
+      ([
         ("schema", Json.String "rumor-campaign/2");
         ("workers", Json.Int config.workers);
         ("resumed", Json.Bool summary.resumed);
@@ -877,6 +909,7 @@ let run ?(cancel = Pool.global) ~spawn (config : config) task_ids =
         ("worker_deaths", Json.Int summary.worker_deaths);
         ("worker_restarts", Json.Int summary.worker_restarts);
         ("chaos_kills", Json.Int summary.chaos_kills);
+        ("stalled_drops", Json.Int summary.stalled_drops);
         ("wal_corrupt_records", Json.Int summary.wal_corrupt_records);
         ("wall_s", Json.Float summary.wall_s);
         ( "tasks",
@@ -907,6 +940,7 @@ let run ?(cancel = Pool.global) ~spawn (config : config) task_ids =
                    ])
                summary.workers) );
       ]
+      @ Provenance.manifest_fields ())
   in
   Wal.write_atomic (manifest_path config)
     (Json.to_string ~pretty:true manifest ^ "\n");

@@ -100,6 +100,9 @@ type summary = {
   worker_deaths : int;  (** uncommanded deaths (timeouts included) *)
   worker_restarts : int;
   chaos_kills : int;
+  stalled_drops : int;
+      (** stray connections dropped for holding a partial frame (or
+          never completing a hello) past the heartbeat timeout *)
   wal_corrupt_records : int;
   wall_s : float;
   workers : worker_stats list;

@@ -6,7 +6,7 @@ let max_frame = 1 lsl 20
 
 (* --- framing --- *)
 
-let send fd json =
+let frame json =
   let payload = Bytes.of_string (Json.to_string json) in
   let n = Bytes.length payload in
   if n > max_frame then
@@ -17,17 +17,43 @@ let send fd json =
   Bytes.set_uint8 frame 2 ((n lsr 8) land 0xff);
   Bytes.set_uint8 frame 3 (n land 0xff);
   Bytes.blit payload 0 frame 4 n;
+  frame
+
+let send fd json =
+  let frame = frame json in
   let len = Bytes.length frame in
   let written = ref 0 in
   while !written < len do
     written := !written + Unix.write fd frame !written (len - !written)
   done
 
-type reader = { mutable buf : Buffer.t }
+type reader = { mutable buf : Buffer.t; mutable last_progress : float }
 
-let reader () = { buf = Buffer.create 256 }
+let reader () =
+  { buf = Buffer.create 256; last_progress = Rumor_obs.Clock.now_s () }
 
-let feed r bytes n = Buffer.add_subbytes r.buf bytes 0 n
+let feed r bytes n =
+  if n > 0 then begin
+    Buffer.add_subbytes r.buf bytes 0 n;
+    r.last_progress <- Rumor_obs.Clock.now_s ()
+  end
+
+(* Is a complete frame sitting in the buffer?  A length prefix beyond
+   [max_frame] counts as "complete" so that [stalled] never masks what
+   [next] will report as a protocol error. *)
+let has_frame r =
+  let len = Buffer.length r.buf in
+  len >= 4
+  &&
+  let b i = Char.code (Buffer.nth r.buf i) in
+  let n = (b 0 lsl 24) lor (b 1 lsl 16) lor (b 2 lsl 8) lor b 3 in
+  n > max_frame || len >= 4 + n
+
+let pending r = Buffer.length r.buf > 0 && not (has_frame r)
+
+let age r ~now = Float.max 0. (now -. r.last_progress)
+
+let stalled r ~now ~timeout = pending r && age r ~now > timeout
 
 let next r =
   let len = Buffer.length r.buf in

@@ -36,6 +36,11 @@ val max_frame : int
 (** Upper bound on accepted payload length (1 MiB) — a corrupt length
     prefix must not trigger a gigabyte allocation. *)
 
+val frame : Json.t -> bytes
+(** The wire bytes of one frame (length prefix + compact payload), for
+    callers that buffer writes themselves.
+    @raise Protocol_error when the payload exceeds {!max_frame}. *)
+
 val send : Unix.file_descr -> Json.t -> unit
 (** Write one frame, handling short writes.
     @raise Unix.Unix_error as [write] (EPIPE = peer is gone). *)
@@ -53,6 +58,28 @@ val next : reader -> Json.t option
 (** Pop the next complete frame, [None] if more bytes are needed.
     @raise Protocol_error on an oversized length prefix or a payload
     that does not parse. *)
+
+(** {1 Stall detection}
+
+    A half-open or wedged client that sends a partial frame and then
+    nothing would otherwise pin its reassembly buffer (and its slot in
+    a select loop) forever.  The reader timestamps every byte of
+    progress; a connection is {e stalled} when bytes of an incomplete
+    frame have been sitting in the buffer longer than the caller's
+    timeout.  An empty buffer is merely idle, never stalled — idle
+    policy is the caller's. *)
+
+val pending : reader -> bool
+(** Buffered bytes that do not yet form a complete frame.  An
+    oversized length prefix counts as complete (so the error surfaces
+    through {!next} rather than a stall drop). *)
+
+val age : reader -> now:float -> float
+(** Seconds since the reader last made progress (creation or a
+    non-empty {!feed}), given [now] from {!Rumor_obs.Clock.now_s}. *)
+
+val stalled : reader -> now:float -> timeout:float -> bool
+(** [pending r && age r ~now > timeout]. *)
 
 val recv : Unix.file_descr -> reader -> Json.t option
 (** Blocking convenience for the worker side: read until one frame

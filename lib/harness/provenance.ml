@@ -1,0 +1,43 @@
+module Json = Rumor_obs.Json
+
+let argv () = Array.to_list Sys.argv
+
+let hostname =
+  lazy (match Unix.gethostname () with
+    | "" -> None
+    | h -> Some h
+    | exception (Unix.Unix_error _ | Failure _) -> None)
+
+(* Best-effort revision: explicit environment first (CI exports it and
+   release binaries have no .git), then one `git rev-parse` per
+   process.  Never raises, never blocks on anything but a local git. *)
+let git_rev =
+  lazy
+    (let from_env name =
+       match Sys.getenv_opt name with Some "" | None -> None | some -> some
+     in
+     match (from_env "RUMOR_GIT_REV", from_env "GITHUB_SHA") with
+     | Some r, _ | None, Some r -> Some r
+     | None, None -> (
+       try
+         let ic =
+           Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null"
+         in
+         let line = try String.trim (input_line ic) with End_of_file -> "" in
+         match Unix.close_process_in ic with
+         | Unix.WEXITED 0 when line <> "" -> Some line
+         | _ -> None
+       with Unix.Unix_error _ | Sys_error _ -> None))
+
+let hostname () = Lazy.force hostname
+
+let git_rev () = Lazy.force git_rev
+
+let manifest_fields () =
+  (("argv", Json.List (List.map (fun a -> Json.String a) (argv ())))
+   :: (match hostname () with
+      | Some h -> [ ("hostname", Json.String h) ]
+      | None -> []))
+  @ (match git_rev () with
+    | Some r -> [ ("git_rev", Json.String r) ]
+    | None -> [])

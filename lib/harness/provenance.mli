@@ -1,0 +1,25 @@
+(** Run attribution recorded into campaign and serve manifests: which
+    command produced this artifact, on which host, at which revision.
+
+    Every accessor is total — a stripped container with no hostname,
+    no [.git] and no CI environment yields [None]s, never an error —
+    and the expensive lookups are memoized per process.  The fields
+    are additive manifest metadata: consumers that do not know them
+    ignore them ([rumor-campaign/1] and [/2] readers are unaffected). *)
+
+module Json = Rumor_obs.Json
+
+val argv : unit -> string list
+(** [Sys.argv] as a list, argv[0] included. *)
+
+val hostname : unit -> string option
+(** [Unix.gethostname], [None] when unavailable or empty. *)
+
+val git_rev : unit -> string option
+(** The source revision, best effort: [RUMOR_GIT_REV], else
+    [GITHUB_SHA], else one [git rev-parse --short HEAD] against the
+    working directory (memoized); [None] when all three fail. *)
+
+val manifest_fields : unit -> (string * Json.t) list
+(** The optional manifest fields: always [argv], plus [hostname] and
+    [git_rev] when known. *)

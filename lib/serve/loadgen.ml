@@ -1,0 +1,273 @@
+module Json = Rumor_obs.Json
+module Clock = Rumor_obs.Clock
+module Proto = Rumor_harness.Proto
+module Quantile = Rumor_stats.Quantile
+module Stream = Rumor_stats.Stream
+
+type config = {
+  host : string;
+  port : int;
+  duration_s : float;
+  concurrency : int;
+  rate : float option;
+  queries : Query.t list;
+  stream : bool;
+  binary : bool;
+}
+
+let default_config ~port ~queries =
+  {
+    host = "127.0.0.1";
+    port;
+    duration_s = 5.;
+    concurrency = 4;
+    rate = None;
+    queries;
+    stream = false;
+    binary = false;
+  }
+
+type report = {
+  sent : int;
+  ok : int;
+  hits : int;
+  misses : int;
+  coalesced : int;
+  shed : int;
+  errors : int;
+  partials : int;
+  wall_s : float;
+  rps : float;
+  mean_s : float;
+  p50_s : float;
+  p90_s : float;
+  p99_s : float;
+  max_s : float;
+}
+
+type conn = {
+  fd : Unix.file_descr;
+  rdr : Proto.reader;
+  line : Buffer.t;
+  pending : float Queue.t;  (* send times of unanswered requests *)
+  mutable busy : bool;  (* closed loop: one outstanding request *)
+}
+
+type state = {
+  cfg : config;
+  mutable sent : int;
+  mutable ok : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable coalesced : int;
+  mutable shed : int;
+  mutable errors : int;
+  mutable partials : int;
+  lat : float list ref;
+  lat_stream : Stream.t;
+  mutable next_query : int;
+}
+
+let connect cfg =
+  let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd
+    (Unix.ADDR_INET (Unix.inet_addr_of_string cfg.host, cfg.port));
+  { fd; rdr = Proto.reader (); line = Buffer.create 256; pending = Queue.create (); busy = false }
+
+let send_query st conn =
+  let qs = st.cfg.queries in
+  let q = List.nth qs (st.next_query mod List.length qs) in
+  st.next_query <- st.next_query + 1;
+  let j =
+    match Query.to_json q with
+    | Json.Obj fields ->
+      Json.Obj
+        (fields @ if st.cfg.stream then [ ("stream", Json.Bool true) ] else [])
+    | j -> j
+  in
+  let bytes =
+    if st.cfg.binary then Proto.frame j
+    else Bytes.of_string (Json.to_string j ^ "\n")
+  in
+  let len = Bytes.length bytes in
+  let written = ref 0 in
+  while !written < len do
+    written := !written + Unix.write conn.fd bytes !written (len - !written)
+  done;
+  Queue.add (Clock.now_s ()) conn.pending;
+  conn.busy <- true;
+  st.sent <- st.sent + 1
+
+let on_response st conn j =
+  let str f = Option.bind (Json.member f j) Json.to_string_opt in
+  match str "k" with
+  | Some "partial" -> st.partials <- st.partials + 1
+  | Some k ->
+    (match k with
+    | "result" -> (
+      st.ok <- st.ok + 1;
+      match str "cache" with
+      | Some "hit" -> st.hits <- st.hits + 1
+      | Some "miss" -> st.misses <- st.misses + 1
+      | Some "coalesced" -> st.coalesced <- st.coalesced + 1
+      | _ -> ())
+    | "overloaded" -> st.shed <- st.shed + 1
+    | _ -> st.errors <- st.errors + 1);
+    (match Queue.take_opt conn.pending with
+    | Some t0 ->
+      let l = Clock.now_s () -. t0 in
+      st.lat := l :: !(st.lat);
+      Stream.add st.lat_stream l
+    | None -> ());
+    conn.busy <- Queue.length conn.pending > 0
+  | None -> st.errors <- st.errors + 1
+
+let drain st conn =
+  if st.cfg.binary then begin
+    let continue = ref true in
+    while !continue do
+      match Proto.next conn.rdr with
+      | Some j -> on_response st conn j
+      | None -> continue := false
+    done
+  end
+  else begin
+    let continue = ref true in
+    while !continue do
+      let s = Buffer.contents conn.line in
+      match String.index_opt s '\n' with
+      | None -> continue := false
+      | Some i ->
+        Buffer.clear conn.line;
+        Buffer.add_string conn.line
+          (String.sub s (i + 1) (String.length s - i - 1));
+        let doc = String.trim (String.sub s 0 i) in
+        if doc <> "" then (
+          match Json.parse doc with
+          | Ok j -> on_response st conn j
+          | Error _ -> st.errors <- st.errors + 1)
+    done
+  end
+
+let run cfg =
+  if cfg.queries = [] then invalid_arg "Loadgen.run: empty query mix";
+  if cfg.concurrency < 1 then invalid_arg "Loadgen.run: concurrency >= 1";
+  let st =
+    {
+      cfg;
+      sent = 0;
+      ok = 0;
+      hits = 0;
+      misses = 0;
+      coalesced = 0;
+      shed = 0;
+      errors = 0;
+      partials = 0;
+      lat = ref [];
+      lat_stream = Stream.create ();
+      next_query = 0;
+    }
+  in
+  let conns = Array.init cfg.concurrency (fun _ -> connect cfg) in
+  let started = Clock.now_s () in
+  let deadline = started +. cfg.duration_s in
+  let interval = Option.map (fun r -> 1. /. r) cfg.rate in
+  let next_send = ref started in
+  let rr = ref 0 in
+  let outstanding () =
+    Array.fold_left (fun acc c -> acc + Queue.length c.pending) 0 conns
+  in
+  (* Send phase, then a short grace period to collect the tail. *)
+  let phase = ref `Load in
+  let finished = ref false in
+  while not !finished do
+    let now = Clock.now_s () in
+    (match !phase with
+    | `Load when now >= deadline ->
+      phase := `Drain (now +. Float.min 5. (Float.max 1. cfg.duration_s))
+    | `Load -> (
+      match interval with
+      | None ->
+        (* closed loop: refill every idle connection *)
+        Array.iter (fun c -> if not c.busy then send_query st c) conns
+      | Some dt ->
+        (* open loop: paced sends round-robin, regardless of completion *)
+        while !next_send <= Clock.now_s () && !phase = `Load do
+          send_query st conns.(!rr mod cfg.concurrency);
+          incr rr;
+          next_send := !next_send +. dt
+        done)
+    | `Drain until -> if now >= until || outstanding () = 0 then finished := true);
+    if not !finished then begin
+      let fds = Array.to_list (Array.map (fun c -> c.fd) conns) in
+      let timeout =
+        match (!phase, interval) with
+        | `Load, Some _ -> Float.max 0.001 (!next_send -. Clock.now_s ())
+        | _ -> 0.05
+      in
+      let readable, _, _ =
+        match Unix.select fds [] [] timeout with
+        | r -> r
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+      in
+      List.iter
+        (fun fd ->
+          let conn = Array.to_list conns |> List.find (fun c -> c.fd = fd) in
+          let chunk = Bytes.create 65536 in
+          match Unix.read fd chunk 0 (Bytes.length chunk) with
+          | 0 -> finished := true (* server went away *)
+          | n ->
+            if cfg.binary then Proto.feed conn.rdr chunk n
+            else Buffer.add_subbytes conn.line chunk 0 n;
+            drain st conn
+          | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+            ->
+            ())
+        readable
+    end
+  done;
+  Array.iter (fun c -> try Unix.close c.fd with Unix.Unix_error _ -> ()) conns;
+  let wall_s = Clock.now_s () -. started in
+  let lats = Array.of_list !(st.lat) in
+  let q p =
+    if Array.length lats = 0 then Float.nan
+    else match Quantile.quantiles lats [ p ] with [ v ] -> v | _ -> Float.nan
+  in
+  {
+    sent = st.sent;
+    ok = st.ok;
+    hits = st.hits;
+    misses = st.misses;
+    coalesced = st.coalesced;
+    shed = st.shed;
+    errors = st.errors;
+    partials = st.partials;
+    wall_s;
+    rps = (if wall_s > 0. then float_of_int st.ok /. wall_s else 0.);
+    mean_s = Stream.mean st.lat_stream;
+    p50_s = q 0.5;
+    p90_s = q 0.9;
+    p99_s = q 0.99;
+    max_s = Stream.max st.lat_stream;
+  }
+
+let report_json (r : report) =
+  Json.Obj
+    [
+      ("k", Json.String "loadgen");
+      ("sent", Json.Int r.sent);
+      ("ok", Json.Int r.ok);
+      ("hits", Json.Int r.hits);
+      ("misses", Json.Int r.misses);
+      ("coalesced", Json.Int r.coalesced);
+      ("shed", Json.Int r.shed);
+      ("errors", Json.Int r.errors);
+      ("partials", Json.Int r.partials);
+      ("wall_s", Json.Float r.wall_s);
+      ("rps", Json.Float r.rps);
+      ("mean_s", Json.Float r.mean_s);
+      ("p50_s", Json.Float r.p50_s);
+      ("p90_s", Json.Float r.p90_s);
+      ("p99_s", Json.Float r.p99_s);
+      ("max_s", Json.Float r.max_s);
+    ]

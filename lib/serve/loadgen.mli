@@ -1,0 +1,50 @@
+(** Load generator for the serve daemon: drives a query mix over N
+    concurrent connections and reports throughput and latency
+    quantiles.
+
+    Two pacing disciplines: {e closed loop} ([rate = None] — every
+    connection keeps exactly one request outstanding, so offered load
+    adapts to service time) and {e open loop} ([rate = Some r] —
+    sends are scheduled at fixed [1/r] intervals round-robin across
+    connections regardless of completions, which is what exposes
+    queueing and shedding behaviour).  After [duration_s] of sends a
+    short grace period collects in-flight tails.  Single-threaded:
+    one [select] multiplexes all connections. *)
+
+type config = {
+  host : string;
+  port : int;
+  duration_s : float;
+  concurrency : int;
+  rate : float option;  (** [Some r] = open loop at [r] req/s total *)
+  queries : Query.t list;  (** cycled round-robin; must be non-empty *)
+  stream : bool;  (** request partial quantile updates *)
+  binary : bool;  (** length-prefixed frames instead of JSONL *)
+}
+
+val default_config : port:int -> queries:Query.t list -> config
+(** 127.0.0.1, 5 s, 4 connections, closed loop, JSONL. *)
+
+type report = {
+  sent : int;
+  ok : int;  (** terminal [result] responses *)
+  hits : int;
+  misses : int;
+  coalesced : int;  (** by the server's [cache] field *)
+  shed : int;  (** [overloaded] responses *)
+  errors : int;
+  partials : int;  (** streamed partial updates (not terminal) *)
+  wall_s : float;
+  rps : float;  (** [ok / wall_s] *)
+  mean_s : float;
+  p50_s : float;
+  p90_s : float;
+  p99_s : float;
+  max_s : float;  (** request latency, send to terminal response *)
+}
+
+val run : config -> report
+(** @raise Invalid_argument on an empty mix or [concurrency < 1].
+    @raise Unix.Unix_error when the server cannot be reached. *)
+
+val report_json : report -> Rumor_obs.Json.t

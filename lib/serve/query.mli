@@ -1,0 +1,79 @@
+(** A spread-time query: the complete, serializable description of one
+    Monte-Carlo sweep — family, size, protocol knobs, fault plan,
+    replicate count and the quantile points to report.
+
+    The canonical compact-JSON rendering ({!to_json}) is the
+    {!fingerprint} input, so two queries collide exactly when they
+    would run the same sweep: unknown wire fields ([op], [stream])
+    are dropped by {!of_json} and field order is fixed.  Execution
+    ({!sweep}) goes through {!Rumor_sim.Run.async_spread_sweep} with
+    [Rng.create seed], inheriting its split-seed determinism: the
+    served sample is bit-identical to the offline CLI's for the same
+    query, for any [jobs], and a [reps]-prefix of any larger run. *)
+
+module Json = Rumor_obs.Json
+module Family = Rumor_dynamic.Family
+module Protocol = Rumor_sim.Protocol
+module Run = Rumor_sim.Run
+module Fault_plan = Rumor_faults.Fault_plan
+
+type t = {
+  family : string;  (** lower-case, one of {!Family.known} *)
+  n : int;
+  rho : float;
+  degree : int;
+  p : float;
+  q : float;
+  protocol : Protocol.t;
+  engine : Run.engine;
+  rate : float;
+  reps : int;
+  horizon : float;
+  seed : int;
+  max_events : int option;
+  loss : float;
+  crash : float;
+  recover : float;
+  slow_frac : float;
+  slow_rate : float;
+  part_from : int;
+  part_until : int;
+  part_frac : float;
+  points : float list;  (** quantile points, each in [[0,1]] *)
+}
+
+val default_points : float list
+(** [[0.5; 0.9; 0.99]] *)
+
+val default : family:string -> n:int -> t
+(** The CLI's defaults: push–pull on the cut engine, rate 1, 30
+    replicates, seed 2020, no faults, {!default_points}. *)
+
+val validate : t -> (t, string) result
+
+val to_json : t -> Json.t
+(** Canonical rendering (fixed field order; [max_events] omitted when
+    [None]) — the fingerprint input. *)
+
+val of_json : Json.t -> (t, string) result
+(** Parse a wire query: [family] and [n] are required, everything else
+    defaults; unknown fields are ignored.  Validates. *)
+
+val fingerprint : t -> int64
+(** 64-bit FNV/SplitMix fold of the canonical rendering. *)
+
+val key : t -> string
+(** {!fingerprint} as 16 hex digits — the cache key. *)
+
+val family_params : t -> Family.params
+
+val fault_plan : t -> Fault_plan.t
+(** Mirrors the [faults] subcommand: churn when [crash] or [recover]
+    is positive; the first [round(slow_frac*n)] nodes tick at
+    [slow_rate]; one partition window cutting off [round(part_frac*n)]
+    nodes when [part_until > part_from]. *)
+
+val sweep : ?jobs:int -> ?checkpoint:string -> ?reps:int -> t -> Run.sweep
+(** Run (or resume) the query's sweep; [reps] overrides [q.reps] so a
+    server can compute in chunks — by the prefix property the chunks
+    concatenate into exactly the offline sample. *)

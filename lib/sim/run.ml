@@ -249,6 +249,11 @@ let usable_times s =
        (function Finished t -> Some t | Censored _ | Failed _ -> None)
        (Array.to_seq s.outcomes))
 
+let quantiles_of_sweep s points =
+  let times = usable_times s in
+  if Array.length times = 0 then [||]
+  else Array.of_list (Rumor_stats.Quantile.quantiles times points)
+
 let first_failure s =
   Array.fold_left
     (fun acc o ->

@@ -161,6 +161,13 @@ val usable_times : sweep -> float array
     excluded} (their recorded times understate the truth), unlike the
     classic {!mc}[.times] which includes them at the horizon value. *)
 
+val quantiles_of_sweep : sweep -> float list -> float array
+(** [quantiles_of_sweep s points] — empirical quantiles of
+    {!usable_times} at each point of [points] (in [[0,1]], in the
+    given order); [[||]] when no replicate finished.  This is the
+    summary the serve layer caches, so its definition lives here,
+    beside the sweep, where offline and served paths share it. *)
+
 val first_failure : sweep -> string option
 (** The first recorded [Failed] message, if any. *)
 

@@ -17,3 +17,17 @@ val flag : ?default:bool -> string -> bool
 val int : default:int -> string -> int
 
 val float : default:float -> string -> float
+
+val parse_duration : string -> (float, string) result
+(** Parse a human-friendly duration into seconds: a positive number
+    with an optional unit suffix — [ms] (milliseconds), [s] (seconds,
+    also the bare-number default), [m] (minutes), [h] (hours).
+    ["500ms"] is [Ok 0.5]; ["10s"], ["10"] are [Ok 10.]; zero,
+    negative, non-finite and malformed inputs are [Error _] with a
+    message naming the rejected string.  Shared by every CLI duration
+    flag ([--heartbeat-timeout], [--chaos-kill-every], the serve and
+    loadgen timeouts) and by {!duration}. *)
+
+val duration : default:float -> string -> float
+(** Environment-variable counterpart of {!parse_duration}, with the
+    module's usual warn-and-fall-back contract. *)

@@ -623,6 +623,56 @@ let test_coordinator_replay_fencing () =
       check bool "t2 output untouched" true
         (read_file (Coordinator.output_path config "t2") = "trusted bytes\n"))
 
+(* A half-open client that sends part of a frame and then goes silent
+   must be dropped after the heartbeat timeout and counted — it must
+   not pin a select slot for the life of the campaign.  The real
+   worker, heartbeating normally, must be unaffected. *)
+let test_coordinator_stalled_stray_dropped () =
+  with_temp_dir (fun dir ->
+      let config =
+        {
+          (quick_config ~dir ~workers:1) with
+          Coordinator.heartbeat_timeout_s = 0.4;
+        }
+      in
+      let stray_pid = ref None in
+      let spawn ~slot ~socket =
+        (if !stray_pid = None then begin
+           flush stdout;
+           flush stderr;
+           match Unix.fork () with
+           | 0 ->
+             (try
+                let fd =
+                  Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0
+                in
+                Unix.connect fd (Unix.ADDR_UNIX socket);
+                (* two bytes of a length prefix, then silence *)
+                ignore (Unix.write fd (Bytes.make 2 '\000') 0 2);
+                Unix.sleepf 30.
+              with _ -> ());
+             Unix._exit 0
+           | pid -> stray_pid := Some pid
+         end);
+        fork_spawn ~tasks_dir:(Coordinator.tasks_dir config)
+          ~run_task:(fun task ->
+            (* keep the campaign alive well past the stall timeout *)
+            Unix.sleepf 0.3;
+            print_task task)
+          () ~slot ~socket
+      in
+      let summary = Coordinator.run ~spawn config [ "a"; "b"; "c" ] in
+      (match !stray_pid with
+      | Some pid -> (
+        (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+        try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ())
+      | None -> ());
+      check int "campaign unaffected" 0 (Coordinator.exit_code summary);
+      check bool "stalled stray dropped and counted" true
+        (summary.Coordinator.stalled_drops >= 1);
+      check bool "no worker death misattributed" true
+        (summary.Coordinator.worker_deaths = 0))
+
 (* A trusted done record whose output file was deleted out from under
    the journal must re-run, not silently count as cached. *)
 let test_coordinator_replay_missing_output_reruns () =
@@ -686,6 +736,8 @@ let () =
             test_coordinator_chaos_byte_identity;
           Alcotest.test_case "zombie's late result fenced" `Quick
             test_coordinator_zombie_is_fenced;
+          Alcotest.test_case "stalled stray connection dropped" `Quick
+            test_coordinator_stalled_stray_dropped;
           Alcotest.test_case "journal replay fences reclaimed lease" `Quick
             test_coordinator_replay_fencing;
           Alcotest.test_case "missing output re-runs despite journal" `Quick

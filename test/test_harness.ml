@@ -433,6 +433,10 @@ let test_campaign_done_and_cached () =
       let manifest = read_file (Campaign.manifest_path (quick_config ~dir)) in
       check bool "manifest says resumed: false" true
         (contains ~sub:"\"resumed\": false" manifest);
+      (* provenance rides along: argv is always recorded, as a list *)
+      (match Obs.Json.member "argv" (Obs.Json.parse_exn manifest) with
+      | Some (Obs.Json.List (Obs.Json.String _ :: _)) -> ()
+      | _ -> Alcotest.fail "manifest missing argv provenance");
       (* Second run with --resume: everything journaled-done is
          skipped, nothing re-executes. *)
       let s2 =

@@ -223,6 +223,54 @@ let test_plot_log_skips_nonpositive () =
   check bool "no plottable points message" true
     (String.length s > 0 && String.contains s '(')
 
+(* --- Env.parse_duration --- *)
+
+let test_parse_duration_units () =
+  let ok s = match Env.parse_duration s with Ok v -> v | Error e -> failwith e in
+  check flt "bare seconds" 10. (ok "10");
+  check flt "fractional" 0.25 (ok "0.25");
+  check flt "seconds suffix" 10. (ok "10s");
+  check flt "milliseconds" 0.5 (ok "500ms");
+  check flt "minutes" 300. (ok "5m");
+  check flt "hours" 3600. (ok "1h");
+  check flt "case/space" 1.5 (ok " 1500MS ")
+
+let test_parse_duration_invalid () =
+  let err s =
+    match Env.parse_duration s with Ok _ -> false | Error _ -> true
+  in
+  check bool "empty" true (err "");
+  check bool "junk" true (err "soon");
+  check bool "bad number" true (err "1.2.3s");
+  check bool "zero" true (err "0s");
+  check bool "negative" true (err "-5s");
+  check bool "infinite" true (err "inf");
+  check bool "unit alone" true (err "ms")
+
+(* --- Stream (Welford) --- *)
+
+let test_stream_moments () =
+  let s = Stream.create () in
+  check bool "empty mean is nan" true (Float.is_nan (Stream.mean s));
+  check bool "empty min is nan" true (Float.is_nan (Stream.min s));
+  List.iter (Stream.add s) [ 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. ];
+  check int "count" 8 (Stream.count s);
+  check flt "mean" 5. (Stream.mean s);
+  (* reference: unbiased sample variance of the same list *)
+  check flt "variance" (32. /. 7.) (Stream.variance s);
+  check flt "min" 2. (Stream.min s);
+  check flt "max" 9. (Stream.max s)
+
+let test_stream_matches_descriptive () =
+  let rng = Rng.create 7 in
+  let xs = Array.init 500 (fun _ -> Rng.float rng *. 100.) in
+  let s = Stream.create () in
+  Array.iter (Stream.add s) xs;
+  let close a b = Float.abs (a -. b) < 1e-6 *. Float.max 1. (Float.abs b) in
+  check bool "mean matches" true (close (Stream.mean s) (Descriptive.mean xs));
+  check bool "stddev matches" true
+    (close (Stream.stddev s) (Descriptive.stddev xs))
+
 let () =
   Alcotest.run "util"
     [
@@ -261,5 +309,16 @@ let () =
         [
           Alcotest.test_case "renders" `Quick test_plot_renders;
           Alcotest.test_case "log skips nonpositive" `Quick test_plot_log_skips_nonpositive;
+        ] );
+      ( "env.parse_duration",
+        [
+          Alcotest.test_case "units" `Quick test_parse_duration_units;
+          Alcotest.test_case "invalid" `Quick test_parse_duration_invalid;
+        ] );
+      ( "stream",
+        [
+          Alcotest.test_case "moments" `Quick test_stream_moments;
+          Alcotest.test_case "matches descriptive" `Quick
+            test_stream_matches_descriptive;
         ] );
     ]
