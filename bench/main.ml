@@ -329,6 +329,139 @@ let run_coordinator_overhead () =
         wall /. float_of_int ntasks *. 1e9 ))
     [ 1; 2; 4 ]
 
+(* --- Adaptive sequential stopping --- *)
+
+(* Replicate savings of the adaptive engine at equal CI width, on the
+   two workloads the acceptance gate names:
+
+   - E1 (clique-256): the fixed sweep at the full budget sets the
+     reference half-width; the adaptive sweep with the clique
+     control variate must reach that SAME width on a prefix.  The
+     Rao-Blackwell control is exact on the clique, so the savings
+     factor here is budget/min_reps — the engine's best case — and
+     the control's variance-reduction factor is recorded.
+   - E5 (absolute-120, the Theta(n^2) dynamic family): no closed form
+     exists, so no control; the adaptive sweep targets the practical
+     relative width (default 12%) and is compared against the fixed
+     conservative budget that a non-adaptive run would spend.
+
+   RUMOR_BENCH_ADAPTIVE_MIN_SAVINGS=2 turns the printed E1 savings
+   factor into a gate (exit 1 below it); RUMOR_BENCH_ADAPTIVE_REL
+   overrides the E5 relative width; RUMOR_BENCH_SKIP_ADAPTIVE=1 skips
+   the section. *)
+let run_adaptive_bench () =
+  print_endline "\n=== Adaptive sequential stopping (equal CI width) ===";
+  let open Rumor_core in
+  let seed = bench_seed () in
+  let level = 0.95 in
+  (* E1: clique-256, control-variate adaptive vs fixed budget. *)
+  let budget = Env.int ~default:256 "RUMOR_BENCH_ADAPTIVE_REPS" in
+  let net = Rumor.Dynet.of_static (Rumor.Gen.clique 256) in
+  let t0 = Obs.Clock.now_s () in
+  let fixed =
+    Rumor.Run.async_spread_sweep ~reps:budget (Rumor.Rng.create seed) net
+  in
+  let fixed_wall = Obs.Clock.now_s () -. t0 in
+  let times = Rumor.Run.usable_times fixed in
+  let s = Rumor.Stream.create () in
+  Array.iter (Rumor.Stream.add s) times;
+  let fixed_hw =
+    Rumor.Adaptive.half_width ~level ~count:(Rumor.Stream.count s)
+      ~sd:(Rumor.Stream.stddev s)
+  in
+  let config =
+    Rumor.Adaptive.config ~level ~min_reps:16 ~max_reps:budget ~chunk:16
+      (Rumor.Adaptive.Abs fixed_hw)
+  in
+  let t0 = Obs.Clock.now_s () in
+  let a =
+    Rumor.Run.async_spread_sweep_adaptive ~control:(Rumor.Gen.clique 256)
+      ~config (Rumor.Rng.create seed) net
+  in
+  let adaptive_wall = Obs.Clock.now_s () -. t0 in
+  if a.Rumor.Run.half_width > fixed_hw then begin
+    prerr_endline "FATAL: adaptive E1 run stopped wider than the fixed CI";
+    exit 1
+  end;
+  let savings = float_of_int budget /. float_of_int a.Rumor.Run.consumed in
+  let vr =
+    match a.Rumor.Run.control with
+    | Some cv -> cv.Rumor.Adaptive.variance_ratio
+    | None -> 1.
+  in
+  Printf.printf
+    "adaptive e1-clique-256: fixed %d reps (hw %.4f, %.3fs) vs adaptive %d \
+     reps (hw %.4f, %.3fs)  (%.1fx fewer replicates, control vr %s)\n"
+    budget fixed_hw fixed_wall a.Rumor.Run.consumed a.Rumor.Run.half_width
+    adaptive_wall savings
+    (if Float.is_finite vr then Printf.sprintf "%.1fx" vr else "inf");
+  (match Env.string "RUMOR_BENCH_ADAPTIVE_MIN_SAVINGS" with
+  | Some g -> (
+    match float_of_string_opt g with
+    | Some gate when savings < gate ->
+      Printf.eprintf "FATAL: adaptive savings %.2fx below gate %.2fx\n"
+        savings gate;
+      exit 1
+    | _ -> ())
+  | None -> ());
+  (* E5: absolute-diligent dynamic family at n = 120 — no closed form,
+     no control; relative-width stopping vs the conservative fixed
+     budget. *)
+  let e5_budget = Env.int ~default:64 "RUMOR_BENCH_ADAPTIVE_E5_REPS" in
+  let rel =
+    match Env.string "RUMOR_BENCH_ADAPTIVE_REL" with
+    | Some r -> float_of_string r
+    | None -> 0.12
+  in
+  let n5 = 120 in
+  let dyn = Rumor.Absolute.network ~n:n5 ~rho:(10. /. float_of_int n5) in
+  let t0 = Obs.Clock.now_s () in
+  let f5 =
+    Rumor.Run.async_spread_sweep ~horizon:1e7 ~reps:e5_budget
+      (Rumor.Rng.create (seed + 5))
+      dyn
+  in
+  let f5_wall = Obs.Clock.now_s () -. t0 in
+  let config5 =
+    Rumor.Adaptive.config ~level ~min_reps:8 ~max_reps:e5_budget ~chunk:8
+      (Rumor.Adaptive.Rel rel)
+  in
+  let t0 = Obs.Clock.now_s () in
+  let a5 =
+    Rumor.Run.async_spread_sweep_adaptive ~horizon:1e7 ~config:config5
+      (Rumor.Rng.create (seed + 5))
+      dyn
+  in
+  let a5_wall = Obs.Clock.now_s () -. t0 in
+  (* The adaptive prefix must be the fixed sweep's prefix — same seed,
+     same replicates: the bench doubles as an end-to-end check. *)
+  if
+    a5.Rumor.Run.sweep.Rumor.Run.outcomes
+    <> Array.sub f5.Rumor.Run.outcomes 0 a5.Rumor.Run.consumed
+  then begin
+    prerr_endline "FATAL: adaptive E5 prefix diverges from the fixed sweep";
+    exit 1
+  end;
+  let savings5 =
+    float_of_int e5_budget /. float_of_int a5.Rumor.Run.consumed
+  in
+  Printf.printf
+    "adaptive e5-absolute-120: fixed %d reps (%.3fs) vs adaptive %d reps \
+     (%.3fs) at %.0f%% relative width  (%.1fx fewer replicates, %s)\n"
+    e5_budget f5_wall a5.Rumor.Run.consumed a5_wall (rel *. 100.) savings5
+    (match a5.Rumor.Run.reason with
+    | Rumor.Adaptive.Converged -> "converged"
+    | Rumor.Adaptive.Budget -> "budget");
+  [
+    ("stats/adaptive-e1-fixed", fixed_wall *. 1e9);
+    ("stats/adaptive-e1", adaptive_wall *. 1e9);
+    ("stats/adaptive-e1-savings-x", savings);
+    ("stats/adaptive-e1-vr-x", Float.min vr 1e6);
+    ("stats/adaptive-e5-fixed", f5_wall *. 1e9);
+    ("stats/adaptive-e5", a5_wall *. 1e9);
+    ("stats/adaptive-e5-savings-x", savings5);
+  ]
+
 (* Serve daemon: cold compute vs warm cache-hit latency for an
    E1-style query (clique, n=256).  The server runs in-process on an
    ephemeral port; the warm path is driven closed-loop by the load
@@ -471,6 +604,10 @@ let () =
   let rows =
     if env_flag "RUMOR_BENCH_SKIP_COORD" then rows
     else rows @ run_coordinator_overhead ()
+  in
+  let rows =
+    if env_flag "RUMOR_BENCH_SKIP_ADAPTIVE" then rows
+    else rows @ run_adaptive_bench ()
   in
   let rows =
     if env_flag "RUMOR_BENCH_SKIP_SERVE" then rows

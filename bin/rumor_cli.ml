@@ -111,6 +111,104 @@ let setup_jobs jobs =
 
 let jobs_term = Term.(const setup_jobs $ jobs_arg)
 
+(* --- adaptive sequential stopping --- *)
+
+type adaptive_flags = {
+  ad_on : bool;
+  ad_width : float;
+  ad_rel : bool;
+  ad_level : float;
+  ad_min_reps : int;
+  ad_chunk : int;
+  ad_control : bool;
+}
+
+let adaptive_flags_term =
+  let adaptive =
+    Arg.(
+      value & flag
+      & info [ "adaptive" ]
+          ~doc:
+            "Sequential stopping: run replicates in chunks and stop as soon \
+             as the CI half-width on the mean spread time reaches \
+             $(b,--ci-width) (or the replicate budget runs out).  The \
+             decided replicate prefix is bit-identical to a fixed-count \
+             run for any --jobs; fixed count remains the default and the \
+             byte-identity reference.")
+  in
+  let ci_width =
+    Arg.(
+      value & opt float 0.1
+      & info [ "ci-width" ] ~docv:"W"
+          ~doc:
+            "Target CI half-width: absolute, or relative to the running \
+             mean with $(b,--ci-rel).")
+  in
+  let ci_rel =
+    Arg.(
+      value & flag
+      & info [ "ci-rel" ]
+          ~doc:"Interpret --ci-width relative to the absolute running mean.")
+  in
+  let ci_level =
+    Arg.(
+      value & opt float 0.95
+      & info [ "ci-level" ] ~docv:"L"
+          ~doc:"Two-sided confidence level of the stopping CI.")
+  in
+  let min_reps =
+    Arg.(
+      value & opt int 16
+      & info [ "min-reps" ] ~docv:"R"
+          ~doc:"Never stop before this many replicates.")
+  in
+  let chunk =
+    Arg.(
+      value & opt int 16
+      & info [ "ci-chunk" ] ~docv:"K"
+          ~doc:"Replicates between stopping checks.")
+  in
+  let control =
+    Arg.(
+      value & flag
+      & info [ "control" ]
+          ~doc:
+            "Control variates: shrink the CI (and the stopping point) with \
+             the closed-form Rao-Blackwell residual of the family's static \
+             graph.  Static families only; ignored for dynamic families.")
+  in
+  Term.(
+    const (fun ad_on ad_width ad_rel ad_level ad_min_reps ad_chunk ad_control ->
+        { ad_on; ad_width; ad_rel; ad_level; ad_min_reps; ad_chunk; ad_control })
+    $ adaptive $ ci_width $ ci_rel $ ci_level $ min_reps $ chunk $ control)
+
+let adaptive_config_of flags ~max_reps =
+  if not flags.ad_on then None
+  else
+    Some
+      (Adaptive.config ~level:flags.ad_level
+         ~min_reps:(min flags.ad_min_reps max_reps)
+         ~max_reps ~chunk:flags.ad_chunk
+         (if flags.ad_rel then Adaptive.Rel flags.ad_width
+          else Adaptive.Abs flags.ad_width))
+
+let adaptive_manifest_extra (a : Run.adaptive) =
+  [
+    ("adaptive_consumed", Obs.Json.Int a.Run.consumed);
+    ("adaptive_budget", Obs.Json.Int a.Run.max_reps);
+    ("adaptive_half_width", Obs.Json.Float a.Run.half_width);
+    ( "adaptive_reason",
+      Obs.Json.String
+        (match a.Run.reason with
+        | Adaptive.Converged -> "converged"
+        | Adaptive.Budget -> "budget") );
+  ]
+  @
+  match a.Run.control with
+  | Some c ->
+    [ ("adaptive_variance_ratio", Obs.Json.Float c.Adaptive.variance_ratio) ]
+  | None -> []
+
 (* Manifest fields recording the pool shape of the run just finished:
    resolved job count plus per-domain busy wall time. *)
 let pool_manifest_extra () =
@@ -222,11 +320,12 @@ let describe_cmd =
 
 (* --- simulate --- *)
 
-let simulate () () params algorithm engine reps horizon source =
+let simulate () () params adaptive algorithm engine reps horizon source =
   let net = build_network params in
   let rng = Rng.create params.seed in
   let source = match source with -1 -> None | s -> Some s in
   let t0 = Obs.Clock.now_s () in
+  let adaptive_run = ref None in
   let mc =
     match algorithm with
     | "async" ->
@@ -238,7 +337,19 @@ let simulate () () params algorithm engine reps horizon source =
         | "pull" -> (Rumor_sim.Run.Cut, Protocol.Pull)
         | other -> failwith (Printf.sprintf "unknown engine %S" other)
       in
-      Run.async_spread_times ~reps ~horizon ~engine ~protocol ?source rng net
+      (match adaptive_config_of adaptive ~max_reps:reps with
+      | Some config ->
+        let control =
+          if adaptive.ad_control then Family.static_graph params else None
+        in
+        let a =
+          Run.async_spread_sweep_adaptive ~horizon ~engine ~protocol ?source
+            ?control ~config rng net
+        in
+        adaptive_run := Some a;
+        Run.mc_of_sweep a.Run.sweep
+      | None ->
+        Run.async_spread_times ~reps ~horizon ~engine ~protocol ?source rng net)
     | "sync" ->
       Run.sync_spread_rounds ~reps ~max_rounds:(int_of_float horizon) ?source rng net
     | "flood" ->
@@ -250,12 +361,30 @@ let simulate () () params algorithm engine reps horizon source =
     mc.Run.completed mc.Run.reps;
   Printf.printf "spread time: %s\n"
     (Format.asprintf "%a" Summary.pp (Summary.of_samples mc.Run.times));
+  (match !adaptive_run with
+  | Some a ->
+    Printf.printf
+      "adaptive: %s after %d/%d reps (mean %.4f ± %.4f at %.0f%%%s)\n"
+      (match a.Run.reason with
+      | Adaptive.Converged -> "converged"
+      | Adaptive.Budget -> "budget exhausted")
+      a.Run.consumed a.Run.max_reps a.Run.mean a.Run.half_width
+      (100. *. a.Run.level)
+      (match a.Run.control with
+      | Some c ->
+        Printf.sprintf ", control variate %.1fx" c.Adaptive.variance_ratio
+      | None -> "")
+  | None -> ());
   write_manifest ~kind:"simulate"
     ~id:(Printf.sprintf "simulate-%s-%s" algorithm net.Dynet.name)
     ~engine:(if algorithm = "async" then engine else algorithm)
     ~n:net.Dynet.n ~reps ~network:net.Dynet.name
     ~extra:
-      (("completed", Obs.Json.Int mc.Run.completed) :: pool_manifest_extra ())
+      (("completed", Obs.Json.Int mc.Run.completed)
+      :: ((match !adaptive_run with
+          | Some a -> adaptive_manifest_extra a
+          | None -> [])
+         @ pool_manifest_extra ()))
     params wall_s
 
 let simulate_cmd =
@@ -286,8 +415,8 @@ let simulate_cmd =
   Cmd.v
     (Cmd.info "simulate" ~doc:"Run a rumor-spreading algorithm, Monte-Carlo style.")
     Term.(
-      const simulate $ obs_term $ jobs_term $ params_term $ algorithm $ engine
-      $ reps $ horizon $ source)
+      const simulate $ obs_term $ jobs_term $ params_term $ adaptive_flags_term
+      $ algorithm $ engine $ reps $ horizon $ source)
 
 (* --- bound --- *)
 
@@ -339,7 +468,7 @@ let bound_cmd =
 
 (* --- sweep --- *)
 
-let sweep () () params sizes reps algorithm csv_path =
+let sweep () () params adaptive sizes reps algorithm csv_path =
   let sizes =
     List.map
       (fun s ->
@@ -349,6 +478,7 @@ let sweep () () params sizes reps algorithm csv_path =
       (String.split_on_char ',' sizes)
   in
   let rows = ref [] in
+  let consumed_total = ref 0 in
   let t0 = Obs.Clock.now_s () in
   let table =
     Table.create
@@ -357,11 +487,24 @@ let sweep () () params sizes reps algorithm csv_path =
   in
   List.iter
     (fun n ->
-      let net = build_network { params with n } in
+      let size_params = { params with n } in
+      let net = build_network size_params in
       let rng = Rng.create params.seed in
       let mc =
         match algorithm with
-        | "async" -> Run.async_spread_times ~reps rng net
+        | "async" -> (
+          match adaptive_config_of adaptive ~max_reps:reps with
+          | Some config ->
+            let control =
+              if adaptive.ad_control then Family.static_graph size_params
+              else None
+            in
+            let a =
+              Run.async_spread_sweep_adaptive ?control ~config rng net
+            in
+            consumed_total := !consumed_total + a.Run.consumed;
+            Run.mc_of_sweep a.Run.sweep
+          | None -> Run.async_spread_times ~reps rng net)
         | "sync" -> Run.sync_spread_rounds ~reps rng net
         | "flood" -> Run.flooding_rounds ~reps rng net
         | other -> failwith (Printf.sprintf "unknown algorithm %S" other)
@@ -383,6 +526,11 @@ let sweep () () params sizes reps algorithm csv_path =
   Table.print
     ~title:(Printf.sprintf "%s spread-time sweep over %s" algorithm params.family)
     table;
+  if adaptive.ad_on && algorithm = "async" then
+    Printf.printf "adaptive: %d/%d replicates consumed across %d sizes\n"
+      !consumed_total
+      (reps * List.length sizes)
+      (List.length sizes);
   (* Growth-shape fit over the medians. *)
   (match sizes with
   | _ :: _ :: _ ->
@@ -415,7 +563,10 @@ let sweep () () params sizes reps algorithm csv_path =
     ~engine:algorithm ~reps ~network:params.family
     ~extra:
       (("sizes", Obs.Json.List (List.map (fun n -> Obs.Json.Int n) sizes))
-      :: pool_manifest_extra ())
+      :: ((if adaptive.ad_on && algorithm = "async" then
+             [ ("adaptive_consumed", Obs.Json.Int !consumed_total) ]
+           else [])
+         @ pool_manifest_extra ()))
     params
     (Obs.Clock.now_s () -. t0)
 
@@ -443,8 +594,8 @@ let sweep_cmd =
   Cmd.v
     (Cmd.info "sweep" ~doc:"Sweep the node count and fit the growth exponent.")
     Term.(
-      const sweep $ obs_term $ jobs_term $ params_term $ sizes $ reps
-      $ algorithm $ csv)
+      const sweep $ obs_term $ jobs_term $ params_term $ adaptive_flags_term
+      $ sizes $ reps $ algorithm $ csv)
 
 (* --- trace --- *)
 
@@ -720,7 +871,28 @@ let faults_cmd =
 
 (* --- experiment --- *)
 
-let experiment () () id full seed =
+(* Campaign-wide adaptive opt-in: installs the process default that
+   [Workloads.measure_async] consults, so replicate loops buried in
+   experiment code stop sequentially without any per-experiment
+   plumbing.  Each experiment's own replicate count stays the budget. *)
+let adaptive_rel_width_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "adaptive-rel-width" ] ~docv:"R"
+        ~doc:
+          "Adaptive opt-in for experiment replicate loops: stop each \
+           Monte-Carlo measurement once the CI half-width on its mean \
+           spread time reaches $(docv) times the running mean (each \
+           experiment's replicate count remains the budget; decided \
+           prefixes stay bit-identical to fixed-count runs).")
+
+let setup_default_adaptive = function
+  | Some r -> Run.set_default_adaptive (Some (Adaptive.config (Adaptive.Rel r)))
+  | None -> ()
+
+let experiment () () adaptive_rel id full seed =
+  setup_default_adaptive adaptive_rel;
   match String.lowercase_ascii id with
   | "all" -> Rumor_experiments.Registry.run_all ~full ~seed ()
   | id -> (
@@ -746,7 +918,9 @@ let experiment_cmd =
   let seed = seed_arg in
   Cmd.v
     (Cmd.info "experiment" ~doc:"Run a registered paper-validation experiment.")
-    Term.(const experiment $ obs_term $ jobs_term $ id $ full $ seed)
+    Term.(
+      const experiment $ obs_term $ jobs_term $ adaptive_rel_width_arg $ id
+      $ full $ seed)
 
 (* --- campaign --- *)
 
@@ -768,7 +942,8 @@ let print_outcomes outcomes =
    captured per-task outputs land in <dir>/tasks/<id>.out and are
    byte-identical to a --workers 1 run whatever dies in between. *)
 let campaign_multiproc ~ids ~dir ~resume ~retries ~fail_budget ~full ~seed
-    ~workers ~min_workers ~batch ~heartbeat_timeout ~chaos task_ids =
+    ~workers ~min_workers ~batch ~heartbeat_timeout ~chaos ~adaptive_rel
+    task_ids =
   Campaign.install_signal_handlers ();
   let config =
     {
@@ -791,6 +966,9 @@ let campaign_multiproc ~ids ~dir ~resume ~retries ~fail_budget ~full ~seed
         string_of_int seed;
       ]
       @ (if full then [ "--full" ] else [])
+      @ (match adaptive_rel with
+        | Some r -> [ "--adaptive-rel-width"; string_of_float r ]
+        | None -> [])
     in
     Unix.create_process Sys.executable_name (Array.of_list args) Unix.stdin
       Unix.stdout Unix.stderr
@@ -844,7 +1022,8 @@ let campaign_multiproc ~ids ~dir ~resume ~retries ~fail_budget ~full ~seed
   exit (Coordinator.exit_code summary)
 
 let campaign () () ids dir resume deadline retries backoff fail_budget full
-    seed workers min_workers batch heartbeat_timeout chaos =
+    seed workers min_workers batch heartbeat_timeout chaos adaptive_rel =
+  setup_default_adaptive adaptive_rel;
   let experiments =
     match String.lowercase_ascii (String.trim ids) with
     | "all" -> Rumor_experiments.Registry.all
@@ -862,7 +1041,7 @@ let campaign () () ids dir resume deadline retries backoff fail_budget full
   in
   if workers > 0 then
     campaign_multiproc ~ids ~dir ~resume ~retries ~fail_budget ~full ~seed
-      ~workers ~min_workers ~batch ~heartbeat_timeout ~chaos
+      ~workers ~min_workers ~batch ~heartbeat_timeout ~chaos ~adaptive_rel
       (List.map (fun e -> e.Rumor_experiments.Experiment.id) experiments)
   else begin
     let tasks =
@@ -1026,11 +1205,13 @@ let campaign_cmd =
     Term.(
       const campaign $ obs_term $ jobs_term $ ids $ dir $ resume $ deadline
       $ retries $ backoff $ fail_budget $ full $ seed_arg $ workers
-      $ min_workers $ batch $ heartbeat_timeout $ chaos)
+      $ min_workers $ batch $ heartbeat_timeout $ chaos
+      $ adaptive_rel_width_arg)
 
 (* --- worker (hidden): the process forked by campaign --workers --- *)
 
-let worker_main () () socket id tasks_dir seed full =
+let worker_main () () socket id tasks_dir seed full adaptive_rel =
+  setup_default_adaptive adaptive_rel;
   (* The coordinator owns shutdown: a terminal SIGINT must not tear the
      worker out from under an active lease (the Stop frame or a
      reclaimed lease handles every orderly path). *)
@@ -1075,7 +1256,7 @@ let worker_cmd =
           serves leased task batches.  Not intended for direct use.")
     Term.(
       const worker_main $ obs_term $ jobs_term $ socket $ id $ tasks_dir
-      $ seed_arg $ full)
+      $ seed_arg $ full $ adaptive_rel_width_arg)
 
 (* --- obs --- *)
 

@@ -29,6 +29,7 @@ module Bootstrap = Rumor_stats.Bootstrap
 module Summary = Rumor_stats.Summary
 module Ks = Rumor_stats.Ks
 module Stream = Rumor_stats.Stream
+module Adaptive = Rumor_stats.Adaptive
 
 (* Graphs *)
 module Graph = Rumor_graph.Graph
@@ -94,6 +95,7 @@ module Run = Rumor_sim.Run
 module Bounds = Rumor_bounds.Bounds
 module Giakkoupis = Rumor_bounds.Giakkoupis
 module Static_bounds = Rumor_bounds.Static_bounds
+module Limit_laws = Rumor_bounds.Limit_laws
 
 (* Observability: Obs.Metrics, Obs.Span, Obs.Sink, Obs.Run_manifest,
    Obs.Bench_report, Obs.Json, Obs.Clock.  (Not flattened into this

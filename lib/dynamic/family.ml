@@ -22,33 +22,51 @@ let known =
 
 let is_known family = List.mem (String.lowercase_ascii family) known
 
-let build params =
-  let { family; n; rho; degree; p; q; seed } = params in
+let log2_floor n =
+  let rec go x acc = if x <= 1 then acc else go (x / 2) (acc + 1) in
+  go n 0
+
+(* The static families' graph construction, shared verbatim by [build]
+   and [static_graph] so the control-variate anchor is guaranteed to
+   be the very graph the network simulates (randomized constructions
+   included: both paths draw from a fresh [Rng.create seed]). *)
+let static_graph params =
+  let { family; n; degree; p; seed; _ } = params in
   let rng = Rng.create seed in
   match String.lowercase_ascii family with
-  | "clique" -> Dynet.of_static ~name:"clique" ~rho:1.0 (Gen.clique n)
+  | "clique" -> Some (Gen.clique n)
+  | "star" -> Some (Gen.star n)
+  | "cycle" -> Some (Gen.cycle n)
+  | "path" -> Some (Gen.path n)
+  | "hypercube" -> Some (Gen.hypercube (log2_floor n))
+  | "regular" -> Some (Gen.random_connected_regular rng n degree)
+  | "er" -> Some (Gen.erdos_renyi rng n p)
+  | _ -> None
+
+let build params =
+  let { family; n; rho; degree; p; q; seed = _; _ } = params in
+  let static () = Option.get (static_graph params) in
+  match String.lowercase_ascii family with
+  | "clique" -> Dynet.of_static ~name:"clique" ~rho:1.0 (static ())
   | "star" ->
-    Dynet.of_static ~name:"star" ~phi:1.0 ~rho:1.0 ~rho_abs:1.0 (Gen.star n)
+    Dynet.of_static ~name:"star" ~phi:1.0 ~rho:1.0 ~rho_abs:1.0 (static ())
   | "cycle" ->
     Dynet.of_static ~name:"cycle"
       ~phi:(2. /. float_of_int n)
-      ~rho:1.0 ~rho_abs:0.5 (Gen.cycle n)
-  | "path" -> Dynet.of_static ~name:"path" (Gen.path n)
+      ~rho:1.0 ~rho_abs:0.5 (static ())
+  | "path" -> Dynet.of_static ~name:"path" (static ())
   | "hypercube" ->
-    let d =
-      let rec log2 x acc = if x <= 1 then acc else log2 (x / 2) (acc + 1) in
-      log2 n 0
-    in
+    let d = log2_floor n in
     Dynet.of_static ~name:"hypercube"
       ~phi:(1. /. float_of_int d)
       ~rho:1.0
       ~rho_abs:(1. /. float_of_int d)
-      (Gen.hypercube d)
+      (static ())
   | "regular" ->
     Dynet.of_static ~name:"random-regular" ~rho:1.0
       ~rho_abs:(1. /. float_of_int degree)
-      (Gen.random_connected_regular rng n degree)
-  | "er" -> Dynet.of_static ~name:"erdos-renyi" (Gen.erdos_renyi rng n p)
+      (static ())
+  | "er" -> Dynet.of_static ~name:"erdos-renyi" (static ())
   | "g1" -> Dichotomy.g1 ~n
   | "g2" -> Dichotomy.g2 ~n
   | "diligent" -> Diligent.network ~n ~rho ()

@@ -29,3 +29,13 @@ val is_known : string -> bool
 
 val build : params -> Dynet.t
 (** @raise Failure on an unknown family name. *)
+
+val static_graph : params -> Rumor_graph.Graph.t option
+(** The exact graph a {e static} family simulates ([clique], [star],
+    [cycle], [path], [hypercube], [regular], [er] — randomized ones
+    regenerate from [Rng.create seed], so this is bit-identical to
+    what {!build} wraps); [None] for the dynamic families.  This is
+    the control-variate anchor for the adaptive runner
+    ({!Rumor_sim.Run.async_spread_sweep_adaptive}'s [?control]): a
+    closed-form Rao–Blackwell replay is only sound against the very
+    graph the replicates ran on. *)

@@ -3,6 +3,7 @@ open Rumor_stats
 open Rumor_graph
 open Rumor_dynamic
 module Run = Rumor_sim.Run
+module Adaptive = Rumor_stats.Adaptive
 
 type measured = {
   summary : Summary.t;
@@ -11,12 +12,36 @@ type measured = {
 }
 
 let measure_async ?reps ?horizon ?engine ?source rng net =
-  let mc = Run.async_spread_times ?reps ?horizon ?engine ?source rng net in
-  {
-    summary = Summary.of_samples mc.Run.times;
-    completed = mc.Run.completed;
-    reps = mc.Run.reps;
-  }
+  match Run.default_adaptive () with
+  | Some config ->
+    (* Campaign-wide adaptive opt-in (see [Run.set_default_adaptive]):
+       the experiment's requested replicate count becomes the budget —
+       sequential stopping may only save replicates relative to the
+       fixed path, never exceed it. *)
+    let config =
+      match reps with
+      | Some r when r >= 1 ->
+        {
+          config with
+          Adaptive.max_reps = r;
+          min_reps = min config.Adaptive.min_reps r;
+        }
+      | _ -> config
+    in
+    let a = Run.async_spread_sweep_adaptive ?horizon ?engine ?source ~config rng net in
+    let mc = Run.mc_of_sweep a.Run.sweep in
+    {
+      summary = Summary.of_samples mc.Run.times;
+      completed = mc.Run.completed;
+      reps = a.Run.consumed;
+    }
+  | None ->
+    let mc = Run.async_spread_times ?reps ?horizon ?engine ?source rng net in
+    {
+      summary = Summary.of_samples mc.Run.times;
+      completed = mc.Run.completed;
+      reps = mc.Run.reps;
+    }
 
 let measure_sync ?reps ?max_rounds ?source rng net =
   let mc = Run.sync_spread_rounds ?reps ?max_rounds ?source rng net in

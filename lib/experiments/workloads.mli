@@ -14,6 +14,11 @@ type measured = {
 val measure_async :
   ?reps:int -> ?horizon:float -> ?engine:Rumor_sim.Run.engine -> ?source:int ->
   Rng.t -> Dynet.t -> measured
+(** When a process-wide adaptive config is installed
+    ({!Rumor_sim.Run.set_default_adaptive}), the measurement runs the
+    sequentially stopped sweep with [reps] as its replicate budget and
+    reports the consumed prefix; otherwise (the default) the classic
+    fixed-count sampler, byte-identical to before. *)
 
 val measure_sync :
   ?reps:int -> ?max_rounds:int -> ?source:int -> Rng.t -> Dynet.t -> measured

@@ -29,6 +29,11 @@ type t = {
   part_until : int;
   part_frac : float;
   points : float list;
+  ci_width : float option;
+      (* adaptive stopping target (absolute CI half-width); [None] =
+         fixed count.  Rendered only when present so pre-adaptive
+         queries keep their fingerprints. *)
+  ci_level : float;
 }
 
 let default_points = [ 0.5; 0.9; 0.99 ]
@@ -57,6 +62,8 @@ let default ~family ~n =
     part_until = 0;
     part_frac = 0.5;
     points = default_points;
+    ci_width = None;
+    ci_level = 0.95;
   }
 
 (* --- validation -------------------------------------------------- *)
@@ -101,6 +108,16 @@ let validate q =
     match q.max_events with
     | Some m when m < 1 -> Error "max_events must be >= 1"
     | _ -> Ok ()
+  in
+  let* _ =
+    match q.ci_width with
+    | Some w when not (Float.is_finite w && w > 0.) ->
+      Error "ci_width must be positive and finite"
+    | _ -> Ok ()
+  in
+  let* _ =
+    if q.ci_level > 0. && q.ci_level < 1. then Ok ()
+    else Error "ci_level must lie in (0, 1)"
   in
   let* _ =
     if q.points = [] then Error "points must be non-empty"
@@ -161,7 +178,14 @@ let to_json q =
         ("part_until", Json.Int q.part_until);
         ("part_frac", Json.Float q.part_frac);
         ("points", Json.List (List.map (fun x -> Json.Float x) q.points));
-      ])
+      ]
+    (* Adaptive fields render only when requested: the canonical form
+       (hence fingerprint) of every pre-adaptive query is unchanged. *)
+    @
+    match q.ci_width with
+    | Some w ->
+      [ ("ci_width", Json.Float w); ("ci_level", Json.Float q.ci_level) ]
+    | None -> [])
 
 let of_json j =
   match Json.obj_opt j with
@@ -233,6 +257,8 @@ let of_json j =
         part_until = opt int "part_until" d.part_until;
         part_frac = opt flt "part_frac" d.part_frac;
         points;
+        ci_width = flt "ci_width";
+        ci_level = opt flt "ci_level" d.ci_level;
       }
 
 (* --- fingerprint ------------------------------------------------- *)

@@ -40,6 +40,14 @@ type t = {
   part_until : int;
   part_frac : float;
   points : float list;  (** quantile points, each in [[0,1]] *)
+  ci_width : float option;
+      (** adaptive stopping: stop the server's chunked compute once the
+          CI half-width on the mean spread time reaches this absolute
+          target ([reps] stays the budget).  [None] (the default) is
+          the fixed-count path.  Rendered into the canonical form only
+          when present, so every pre-adaptive query keeps its
+          fingerprint — old stores stay warm. *)
+  ci_level : float;  (** confidence level of the stopping CI (0.95) *)
 }
 
 val default_points : float list

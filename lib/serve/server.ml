@@ -5,6 +5,8 @@ module Proto = Rumor_harness.Proto
 module Wal = Rumor_harness.Wal
 module Provenance = Rumor_harness.Provenance
 module Run = Rumor_sim.Run
+module Adaptive = Rumor_stats.Adaptive
+module Stream = Rumor_stats.Stream
 
 type config = {
   dir : string;
@@ -224,7 +226,33 @@ let checkpoint_path t fp =
 (* Chunked execution: [reps = k] then [k + chunk] then ... resuming the
    same checkpoint each round.  By the sweep's resume + prefix
    guarantees the concatenation is bit-identical to one offline
-   [Run.async_spread_sweep] call at the full replicate count. *)
+   [Run.async_spread_sweep] call at the full replicate count.
+
+   When the query carries [ci_width = Some w] the chunk boundary doubles
+   as an adaptive stopping decision: once the CI half-width on the mean
+   spread time over the prefix reaches [w] (at [ci_level]), the loop
+   stops early and the store entry records the actually consumed
+   prefix.  Because the decision only ever truncates to a replicate
+   prefix, the served sample stays bit-identical to the same prefix of
+   the fixed-count run. *)
+let adaptive_stop (q : Query.t) ~consumed sweep =
+  match q.Query.ci_width with
+  | None -> false
+  | Some w ->
+    let config =
+      Adaptive.config ~level:q.Query.ci_level
+        ~min_reps:(min 16 q.Query.reps) ~max_reps:q.Query.reps
+        (Adaptive.Abs w)
+    in
+    let s = Stream.create () in
+    Array.iter (Stream.add s) (Run.usable_times sweep);
+    (match
+       Adaptive.decide config ~consumed ~used:(Stream.count s)
+         ~mean:(Stream.mean s) ~sd:(Stream.stddev s)
+     with
+     | Adaptive.Stop Adaptive.Converged -> true
+     | Adaptive.Stop Adaptive.Budget | Adaptive.Continue -> false)
+
 let compute t (job : job) =
   let q = job.j_query in
   let fp = job.j_fp in
@@ -234,7 +262,8 @@ let compute t (job : job) =
     let k = ref 0 in
     let last = ref None in
     let aborted = ref false in
-    while !k < q.reps && not !aborted do
+    let converged = ref false in
+    while !k < q.reps && not !aborted && not !converged do
       if Atomic.get t.stopping then aborted := true
       else begin
         if t.config.throttle_s > 0. then Unix.sleepf t.config.throttle_s;
@@ -244,7 +273,8 @@ let compute t (job : job) =
         in
         k := k';
         last := Some sweep;
-        if !k < q.reps then begin
+        if adaptive_stop q ~consumed:!k sweep then converged := true
+        else if !k < q.reps then begin
           let finished, _, _ = Run.sweep_counts sweep in
           post t
             (Partial
@@ -265,7 +295,7 @@ let compute t (job : job) =
         {
           Store.query = q;
           quantiles = Run.quantiles_of_sweep sweep q.points;
-          reps = q.reps;
+          reps = !k;
           finished;
           censored;
           failed;

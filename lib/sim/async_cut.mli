@@ -47,6 +47,15 @@ open Rumor_rng
 open Rumor_dynamic
 open Rumor_faults
 
+val pair_rate :
+  Protocol.t -> du:float -> dv:float -> ru:float -> rv:float -> float
+(** Directed informing rate carried by one cut pair: informed [u] of
+    degree [du] and clock multiplier [ru], uninformed [v] of degree
+    [dv] and multiplier [rv] — [ru/du + rv/dv] for push–pull, the
+    respective single term for push or pull.  Exposed so closed-form
+    consumers (the Rao–Blackwell control variate in {!Run}) share the
+    engine's exact rate convention instead of restating it. *)
+
 (** {1 One-shot driver} *)
 
 val run :

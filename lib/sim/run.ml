@@ -3,6 +3,8 @@ open Rumor_dynamic
 open Rumor_faults
 module Obs = Rumor_obs.Metrics
 module Pool = Rumor_par.Pool
+module Adaptive = Rumor_stats.Adaptive
+module Graph = Rumor_graph.Graph
 
 (* Telemetry (lib/obs): replicate accounting for the Monte-Carlo
    runners and a spread-time histogram over completed replicates.
@@ -16,6 +18,17 @@ let m_sweep_failed = Obs.counter "run.sweep.failed"
 let m_checkpoint_hits = Obs.counter "run.sweep.checkpoint_hits"
 let m_checkpoint_writes = Obs.counter "run.sweep.checkpoint_writes"
 let h_spread_time = Obs.histogram "run.spread_time"
+
+(* Adaptive (sequential-stopping) sweep accounting: replicates consumed
+   versus the fixed-count budget they replaced, split by why the sweep
+   stopped.  The variance-reduction gauge carries the last control-
+   variate ratio so the bench report can surface it. *)
+let m_adaptive_sweeps = Obs.counter "run.adaptive.sweeps"
+let m_adaptive_consumed = Obs.counter "run.adaptive.consumed"
+let m_adaptive_saved = Obs.counter "run.adaptive.saved"
+let m_adaptive_converged = Obs.counter "run.adaptive.converged"
+let m_adaptive_budget = Obs.counter "run.adaptive.budget"
+let g_adaptive_vr = Obs.gauge "run.adaptive.variance_ratio"
 
 (* Owned by the lib/harness supervision layer (hence the name), but
    incremented here because this is where every replicate's engine
@@ -136,6 +149,45 @@ let async_spread_times ?jobs ?(reps = 30) ?horizon ?(engine = Cut) ?protocol
 
 (* --- hardened sweep --- *)
 
+(* One hardened replicate, shared by the fixed-count and adaptive
+   sweeps so their per-replicate behaviour cannot drift apart: run the
+   engine on [child], classify the result as an outcome, and return
+   the raw result too (the adaptive path replays its [informed_times]
+   into a control variate). *)
+let replicate_outcome ?protocol ?rate ?faults ?horizon ?max_events ~engine
+    ~deadline_s ~source net child =
+  let stop = deadline_clock deadline_s in
+  match
+    match engine with
+    | Cut ->
+      Async_cut.run ?protocol ?rate ?faults ?horizon ?max_events ?stop child
+        net ~source
+    | Tick ->
+      Async_tick.run ?protocol ?rate ?faults ?horizon ?max_events ?stop child
+        net ~source
+  with
+  | result ->
+    let o =
+      if result.Async_result.complete then Finished result.Async_result.time
+      else begin
+        (match stop with
+        | Some expired when expired () -> Obs.incr m_deadline_censored
+        | _ -> ());
+        Censored result.Async_result.time
+      end
+    in
+    (o, Some result)
+  | exception e -> (Failed (Printexc.to_string e), None)
+
+let tally_outcome shard o =
+  Obs.Shard.incr shard m_sweep_replicates;
+  match o with
+  | Finished t ->
+    Obs.Shard.incr shard m_sweep_finished;
+    Obs.Shard.observe shard h_spread_time t
+  | Censored _ -> Obs.Shard.incr shard m_sweep_censored
+  | Failed _ -> Obs.Shard.incr shard m_sweep_failed
+
 let async_spread_sweep ?jobs ?(reps = 30) ?horizon ?(engine = Cut) ?protocol
     ?rate ?faults ?source ?max_events ?checkpoint ?deadline_s rng net =
   if reps < 1 then invalid_arg "Run: need at least one repetition";
@@ -179,35 +231,11 @@ let async_spread_sweep ?jobs ?(reps = 30) ?horizon ?(engine = Cut) ?protocol
   let one ~domain r =
     if Option.is_none outcomes.(r) then begin
       let shard = shards.(domain) in
-      let stop = deadline_clock deadline_s in
-      let o =
-        match
-          match engine with
-          | Cut ->
-            Async_cut.run ?protocol ?rate ?faults ?horizon ?max_events ?stop
-              children.(r) net ~source
-          | Tick ->
-            Async_tick.run ?protocol ?rate ?faults ?horizon ?max_events ?stop
-              children.(r) net ~source
-        with
-        | result ->
-          if result.Async_result.complete then
-            Finished result.Async_result.time
-          else begin
-            (match stop with
-            | Some expired when expired () -> Obs.incr m_deadline_censored
-            | _ -> ());
-            Censored result.Async_result.time
-          end
-        | exception e -> Failed (Printexc.to_string e)
+      let o, _ =
+        replicate_outcome ?protocol ?rate ?faults ?horizon ?max_events ~engine
+          ~deadline_s ~source net children.(r)
       in
-      Obs.Shard.incr shard m_sweep_replicates;
-      (match o with
-      | Finished t ->
-        Obs.Shard.incr shard m_sweep_finished;
-        Obs.Shard.observe shard h_spread_time t
-      | Censored _ -> Obs.Shard.incr shard m_sweep_censored
-      | Failed _ -> Obs.Shard.incr shard m_sweep_failed);
+      tally_outcome shard o;
       outcomes.(r) <- Some o;
       (* Cheap incremental checkpointing (sequential mode only, where
          the decided set is a clean prefix of the chunk order) keeps
@@ -233,6 +261,243 @@ let async_spread_sweep ?jobs ?(reps = 30) ?horizon ?(engine = Cut) ?protocol
         (function Some o -> o | None -> Failed "replicate never ran")
         outcomes;
     seeds;
+  }
+
+(* --- adaptive sequential stopping --- *)
+
+(* Process-wide adaptive default, installed by the campaign/experiment
+   CLI ([--adaptive-rel-width]) so that replicate loops buried inside
+   experiment code pick up sequential stopping without any plumbing —
+   the same pattern as [deadline_override] above.  [None] (the
+   default) keeps every existing path byte-identical. *)
+let adaptive_override : Adaptive.config option Atomic.t = Atomic.make None
+let set_default_adaptive v = Atomic.set adaptive_override v
+let default_adaptive () = Atomic.get adaptive_override
+
+let rao_blackwell_time ?(protocol = Protocol.Push_pull) ?(rate = 1.) graph
+    ~informed_times =
+  let n = Graph.n graph in
+  if Array.length informed_times <> n then
+    invalid_arg "Run.rao_blackwell_time: informed_times length mismatch";
+  if n <= 1 then 0.
+  else if not (Array.for_all Float.is_finite informed_times) then Float.nan
+  else begin
+    (* Replay the informing order.  Ties (probability zero in
+       continuous time, except the source at 0) break by node index so
+       the replay is a pure function of its inputs. *)
+    let order = Array.init n Fun.id in
+    Array.sort
+      (fun a b ->
+        let c = Float.compare informed_times.(a) informed_times.(b) in
+        if c <> 0 then c else compare a b)
+      order;
+    let informed = Array.make n false in
+    let w = Array.make n 0. in
+    let total = ref 0. in
+    let inform u =
+      informed.(u) <- true;
+      total := !total -. w.(u);
+      w.(u) <- 0.;
+      let du = float_of_int (Graph.unsafe_degree graph u) in
+      Graph.iter_neighbors
+        (fun v ->
+          if not informed.(v) then begin
+            let dv = float_of_int (Graph.unsafe_degree graph v) in
+            let dw =
+              Async_cut.pair_rate protocol ~du ~dv ~ru:1. ~rv:1. *. rate
+            in
+            w.(v) <- w.(v) +. dw;
+            total := !total +. dw
+          end)
+        graph u
+    in
+    inform order.(0);
+    let sum = ref 0. in
+    let ok = ref true in
+    for i = 1 to n - 1 do
+      (* Expected wait for the [i]-th informing event given the current
+         informed set: 1/R(S).  A zero rate means the trajectory is
+         impossible on this graph (the control graph does not match the
+         simulated network) — poison the value rather than divide. *)
+      if !total > 0. && w.(order.(i)) > 0. then
+        sum := !sum +. (1. /. !total)
+      else ok := false;
+      inform order.(i)
+    done;
+    if !ok then !sum else Float.nan
+  end
+
+type adaptive = {
+  sweep : sweep;
+  consumed : int;
+  used : int;
+  mean : float;
+  sd : float;
+  half_width : float;
+  target_width : float;
+  level : float;
+  reason : Adaptive.reason;
+  batches : int;
+  max_reps : int;
+  control : Adaptive.cv option;
+}
+
+let async_spread_sweep_adaptive ?jobs ?horizon ?(engine = Cut) ?protocol ?rate
+    ?faults ?source ?max_events ?checkpoint ?deadline_s ?control ~config rng
+    net =
+  (match (control, faults) with
+  | Some _, Some _ ->
+    invalid_arg
+      "Run.async_spread_sweep_adaptive: control variates require a fault-free \
+       sweep (faults break the closed-form rates)"
+  | _ -> ());
+  (match (control, checkpoint) with
+  | Some _, Some _ ->
+    invalid_arg
+      "Run.async_spread_sweep_adaptive: control variates cannot resume from \
+       a checkpoint (cached outcomes carry no trajectory to replay)"
+  | _ -> ());
+  (match control with
+  | Some g when Graph.n g <> net.Dynet.n ->
+    invalid_arg
+      "Run.async_spread_sweep_adaptive: control graph order differs from the \
+       network"
+  | _ -> ());
+  let source = source_of net source in
+  let deadline_s =
+    match deadline_s with Some _ as d -> d | None -> default_deadline ()
+  in
+  let max_reps = config.Adaptive.max_reps in
+  (* Exactly the fixed sweep's seeding: one parent draw, index-derived
+     children — so the replicate streams (hence outcomes, seeds and
+     checkpoint keys) of an adaptive run are the literal prefix of a
+     fixed-count run seeded identically, for any job count. *)
+  let base = Rng.bits64 rng in
+  let children = Array.init max_reps (Rng.derive base) in
+  let seeds = Array.map Checkpoint.fingerprint children in
+  let outcomes : outcome option array = Array.make max_reps None in
+  let controls = Array.make max_reps Float.nan in
+  (match checkpoint with
+  | Some path ->
+    let cached = Checkpoint.load path in
+    Array.iteri
+      (fun i seed ->
+        match Hashtbl.find_opt cached seed with
+        | Some o ->
+          outcomes.(i) <- Some o;
+          Obs.incr m_checkpoint_hits
+        | None -> ())
+      seeds
+  | None -> ());
+  let save () =
+    match checkpoint with
+    | Some path ->
+      Checkpoint.save path ~seeds ~outcomes;
+      Obs.incr m_checkpoint_writes
+    | None -> ()
+  in
+  let jobs = Pool.resolve ?jobs max_reps in
+  let shards = Array.init jobs (fun _ -> Obs.Shard.create ()) in
+  let one ~domain r =
+    if Option.is_none outcomes.(r) then begin
+      let shard = shards.(domain) in
+      let o, result =
+        replicate_outcome ?protocol ?rate ?faults ?horizon ?max_events ~engine
+          ~deadline_s ~source net children.(r)
+      in
+      (match (control, o, result) with
+      | Some g, Finished t, Some res ->
+        (* Martingale residual: observed time minus its conditional
+           expectation given the informing order — exactly zero-mean on
+           a static graph, whatever the protocol or rate. *)
+        controls.(r) <-
+          t
+          -. rao_blackwell_time ?protocol ?rate g
+               ~informed_times:res.Async_result.informed_times
+      | _ -> ());
+      tally_outcome shard o;
+      outcomes.(r) <- Some o;
+      if jobs = 1 && Option.is_some checkpoint && (r + 1) mod 32 = 0 then
+        save ()
+    end
+  in
+  let consumed = ref 0 in
+  let batches = ref 0 in
+  let stopped = ref None in
+  (* Prefix statistic, recomputed in index order at every chunk
+     boundary: a pure function of outcomes[0..consumed), themselves
+     index-keyed — so the stopping decision is independent of [jobs]
+     and of domain scheduling. *)
+  let prefix_stats () =
+    let ys = ref [] and cs = ref [] in
+    for i = !consumed - 1 downto 0 do
+      match outcomes.(i) with
+      | Some (Finished t) ->
+        ys := t :: !ys;
+        cs := controls.(i) :: !cs
+      | _ -> ()
+    done;
+    let values = Array.of_list !ys in
+    let used = Array.length values in
+    match control with
+    | Some _ when used > 0 && List.for_all Float.is_finite !cs ->
+      let cv =
+        Adaptive.control_variate ~values ~controls:(Array.of_list !cs) ()
+      in
+      (used, cv.Adaptive.mean, cv.Adaptive.sd, Some cv)
+    | _ ->
+      let s = Rumor_stats.Stream.create () in
+      Array.iter (Rumor_stats.Stream.add s) values;
+      (used, Rumor_stats.Stream.mean s, Rumor_stats.Stream.stddev s, None)
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter Obs.Shard.merge shards;
+      save ())
+    (fun () ->
+      while Option.is_none !stopped do
+        let lo = !consumed in
+        let hi = min max_reps (lo + config.Adaptive.chunk) in
+        ignore (Pool.run ~jobs (hi - lo) (fun ~domain i -> one ~domain (lo + i)));
+        consumed := hi;
+        incr batches;
+        let used, mean, sd, _ = prefix_stats () in
+        match Adaptive.decide config ~consumed:hi ~used ~mean ~sd with
+        | Adaptive.Continue -> ()
+        | Adaptive.Stop reason -> stopped := Some reason
+      done);
+  let used, mean, sd, cv = prefix_stats () in
+  let reason = Option.get !stopped in
+  Obs.incr m_adaptive_sweeps;
+  Obs.add m_adaptive_consumed !consumed;
+  Obs.add m_adaptive_saved (max_reps - !consumed);
+  (match reason with
+  | Adaptive.Converged -> Obs.incr m_adaptive_converged
+  | Adaptive.Budget -> Obs.incr m_adaptive_budget);
+  (match cv with
+  | Some c -> Obs.set g_adaptive_vr c.Adaptive.variance_ratio
+  | None -> ());
+  {
+    sweep =
+      {
+        outcomes =
+          Array.init !consumed (fun i ->
+              match outcomes.(i) with
+              | Some o -> o
+              | None -> Failed "replicate never ran");
+        seeds = Array.sub seeds 0 !consumed;
+      };
+    consumed = !consumed;
+    used;
+    mean;
+    sd;
+    half_width = Adaptive.half_width ~level:config.Adaptive.level ~count:used ~sd;
+    target_width = Adaptive.target config ~mean;
+    level = config.Adaptive.level;
+    reason;
+    batches = !batches;
+    max_reps;
+    control = cv;
   }
 
 let sweep_counts s =

@@ -152,6 +152,102 @@ val async_spread_sweep :
 
     @raise Invalid_argument if [jobs < 1] or [reps < 1]. *)
 
+(** {1 Adaptive sequential stopping}
+
+    The adaptive sweep runs the {e same} replicates as
+    {!async_spread_sweep} — one parent draw, index-derived child
+    streams, identical per-replicate code — but in chunks, stopping as
+    soon as the normal-approximation CI half-width over the finished
+    prefix reaches the {!Rumor_stats.Adaptive.config} target (or the
+    [max_reps] budget runs out).  Because the stopping decision is a
+    pure function of outcomes in index order, the decided prefix is
+    bit-identical to the same prefix of a fixed-count sweep seeded
+    identically, for any job count — so checkpoints, the serve store
+    and campaign WAL replay all remain valid across the two modes. *)
+
+val set_default_adaptive : Rumor_stats.Adaptive.config option -> unit
+(** Install (or with [None] clear) a process-wide adaptive config,
+    picked up by {!Rumor_experiments.Workloads.measure_async}-style
+    funnels the way {!set_default_deadline} reaches buried replicate
+    loops.  [None] (the default) keeps every existing path
+    byte-identical. *)
+
+val default_adaptive : unit -> Rumor_stats.Adaptive.config option
+
+val rao_blackwell_time :
+  ?protocol:Protocol.t ->
+  ?rate:float ->
+  Rumor_graph.Graph.t ->
+  informed_times:float array ->
+  float
+(** [rao_blackwell_time g ~informed_times] is the conditional
+    expectation of the spread time given the informing {e order}: the
+    sum over informing events of [1/R(S)], where [R(S)] is the total
+    informing rate out of informed set [S] on static graph [g] under
+    [protocol] (default push–pull) and clock [rate] (default 1) —
+    rebuilt with the engine's own {!Async_cut.pair_rate}.  On a
+    fault-free static network the observed time minus this value is an
+    exactly zero-mean martingale residual, the control variate behind
+    [?control] below.  Returns [nan] for incomplete trajectories (any
+    non-finite entry) or trajectories impossible on [g] (an informing
+    event from a zero-rate cut).
+    @raise Invalid_argument on a length mismatch. *)
+
+type adaptive = {
+  sweep : sweep;
+      (** the decided prefix: outcomes and seeds for replicates
+          [0 .. consumed-1], bit-identical to the same prefix of a
+          fixed-count sweep *)
+  consumed : int;  (** replicates run *)
+  used : int;  (** [Finished] replicates that entered the estimator *)
+  mean : float;
+      (** mean spread time over the finished prefix — control-variate
+          adjusted when [control] is present ([nan] when [used = 0]) *)
+  sd : float;  (** matching sample sd ([nan] below 2 samples) *)
+  half_width : float;  (** CI half-width at the stopping point *)
+  target_width : float;  (** the resolved width target *)
+  level : float;
+  reason : Rumor_stats.Adaptive.reason;
+  batches : int;
+  max_reps : int;  (** the budget ([= consumed] when [reason = Budget]) *)
+  control : Rumor_stats.Adaptive.cv option;
+      (** regression-estimator report (beta, variance ratio) when a
+          usable control graph was supplied *)
+}
+
+val async_spread_sweep_adaptive :
+  ?jobs:int ->
+  ?horizon:float ->
+  ?engine:engine ->
+  ?protocol:Protocol.t ->
+  ?rate:float ->
+  ?faults:Fault_plan.t ->
+  ?source:int ->
+  ?max_events:int ->
+  ?checkpoint:string ->
+  ?deadline_s:float ->
+  ?control:Rumor_graph.Graph.t ->
+  config:Rumor_stats.Adaptive.config ->
+  Rng.t ->
+  Dynet.t ->
+  adaptive
+(** Sequentially stopped variant of {!async_spread_sweep} (same
+    hardening: exception isolation, watchdog, checkpoint, deadline).
+    Censored and failed replicates consume budget but carry no sample;
+    an all-censored sweep therefore stops only at the budget, with
+    [mean = nan] — never a silently understated estimate.
+
+    [control] supplies the static graph the network is known to
+    simulate (see {!Rumor_dynamic.Family.static_graph}): each finished
+    replicate's {!rao_blackwell_time} residual then drives a
+    regression control variate, shrinking the CI — and the stopping
+    point — without biasing the mean.  The control changes which
+    prefix is {e decided}, never the replicate values themselves.
+    @raise Invalid_argument when [control] is combined with [faults]
+    (the closed-form rates no longer hold) or with [checkpoint]
+    (cached outcomes carry no trajectory to replay), or when the
+    control graph's order differs from the network's. *)
+
 val sweep_counts : sweep -> int * int * int
 (** [(finished, censored, failed)] outcome counts. *)
 

@@ -72,6 +72,80 @@ let test_ks_gnp () =
   ks_engines_agree ~name:"gnp-256" ~seed:111
     (Dynet.of_static (connected_gnp 256 1256))
 
+(* --- Panagiotou-Speidel limit law on dense G(n,p) --- *)
+
+(* PS (PAPERS.md) prove that push-pull spread times on dense G(n,p)
+   (np >> log n) converge to the complete-graph law, independently of
+   p: the per-edge rate 1/deg cancels the edge count.  The reference
+   distribution needs no graph simulation — Limit_laws.clique_sample
+   draws the exact K_n pure-jump chain — so this gate pins the whole
+   simulator (graph generation, cut maintenance, event sequencing)
+   against a closed form none of its code paths share. *)
+
+let ps_reps = 200
+
+let ks_against_clique_law ~name ~seed ~sim_seed net n =
+  let sim =
+    (Run.async_spread_times ~reps:ps_reps (Rng.create sim_seed) net).Run.times
+  in
+  let reference = Limit_laws.clique_samples (Rng.create seed) ~n ~reps:ps_reps in
+  let r = Ks.two_sample sim reference in
+  let crit = Ks.critical_value ~n1:ps_reps ~n2:ps_reps ~alpha:0.001 in
+  check bool
+    (Printf.sprintf "%s: KS D=%.3f below critical %.3f (p=%.4f)" name
+       r.Ks.statistic crit r.Ks.p_value)
+    true
+    (r.Ks.statistic < crit)
+
+let test_ps_clique_law_exact () =
+  (* Sanity at p = 1: the simulator on K_n itself must match the chain
+     at any n — this is an identity, not an asymptotic. *)
+  ks_against_clique_law ~name:"K_64 vs chain" ~seed:201 ~sim_seed:301
+    (Dynet.of_static (Gen.clique 64))
+    64;
+  ks_against_clique_law ~name:"K_256 vs chain" ~seed:203 ~sim_seed:303
+    (Dynet.of_static (Gen.clique 256))
+    256
+
+let test_ps_gnp_limit_law () =
+  (* Dense G(n,p): p = 0.75 at n = 256 gives np = 192 >> ln n = 5.5,
+     deep in the PS regime; finite-n error is well inside the KS
+     critical band at 200 replicates. *)
+  let n = 256 in
+  let g =
+    let rec go s =
+      let g = Gen.erdos_renyi (Rng.create s) n 0.75 in
+      if Traverse.is_connected g then g else go (s + 1)
+    in
+    go 2056
+  in
+  ks_against_clique_law ~name:"G(256,0.75) vs clique law" ~seed:205
+    ~sim_seed:305 (Dynet.of_static g) n;
+  check (Alcotest.float 1e-12) "limit mean alias"
+    (Limit_laws.clique_mean n) (Limit_laws.gnp_limit_mean n)
+
+let test_acan_universal_pins () =
+  (* Acan-Collevecchio-Mehrabian-Wormald: any connected n-vertex graph
+     spreads in Omega(log n) and O(n) whp.  The deliberately slack
+     pins (ln n / 4, 4n) must bracket the mean on the extremes we can
+     build: the clique (fastest) and the path (slowest). *)
+  List.iter
+    (fun (name, n, net) ->
+      let mc = Run.async_spread_times ~reps:60 (Rng.create 401) net in
+      let m = Descriptive.mean mc.Run.times in
+      let lo = Limit_laws.worst_case_lower n in
+      let hi = Limit_laws.worst_case_upper n in
+      check bool
+        (Printf.sprintf "%s: %.3f inside [%.3f, %.3f]" name m lo hi)
+        true
+        (m > lo && m < hi))
+    [
+      ("clique-64", 64, Dynet.of_static (Gen.clique 64));
+      ("clique-256", 256, Dynet.of_static (Gen.clique 256));
+      ("path-64", 64, Dynet.of_static (Gen.path 64));
+      ("star-256", 256, Dynet.of_static (Gen.star 256));
+    ]
+
 (* --- Sync engine vs complete-graph closed forms --- *)
 
 let test_sync_push_pittel () =
@@ -190,6 +264,35 @@ let test_estimate_follows_classic_convention () =
   check (Alcotest.float 0.) "estimate point identical across jobs"
     e1.Estimate.point e3.Estimate.point
 
+let test_adaptive_censoring_pins () =
+  (* Adaptive early stop must not bend the censoring conventions: a
+     partially-censored sweep keeps censored replicates out of the
+     estimator but inside the budget, and the decided prefix restores
+     the classic convention through mc_of_sweep exactly like the
+     fixed-count sweep does. *)
+  let horizon = 4.0 in
+  (* Cycle-48 at a tight horizon: a fraction of replicates censor. *)
+  let net = Dynet.of_static (Gen.cycle 48) in
+  let config =
+    Adaptive.config ~min_reps:8 ~max_reps:64 ~chunk:8 (Adaptive.Abs 0.4)
+  in
+  let a =
+    Run.async_spread_sweep_adaptive ~horizon ~config (Rng.create 83) net
+  in
+  let finished, censored, failed = Run.sweep_counts a.Run.sweep in
+  check int "no replicate fails" 0 failed;
+  check int "used counts Finished only" finished a.Run.used;
+  check int "consumed = finished + censored" a.Run.consumed
+    (finished + censored);
+  check int "usable_times excludes censored" finished
+    (Array.length (Run.usable_times a.Run.sweep));
+  (* mc_of_sweep restores every replicate under the classic convention,
+     horizon values included. *)
+  let mc = Run.mc_of_sweep a.Run.sweep in
+  check int "classic restoration keeps the prefix" a.Run.consumed
+    (Array.length mc.Run.times);
+  check int "completed honest" finished mc.Run.completed
+
 let () =
   Alcotest.run "conformance"
     [
@@ -198,6 +301,14 @@ let () =
           Alcotest.test_case "star 64/256" `Slow test_ks_star;
           Alcotest.test_case "cycle 64/256" `Slow test_ks_cycle;
           Alcotest.test_case "G(n,p) 64/256" `Slow test_ks_gnp;
+        ] );
+      ( "limit-law",
+        [
+          Alcotest.test_case "clique vs exact chain" `Slow
+            test_ps_clique_law_exact;
+          Alcotest.test_case "PS G(n,p) limit" `Slow test_ps_gnp_limit_law;
+          Alcotest.test_case "Acan universal pins" `Slow
+            test_acan_universal_pins;
         ] );
       ( "sync-closed-form",
         [
@@ -213,5 +324,7 @@ let () =
             test_hardened_censoring_convention;
           Alcotest.test_case "Estimate follows the classic tier" `Quick
             test_estimate_follows_classic_convention;
+          Alcotest.test_case "adaptive early stop keeps the conventions"
+            `Quick test_adaptive_censoring_pins;
         ] );
     ]

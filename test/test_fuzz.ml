@@ -91,10 +91,62 @@ let prop_sweep_fingerprints_job_invariant =
       let par = Run.async_spread_sweep ~jobs ~reps (Rng.create seed) net in
       seq.Run.seeds = par.Run.seeds && seq.Run.outcomes = par.Run.outcomes)
 
+(* --- adaptive stopping properties --- *)
+
+let prop_adaptive_ci_never_wider =
+  (* Whenever the adaptive sweep reports Converged, the CI half-width
+     it reports is at or below the requested target — the whole point
+     of sequential stopping; a wider report would be a lie. *)
+  QCheck.Test.make ~count:25 ~name:"adaptive converged CI never wider"
+    QCheck.(pair (int_range 0 1_000_000) (int_range 1 20))
+    (fun (seed, w10) ->
+      let target = 0.05 *. float_of_int w10 in
+      let config =
+        Adaptive.config ~min_reps:8 ~max_reps:96 ~chunk:8
+          (Adaptive.Abs target)
+      in
+      let net = Dynet.of_static (Gen.clique 24) in
+      let a = Run.async_spread_sweep_adaptive ~config (Rng.create seed) net in
+      match a.Run.reason with
+      | Adaptive.Converged ->
+        a.Run.half_width <= target && a.Run.consumed <= 96
+      | Adaptive.Budget ->
+        (* budget exhaustion must consume exactly the budget *)
+        a.Run.consumed = 96)
+
+let prop_adaptive_prefix_bit_identical =
+  (* For any seed, any job count and either width regime, the decided
+     prefix equals (byte-for-byte) the same prefix of a fixed-count
+     sweep at the full budget — so checkpoints, the serve store and
+     WAL replay remain valid across the two modes. *)
+  QCheck.Test.make ~count:20 ~name:"adaptive prefix bit-identical at any jobs"
+    QCheck.(triple (int_range 0 1_000_000) (int_range 1 6) bool)
+    (fun (seed, jobs, rel) ->
+      let width = if rel then Adaptive.Rel 0.2 else Adaptive.Abs 0.3 in
+      let config =
+        Adaptive.config ~min_reps:8 ~max_reps:48 ~chunk:8 width
+      in
+      let net = Dynet.of_static (Gen.cycle 12) in
+      let a =
+        Run.async_spread_sweep_adaptive ~jobs ~config (Rng.create seed) net
+      in
+      let fixed =
+        Run.async_spread_sweep ~jobs:1 ~reps:48 (Rng.create seed) net
+      in
+      let k = a.Run.consumed in
+      k >= 8 && k <= 48
+      && a.Run.sweep.Run.outcomes = Array.sub fixed.Run.outcomes 0 k
+      && a.Run.sweep.Run.seeds = Array.sub fixed.Run.seeds 0 k)
+
 let () =
   Alcotest.run "fuzz"
     [
       ("cross-family", [ Alcotest.test_case "300 random runs" `Slow test_fuzz ]);
       ( "determinism",
         [ QCheck_alcotest.to_alcotest prop_sweep_fingerprints_job_invariant ] );
+      ( "adaptive",
+        [
+          QCheck_alcotest.to_alcotest prop_adaptive_ci_never_wider;
+          QCheck_alcotest.to_alcotest prop_adaptive_prefix_bit_identical;
+        ] );
     ]

@@ -288,6 +288,51 @@ let test_default_jobs_sample_invariance () =
 
 (* --- metric shards --- *)
 
+let test_adaptive_bit_identity () =
+  (* The adaptive sweep inherits the full contract: for ANY job count
+     the stopping point, the decided prefix (outcomes AND seeds) and
+     every reported statistic are byte-identical — the decision is a
+     pure function of outcomes in index order, so the pool's schedule
+     cannot move it. *)
+  let net = Dynet.of_static (Gen.clique 48) in
+  let config =
+    Adaptive.config ~min_reps:16 ~max_reps:96 ~chunk:16 (Adaptive.Abs 0.25)
+  in
+  let run jobs =
+    Run.async_spread_sweep_adaptive ~jobs ~config (Rng.create 314) net
+  in
+  let a1 = run 1 in
+  List.iter
+    (fun jobs ->
+      let aj = run jobs in
+      check int
+        (Printf.sprintf "consumed identical at jobs=%d" jobs)
+        a1.Run.consumed aj.Run.consumed;
+      check bool
+        (Printf.sprintf "outcomes identical at jobs=%d" jobs)
+        true
+        (a1.Run.sweep.Run.outcomes = aj.Run.sweep.Run.outcomes);
+      check bool
+        (Printf.sprintf "seeds identical at jobs=%d" jobs)
+        true
+        (a1.Run.sweep.Run.seeds = aj.Run.sweep.Run.seeds);
+      check (Alcotest.float 0.)
+        (Printf.sprintf "mean identical at jobs=%d" jobs)
+        a1.Run.mean aj.Run.mean;
+      check (Alcotest.float 0.)
+        (Printf.sprintf "half-width identical at jobs=%d" jobs)
+        a1.Run.half_width aj.Run.half_width)
+    [ 2; 3; 5; 8 ];
+  (* And the RUMOR_JOBS-style process default is equally invisible. *)
+  Fun.protect
+    ~finally:(fun () -> Pool.set_default_jobs None)
+    (fun () ->
+      Pool.set_default_jobs (Some 4);
+      let a4 = Run.async_spread_sweep_adaptive ~config (Rng.create 314) net in
+      check bool "default-jobs adaptive run identical" true
+        (a1.Run.sweep.Run.outcomes = a4.Run.sweep.Run.outcomes
+        && a1.Run.consumed = a4.Run.consumed))
+
 let test_shard_merge_exactness () =
   (* Recording through per-domain shards then merging must yield a
      byte-identical registry snapshot to direct recording: counter
@@ -374,6 +419,8 @@ let () =
             test_resume_across_job_counts;
           Alcotest.test_case "default-jobs sample invariance" `Quick
             test_default_jobs_sample_invariance;
+          Alcotest.test_case "adaptive sweep bit-identity" `Slow
+            test_adaptive_bit_identity;
         ] );
       ( "shards",
         [

@@ -66,6 +66,29 @@ let test_iqr () =
   let xs = Array.init 101 (fun i -> float_of_int i) in
   check flt "iqr" 50. (Quantile.iqr xs)
 
+let test_quantile_tiny_samples () =
+  (* The adaptive sweep can stop with very short usable prefixes; the
+     quantile layer under quantiles_of_sweep must behave at n=1 and
+     n=2, not just at statistical sizes. *)
+  check flt "n=1: every quantile is the sample" 7. (Quantile.quantile [| 7. |] 0.);
+  check flt "n=1: median" 7. (Quantile.median [| 7. |]);
+  check flt "n=1: q=1" 7. (Quantile.quantile [| 7. |] 1.);
+  check flt "n=2: endpoints" 1. (Quantile.quantile [| 1.; 3. |] 0.);
+  check flt "n=2: median interpolates" 2. (Quantile.median [| 1.; 3. |]);
+  check flt "n=2: type-7 interior" 2.6 (Quantile.quantile [| 1.; 3. |] 0.8)
+
+let test_quantile_duplicates () =
+  (* Duplicate spread times (common on tiny graphs where several
+     replicates share an event pattern): quantiles must sit on the
+     duplicated value, and interpolation across a tie is exact. *)
+  let xs = [| 2.; 2.; 2.; 2.; 5. |] in
+  check flt "median on the tie" 2. (Quantile.median xs);
+  check flt "q0.75 still tied" 2. (Quantile.quantile xs 0.75);
+  check flt "q1 reaches the outlier" 5. (Quantile.quantile xs 1.);
+  let all_same = Array.make 9 4.2 in
+  check flt "all-duplicates: any q" 4.2 (Quantile.quantile all_same 0.37);
+  check flt "all-duplicates: iqr 0" 0. (Quantile.iqr all_same)
+
 (* --- Histogram --- *)
 
 let test_histogram_binning () =
@@ -193,6 +216,8 @@ let () =
           Alcotest.test_case "unsorted input" `Quick test_quantile_unsorted_input;
           Alcotest.test_case "errors" `Quick test_quantile_errors;
           Alcotest.test_case "iqr" `Quick test_iqr;
+          Alcotest.test_case "tiny samples" `Quick test_quantile_tiny_samples;
+          Alcotest.test_case "duplicates" `Quick test_quantile_duplicates;
         ] );
       ( "histogram",
         [
