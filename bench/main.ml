@@ -304,7 +304,8 @@ let run_coordinator_overhead () =
           | 0 ->
             Unix._exit
               (try
-                 Rumor.Worker.run ~socket ~id:slot
+                 Rumor.Worker.run ~transport:(Rumor.Worker.Unix_sock socket)
+                   ~id:slot
                    ~tasks_dir:(Rumor.Coordinator.tasks_dir config) ~run_task ()
                with _ -> 4)
           | pid -> pid

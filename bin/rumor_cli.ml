@@ -18,8 +18,13 @@
                  N supervised worker processes (lease/epoch fencing,
                  heartbeats, crash recovery, optional chaos kills) with
                  outputs byte-identical to --workers 1
-     worker      (internal) campaign worker process, forked by
-                 campaign --workers
+     worker      campaign worker process: forked by campaign --workers
+                 (Unix socket), or started by hand with --connect to
+                 join a remote campaign over TCP (reconnect/resume,
+                 frame CRCs)
+     netchaos    deterministic TCP chaos proxy (latency, jitter, drops,
+                 corruption, resets) for exercising the campaign's
+                 network fault tolerance
      serve       long-lived spread-time query daemon: JSONL (or
                  length-prefixed) queries over TCP, memoized sweep cache
                  with WAL-backed restart, request coalescing, bounded
@@ -94,6 +99,16 @@ let duration_conv : float Arg.conv =
     | Error e -> Error (`Msg e)
   in
   Arg.conv (parse, fun ppf f -> Format.fprintf ppf "%gs" f)
+
+(* "HOST:PORT" or bare "PORT" (host defaults to 127.0.0.1); the host
+   stays unresolved until socket-open time. *)
+let hostport_conv : (string * int) Arg.conv =
+  let parse s =
+    match Net.parse_hostport s with
+    | Ok hp -> Ok hp
+    | Error e -> Error (`Msg e)
+  in
+  Arg.conv (parse, fun ppf (h, p) -> Format.fprintf ppf "%s:%d" h p)
 
 (* --- replicate pool --- *)
 
@@ -942,8 +957,8 @@ let print_outcomes outcomes =
    captured per-task outputs land in <dir>/tasks/<id>.out and are
    byte-identical to a --workers 1 run whatever dies in between. *)
 let campaign_multiproc ~ids ~dir ~resume ~retries ~fail_budget ~full ~seed
-    ~workers ~min_workers ~batch ~heartbeat_timeout ~chaos ~adaptive_rel
-    task_ids =
+    ~workers ~min_workers ~batch ~heartbeat_timeout ~chaos ~listen ~token
+    ~adaptive_rel task_ids =
   Campaign.install_signal_handlers ();
   let config =
     {
@@ -956,8 +971,18 @@ let campaign_multiproc ~ids ~dir ~resume ~retries ~fail_budget ~full ~seed
       seed;
       heartbeat_timeout_s = heartbeat_timeout;
       chaos_kill_every_s = chaos;
+      listen;
+      token;
     }
   in
+  (match listen with
+  | Some (h, p) ->
+    Printf.printf
+      "campaign: accepting remote workers on %s:%d%s (bound port in %s)\n%!" h
+      p
+      (if token = None then "" else " (token required)")
+      (Coordinator.port_path config)
+  | None -> ());
   let spawn ~slot ~socket =
     let args =
       [
@@ -1005,6 +1030,14 @@ let campaign_multiproc ~ids ~dir ~resume ~retries ~fail_budget ~full ~seed
        else "s")
       summary.Coordinator.chaos_kills summary.Coordinator.worker_restarts
       (if summary.Coordinator.worker_restarts = 1 then "" else "s");
+  if summary.Coordinator.remote_reconnects > 0 then
+    Printf.printf "  %d remote reconnect%s resumed an existing worker slot\n"
+      summary.Coordinator.remote_reconnects
+      (if summary.Coordinator.remote_reconnects = 1 then "" else "s");
+  if summary.Coordinator.rejected > 0 then
+    Printf.printf "  %d hello%s rejected at admission (token/version)\n"
+      summary.Coordinator.rejected
+      (if summary.Coordinator.rejected = 1 then "" else "s");
   if summary.Coordinator.wal_corrupt_records > 0 then
     Printf.printf "  %d corrupt journal record%s quarantined on recovery\n"
       summary.Coordinator.wal_corrupt_records
@@ -1022,7 +1055,8 @@ let campaign_multiproc ~ids ~dir ~resume ~retries ~fail_budget ~full ~seed
   exit (Coordinator.exit_code summary)
 
 let campaign () () ids dir resume deadline retries backoff fail_budget full
-    seed workers min_workers batch heartbeat_timeout chaos adaptive_rel =
+    seed workers min_workers batch heartbeat_timeout chaos listen token
+    adaptive_rel =
   setup_default_adaptive adaptive_rel;
   let experiments =
     match String.lowercase_ascii (String.trim ids) with
@@ -1039,9 +1073,10 @@ let campaign () () ids dir resume deadline retries backoff fail_budget full
             exit 2)
         (String.split_on_char ',' spec)
   in
-  if workers > 0 then
+  if workers > 0 || listen <> None then
     campaign_multiproc ~ids ~dir ~resume ~retries ~fail_budget ~full ~seed
-      ~workers ~min_workers ~batch ~heartbeat_timeout ~chaos ~adaptive_rel
+      ~workers ~min_workers ~batch ~heartbeat_timeout ~chaos ~listen ~token
+      ~adaptive_rel
       (List.map (fun e -> e.Rumor_experiments.Experiment.id) experiments)
   else begin
     let tasks =
@@ -1192,6 +1227,27 @@ let campaign_cmd =
              exercise the recovery machinery, which must still produce \
              outputs byte-identical to an undisturbed run.")
   in
+  let listen =
+    Arg.(
+      value & opt (some hostport_conv) None
+      & info [ "listen" ] ~docv:"HOST:PORT"
+          ~doc:
+            "Also accept remote workers ($(b,rumor worker --connect)) \
+             over TCP on $(docv) (bare PORT binds 127.0.0.1; port 0 asks \
+             the kernel — the bound port is written to \
+             $(i,DIR)/coord.port).  Remote workers present a versioned \
+             hello and negotiate per-frame CRC trailers; --workers may \
+             be 0 to run with remote workers only.")
+  in
+  let token =
+    Arg.(
+      value & opt (some string) None
+      & info [ "token" ] ~docv:"TOKEN"
+          ~doc:
+            "Campaign token remote workers must present in their hello; \
+             a mismatch is rejected at admission.  Without this flag any \
+             remote worker is admitted.")
+  in
   Cmd.v
     (Cmd.info "campaign"
        ~doc:
@@ -1205,13 +1261,41 @@ let campaign_cmd =
     Term.(
       const campaign $ obs_term $ jobs_term $ ids $ dir $ resume $ deadline
       $ retries $ backoff $ fail_budget $ full $ seed_arg $ workers
-      $ min_workers $ batch $ heartbeat_timeout $ chaos
+      $ min_workers $ batch $ heartbeat_timeout $ chaos $ listen $ token
       $ adaptive_rel_width_arg)
 
-(* --- worker (hidden): the process forked by campaign --workers --- *)
+(* --- worker: forked by campaign --workers, or started by hand with
+   --connect on another machine --- *)
 
-let worker_main () () socket id tasks_dir seed full adaptive_rel =
+let worker_main () () socket connect token id tasks_dir seed full adaptive_rel
+    =
   setup_default_adaptive adaptive_rel;
+  let transport =
+    match (socket, connect) with
+    | Some s, None -> Worker.Unix_sock s
+    | None, Some (host, port) -> Worker.Tcp { host; port; token }
+    | Some _, Some _ ->
+      prerr_endline "rumor worker: --socket and --connect are exclusive";
+      exit 2
+    | None, None ->
+      prerr_endline "rumor worker: one of --socket or --connect is required";
+      exit 2
+  in
+  let tasks_dir =
+    match tasks_dir with
+    | Some d -> d
+    | None ->
+      (* Remote workers inline their captured output in the result
+         frame; the local spool only holds in-flight partials. *)
+      let d =
+        Filename.concat
+          (Filename.get_temp_dir_name ())
+          (Printf.sprintf "rumor-worker-%d" (Unix.getpid ()))
+      in
+      (try Unix.mkdir d 0o755
+       with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+      d
+  in
   (* The coordinator owns shutdown: a terminal SIGINT must not tear the
      worker out from under an active lease (the Stop frame or a
      reclaimed lease handles every orderly path). *)
@@ -1224,24 +1308,54 @@ let worker_main () () socket id tasks_dir seed full adaptive_rel =
     | Some e -> Rumor_experiments.Experiment.print ~full ~seed e
     | None -> failwith (Printf.sprintf "unknown experiment %S" task)
   in
-  exit (Worker.run ~socket ~id ~tasks_dir ~run_task ())
+  exit (Worker.run ~transport ~id ~tasks_dir ~run_task ())
 
 let worker_cmd =
   let socket =
     Arg.(
-      required & opt (some string) None
-      & info [ "socket" ] ~docv:"PATH" ~doc:"Coordinator socket path.")
+      value & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:
+            "Coordinator Unix-domain socket path (local workers forked \
+             by $(b,rumor campaign --workers)).")
+  in
+  let connect =
+    Arg.(
+      value & opt (some hostport_conv) None
+      & info [ "connect" ] ~docv:"HOST:PORT"
+          ~doc:
+            "Dial a remote coordinator started with $(b,rumor campaign \
+             --listen).  The worker reconnects with jittered exponential \
+             backoff on connection loss, resumes its worker id and \
+             re-sends unacknowledged results; per-frame CRC trailers \
+             are negotiated at admission.")
+  in
+  let token =
+    Arg.(
+      value & opt (some string) None
+      & info [ "token" ] ~docv:"TOKEN"
+          ~doc:
+            "Campaign token to present in the hello; must match the \
+             coordinator's $(b,--token) or admission is rejected \
+             (exit 3).")
   in
   let id =
     Arg.(
-      required & opt (some int) None
-      & info [ "id" ] ~docv:"SLOT" ~doc:"Worker slot number.")
+      value & opt int (-1)
+      & info [ "id" ] ~docv:"SLOT"
+          ~doc:
+            "Worker slot number.  With --connect, -1 (the default) lets \
+             the coordinator assign an id in its Welcome.")
   in
   let tasks_dir =
     Arg.(
-      required & opt (some string) None
+      value & opt (some string) None
       & info [ "tasks-dir" ] ~docv:"DIR"
-          ~doc:"Directory for captured task outputs.")
+          ~doc:
+            "Directory for captured task outputs (required with \
+             --socket, where the coordinator reads the files; remote \
+             workers default to a private temp spool and ship the bytes \
+             in the result frame).")
   in
   let full =
     Arg.(
@@ -1251,12 +1365,169 @@ let worker_cmd =
   Cmd.v
     (Cmd.info "worker"
        ~doc:
-         "(internal) Campaign worker process: forked by $(b,rumor \
-          campaign --workers); connects to the coordinator socket and \
-          serves leased task batches.  Not intended for direct use.")
+         "Campaign worker process: forked by $(b,rumor campaign \
+          --workers) over a Unix-domain socket, or started by hand with \
+          $(b,--connect HOST:PORT) to join a remote campaign over TCP \
+          with reconnect/resume and frame CRCs.")
     Term.(
-      const worker_main $ obs_term $ jobs_term $ socket $ id $ tasks_dir
-      $ seed_arg $ full $ adaptive_rel_width_arg)
+      const worker_main $ obs_term $ jobs_term $ socket $ connect $ token
+      $ id $ tasks_dir $ seed_arg $ full $ adaptive_rel_width_arg)
+
+(* --- netchaos: deterministic TCP chaos proxy --- *)
+
+let netchaos_main () listen forward seed latency jitter bandwidth drop dup
+    corrupt truncate reset reset_after max_resets =
+  let listen_host, listen_port = listen in
+  let forward_host, forward_port = forward in
+  let fault =
+    {
+      Netchaos.latency_s = latency;
+      jitter_s = jitter;
+      bandwidth_bps = bandwidth;
+      drop_p = drop;
+      dup_p = dup;
+      corrupt_p = corrupt;
+      truncate_p = truncate;
+      reset_p = reset;
+      reset_after_bytes = reset_after;
+      max_resets;
+    }
+  in
+  let t =
+    Netchaos.start ~seed ~listen_host ~port:listen_port ~forward_host
+      ~forward_port fault
+  in
+  Printf.printf "netchaos: listening on %d, forwarding to %s:%d (seed %d)\n%!"
+    (Netchaos.port t) forward_host forward_port seed;
+  let stop = ref false in
+  let on_sig _ = stop := true in
+  (try Sys.set_signal Sys.sigint (Sys.Signal_handle on_sig)
+   with Invalid_argument _ | Sys_error _ -> ());
+  (try Sys.set_signal Sys.sigterm (Sys.Signal_handle on_sig)
+   with Invalid_argument _ | Sys_error _ -> ());
+  while not !stop do
+    try Unix.sleepf 0.2 with Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done;
+  Netchaos.stop t;
+  let s = Netchaos.stats t in
+  Printf.printf
+    "netchaos: %d conn%s, %d chunk%s (%d bytes); dropped %d, duplicated %d, \
+     corrupted %d, truncated %d, reset %d\n"
+    s.Netchaos.conns
+    (if s.Netchaos.conns = 1 then "" else "s")
+    s.Netchaos.chunks
+    (if s.Netchaos.chunks = 1 then "" else "s")
+    s.Netchaos.bytes s.Netchaos.dropped_chunks s.Netchaos.dup_chunks
+    s.Netchaos.corrupted_chunks s.Netchaos.truncated_chunks
+    s.Netchaos.resets
+
+let netchaos_cmd =
+  let prob_conv : float Arg.conv =
+    let parse s =
+      match float_of_string_opt s with
+      | Some p when p >= 0. && p <= 1. -> Ok p
+      | Some _ -> Error (`Msg "probability must be in [0, 1]")
+      | None -> Error (`Msg (Printf.sprintf "invalid probability %S" s))
+    in
+    Arg.conv (parse, fun ppf p -> Format.fprintf ppf "%g" p)
+  in
+  let listen =
+    Arg.(
+      value & opt hostport_conv ("127.0.0.1", 0)
+      & info [ "listen" ] ~docv:"HOST:PORT"
+          ~doc:
+            "Listen address (default 127.0.0.1 with a kernel-assigned \
+             port, printed on startup).")
+  in
+  let forward =
+    Arg.(
+      required & opt (some hostport_conv) None
+      & info [ "forward" ] ~docv:"HOST:PORT"
+          ~doc:"Forward every accepted connection to $(docv).")
+  in
+  let latency =
+    Arg.(
+      value & opt duration_conv 0.
+      & info [ "latency" ] ~docv:"DUR"
+          ~doc:"Fixed one-way delay added to every chunk (e.g. 20ms).")
+  in
+  let jitter =
+    Arg.(
+      value & opt duration_conv 0.
+      & info [ "jitter" ] ~docv:"DUR"
+          ~doc:"Uniform extra delay in [0, $(docv)) per chunk.")
+  in
+  let bandwidth =
+    Arg.(
+      value & opt (some int) None
+      & info [ "bandwidth" ] ~docv:"BPS"
+          ~doc:"Per-direction throughput cap in bytes per second.")
+  in
+  let drop =
+    Arg.(
+      value & opt prob_conv 0.
+      & info [ "drop" ] ~docv:"P"
+          ~doc:"Probability a chunk is silently discarded.")
+  in
+  let dup =
+    Arg.(
+      value & opt prob_conv 0.
+      & info [ "dup" ] ~docv:"P"
+          ~doc:"Probability a chunk is delivered twice.")
+  in
+  let corrupt =
+    Arg.(
+      value & opt prob_conv 0.
+      & info [ "corrupt" ] ~docv:"P"
+          ~doc:
+            "Probability one byte of a chunk is flipped (the frame CRC \
+             must catch it).")
+  in
+  let truncate =
+    Arg.(
+      value & opt prob_conv 0.
+      & info [ "truncate" ] ~docv:"P"
+          ~doc:
+            "Probability a chunk is cut in half and the link then reset.")
+  in
+  let reset =
+    Arg.(
+      value & opt prob_conv 0.
+      & info [ "reset" ] ~docv:"P"
+          ~doc:
+            "Probability the link is abortively reset (ECONNRESET at the \
+             peers) before a chunk.")
+  in
+  let reset_after =
+    Arg.(
+      value & opt (some int) None
+      & info [ "reset-after" ] ~docv:"BYTES"
+          ~doc:
+            "Reset each connection once it has carried $(docv) bytes in \
+             one direction.")
+  in
+  let max_resets =
+    Arg.(
+      value & opt (some int) None
+      & info [ "max-resets" ] ~docv:"N"
+          ~doc:
+            "Global budget for resets + truncations (use 1 for \
+             'exactly one forced failure'); unlimited when absent.")
+  in
+  Cmd.v
+    (Cmd.info "netchaos"
+       ~doc:
+         "Deterministic TCP chaos proxy: forward connections while \
+          injecting latency, jitter, bandwidth caps, chunk drops, \
+          duplicates, corruption, truncation and abortive resets, all \
+          scheduled by a seed.  Put $(b,rumor worker --connect) traffic \
+          behind it and the campaign must still produce byte-identical \
+          outputs.  Runs until SIGINT/SIGTERM, then prints fault \
+          counters.")
+    Term.(
+      const netchaos_main $ obs_term $ listen $ forward $ seed_arg $ latency
+      $ jitter $ bandwidth $ drop $ dup $ corrupt $ truncate $ reset
+      $ reset_after $ max_resets)
 
 (* --- obs --- *)
 
@@ -1678,6 +1949,7 @@ let () =
             experiment_cmd;
             campaign_cmd;
             worker_cmd;
+            netchaos_cmd;
             serve_cmd;
             loadgen_cmd;
             obs_cmd;

@@ -12,6 +12,7 @@ module Table = Rumor_util.Table
 module Ascii_plot = Rumor_util.Ascii_plot
 module Env = Rumor_util.Env
 module Crc32 = Rumor_util.Crc32
+module Net = Rumor_util.Net
 
 (* Randomness *)
 module Rng = Rumor_rng.Rng
@@ -72,6 +73,7 @@ module Proto = Rumor_harness.Proto
 module Lease = Rumor_harness.Lease
 module Worker = Rumor_harness.Worker
 module Coordinator = Rumor_harness.Coordinator
+module Netchaos = Rumor_harness.Netchaos
 module Provenance = Rumor_harness.Provenance
 
 (* Query service: memoized spread-time daemon (Serve.Query,

@@ -3,6 +3,7 @@ module Obs = Rumor_obs.Metrics
 module Clock = Rumor_obs.Clock
 module Json = Rumor_obs.Json
 module Rng = Rumor_rng.Rng
+module Net = Rumor_util.Net
 
 (* Telemetry (lib/obs): the process-supervision layer.  These are the
    numbers the chaos tests assert on — a recovery that silently loses
@@ -14,6 +15,8 @@ let m_deaths = Obs.counter "harness.coord.worker_deaths"
 let m_restarts = Obs.counter "harness.coord.worker_restarts"
 let m_chaos = Obs.counter "harness.coord.chaos_kills"
 let m_stalled = Obs.counter "harness.coord.stalled_drops"
+let m_remote_reconnects = Obs.counter "harness.coord.remote_reconnects"
+let m_rejected = Obs.counter "harness.coord.rejected_hellos"
 let h_beat_latency = Obs.histogram "harness.coord.heartbeat_latency_s"
 
 type config = {
@@ -29,6 +32,8 @@ type config = {
   fail_budget : float;
   fsync : bool;
   seed : int;
+  listen : (string * int) option;
+  token : string option;
 }
 
 let default_config ~dir ~workers =
@@ -45,6 +50,8 @@ let default_config ~dir ~workers =
     fail_budget = 1.0;
     fsync = true;
     seed = 2020;
+    listen = None;
+    token = None;
   }
 
 type worker_stats = {
@@ -54,6 +61,7 @@ type worker_stats = {
   tasks_done : int;
   fenced : int;
   demoted : bool;
+  remote : bool;
 }
 
 type summary = {
@@ -71,6 +79,8 @@ type summary = {
   worker_restarts : int;
   chaos_kills : int;
   stalled_drops : int;
+  remote_reconnects : int;
+  rejected : int;
   wal_corrupt_records : int;
   wall_s : float;
   workers : worker_stats list;
@@ -78,6 +88,7 @@ type summary = {
 
 let wal_path config = Filename.concat config.dir "campaign.wal"
 let manifest_path config = Filename.concat config.dir "campaign.manifest.json"
+let port_path config = Filename.concat config.dir "coord.port"
 let tasks_dir config = Filename.concat config.dir "tasks"
 let output_path config task = Filename.concat (tasks_dir config) (task ^ ".out")
 
@@ -192,10 +203,12 @@ type incarnation = {
   mutable reader : Proto.reader;
   mutable last_seen : float;
   mutable hello : bool;
+  mutable crc : bool;  (* CRC trailers negotiated for this connection *)
 }
 
 type wslot = {
   slot : int;
+  remote : bool;  (* joined over TCP; no process to kill or respawn *)
   mutable inc : incarnation option;  (* current incarnation, if any *)
   mutable lease : int option;
   mutable restarts : int;
@@ -220,14 +233,11 @@ let close_quiet fd = try Unix.close fd with Unix.Unix_error _ -> ()
 let kill_quiet signal pid =
   if pid > 0 then try Unix.kill pid signal with Unix.Unix_error _ -> ()
 
-let reap_quiet pid =
-  if pid > 0 then
-    try ignore (Unix.waitpid [ Unix.WNOHANG ] pid)
-    with Unix.Unix_error _ -> ()
-
 let run ?(cancel = Pool.global) ~spawn (config : config) task_ids =
-  if config.workers < 1 then
-    invalid_arg "Coordinator.run: need at least one worker";
+  if config.workers < 0 then
+    invalid_arg "Coordinator.run: negative worker count";
+  if config.workers < 1 && config.listen = None then
+    invalid_arg "Coordinator.run: need at least one worker (or a listen address)";
   if config.batch < 1 then invalid_arg "Coordinator.run: batch must be >= 1";
   mkdirs config.dir;
   mkdirs (tasks_dir config);
@@ -265,6 +275,10 @@ let run ?(cancel = Pool.global) ~spawn (config : config) task_ids =
      kills — otherwise a task longer than the kill interval livelocks
      (holder killed, reassigned, killed again, forever). *)
   let chaos_task_cap = 5 in
+  (* Uncharged reassignments (chaos kills, remote disconnects) do not
+     burn the task's retry budget, so a task bouncing off a flapping
+     network link needs its own bound or the campaign livelocks. *)
+  let uncharged_cap = 25 in
   let chaos_reassigns : (string, int) Hashtbl.t = Hashtbl.create 16 in
   let attempts : (string, int) Hashtbl.t = Hashtbl.create 16 in
   let attempt_of id = 1 + Option.value ~default:0 (Hashtbl.find_opt attempts id) in
@@ -277,15 +291,36 @@ let run ?(cancel = Pool.global) ~spawn (config : config) task_ids =
   let worker_restarts = ref 0 in
   let chaos_kills = ref 0 in
   let stalled_drops = ref 0 in
+  let remote_reconnects = ref 0 in
+  let rejected = ref 0 in
   let aborted = ref false in
   let interrupted = ref false in
   let t0 = Clock.now_s () in
   (* --- socket plumbing --- *)
   let sock_path = socket_path config in
   if Sys.file_exists sock_path then Sys.remove sock_path;
+  let backlog = Int.max 16 (2 * config.workers) in
   let listen_fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   Unix.bind listen_fd (Unix.ADDR_UNIX sock_path);
-  Unix.listen listen_fd (2 * config.workers);
+  Unix.listen listen_fd backlog;
+  let tcp_listen =
+    match config.listen with
+    | None -> None
+    | Some (host, port) ->
+      let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.setsockopt fd Unix.SO_REUSEADDR true;
+      Unix.bind fd (Unix.ADDR_INET (Net.resolve_exn host, port));
+      Unix.listen fd backlog;
+      (* The bound port (authoritative when the config said port 0)
+         is published for workers and scripts to discover. *)
+      let bound =
+        match Unix.getsockname fd with
+        | Unix.ADDR_INET (_, p) -> p
+        | _ -> port
+      in
+      Wal.write_atomic (port_path config) (string_of_int bound ^ "\n");
+      Some fd
+  in
   (* A worker dying mid-send must surface as EPIPE, not SIGPIPE. *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
    with Invalid_argument _ | Sys_error _ -> ());
@@ -293,6 +328,7 @@ let run ?(cancel = Pool.global) ~spawn (config : config) task_ids =
     Array.init config.workers (fun slot ->
         {
           slot;
+          remote = false;
           inc = None;
           lease = None;
           restarts = 0;
@@ -303,7 +339,40 @@ let run ?(cancel = Pool.global) ~spawn (config : config) task_ids =
           chaos_pending = false;
         })
   in
+  (* TCP workers: slots created at admission, ids from [next_remote]
+     (above the local range so the two can never collide). *)
+  let remotes : (int, wslot) Hashtbl.t = Hashtbl.create 8 in
+  let next_remote = ref config.workers in
+  let remote_slots () =
+    Hashtbl.fold (fun _ w acc -> w :: acc) remotes []
+    |> List.sort (fun a b -> compare a.slot b.slot)
+  in
+  let all_slots () = Array.to_list slots @ remote_slots () in
   let strays : stray list ref = ref [] in
+  let drop_stray fd = strays := List.filter (fun x -> x.s_fd <> fd) !strays in
+  (* Dead children of ours whose WNOHANG reap raced the exit: swept
+     every loop iteration until collected.  Only pids this coordinator
+     spawned or killed go here — a waitpid(-1) sweep would steal exit
+     statuses from children the embedding process forked for its own
+     purposes (a test harness's own TCP workers, say). *)
+  let reapable : int list ref = ref [] in
+  let reap_later pid =
+    if pid > 0 then
+      match Unix.waitpid [ Unix.WNOHANG ] pid with
+      | 0, _ -> reapable := pid :: !reapable
+      | _ -> ()
+      | exception Unix.Unix_error (_, _, _) -> ()
+  in
+  let sweep_reapable () =
+    reapable :=
+      List.filter
+        (fun pid ->
+          match Unix.waitpid [ Unix.WNOHANG ] pid with
+          | 0, _ -> true
+          | _ -> false
+          | exception Unix.Unix_error (_, _, _) -> false)
+        !reapable
+  in
   let spawn_slot w =
     let pid = spawn ~slot:w.slot ~socket:sock_path in
     w.inc <-
@@ -314,6 +383,7 @@ let run ?(cancel = Pool.global) ~spawn (config : config) task_ids =
           reader = Proto.reader ();
           last_seen = Clock.now_s ();
           hello = false;
+          crc = false;
         }
   in
   Array.iter spawn_slot slots;
@@ -325,6 +395,8 @@ let run ?(cancel = Pool.global) ~spawn (config : config) task_ids =
       | None -> infinity)
   in
   let live_slots () =
+    (* Local slots only: [min_workers] and chaos target the processes
+       this coordinator owns, not remote peers that come and go. *)
     Array.to_list slots
     |> List.filter (fun w -> (not w.demoted) && Option.is_some w.inc)
   in
@@ -340,8 +412,9 @@ let run ?(cancel = Pool.global) ~spawn (config : config) task_ids =
     then aborted := true
   in
   (* Return a task to the queue after a failure or a reclaimed lease.
-     [charge] is false for chaos-inflicted deaths: exogenous faults
-     prove the machinery and must not burn the task's budget. *)
+     [charge] is false for chaos-inflicted deaths and remote
+     disconnects: exogenous faults prove the machinery and must not
+     burn the task's budget. *)
   let requeue ~charge ~why id =
     if charge then begin
       Hashtbl.replace attempts id (attempt_of id);
@@ -354,11 +427,18 @@ let run ?(cancel = Pool.global) ~spawn (config : config) task_ids =
       end
     end
     else begin
-      Hashtbl.replace chaos_reassigns id
-        (1 + Option.value ~default:0 (Hashtbl.find_opt chaos_reassigns id));
-      Queue.add id queue;
-      incr reassignments;
-      Obs.incr m_reassign
+      let n =
+        1 + Option.value ~default:0 (Hashtbl.find_opt chaos_reassigns id)
+      in
+      Hashtbl.replace chaos_reassigns id n;
+      if n > uncharged_cap then
+        quarantine id
+          (Printf.sprintf "excessive uncharged reassignments (%s)" why)
+      else begin
+        Queue.add id queue;
+        incr reassignments;
+        Obs.incr m_reassign
+      end
     end
   in
   let reclaim_lease ~charge w why =
@@ -374,55 +454,80 @@ let run ?(cancel = Pool.global) ~spawn (config : config) task_ids =
   in
   (* Uncommanded death or heartbeat timeout: reclaim, journal, respawn
      within budget.  [zombie] keeps the old connection draining (the
-     process may still be alive and about to write something stale). *)
+     process may still be alive and about to write something stale).
+     A remote slot has no process behind it: nothing to kill, reap or
+     respawn, and its drop is presumed a network fault (uncharged);
+     the peer is expected to reconnect and resume its id. *)
   let declare_dead ~ev ~zombie w =
-    let chaos = w.chaos_pending in
-    w.chaos_pending <- false;
-    (match w.inc with
-    | None -> ()
-    | Some inc ->
-      (if zombie then
-         match inc.fd with
-         | Some fd ->
-           strays :=
-             { s_fd = fd; s_reader = inc.reader; s_pid = Some inc.pid }
-             :: !strays
-         | None -> kill_quiet Sys.sigkill inc.pid
-       else begin
-         (match inc.fd with Some fd -> close_quiet fd | None -> ());
-         kill_quiet Sys.sigkill inc.pid;
-         reap_quiet inc.pid
-       end);
-      w.inc <- None);
-    journal (incident_record ev ~worker:w.slot ());
-    if chaos then begin
-      incr chaos_kills;
-      w.chaos_kills <- w.chaos_kills + 1;
-      Obs.incr m_chaos
-    end
-    else begin
+    if w.remote then begin
+      (match w.inc with
+      | None -> ()
+      | Some inc ->
+        (if zombie then
+           match inc.fd with
+           | Some fd ->
+             strays :=
+               { s_fd = fd; s_reader = inc.reader; s_pid = None } :: !strays
+           | None -> ()
+         else match inc.fd with Some fd -> close_quiet fd | None -> ());
+        w.inc <- None);
+      journal (incident_record ev ~worker:w.slot ());
       incr worker_deaths;
       w.restarts <- w.restarts + 1;
-      Obs.incr m_deaths
-    end;
-    reclaim_lease ~charge:(not chaos) w ev;
-    if (not chaos) && w.restarts > config.max_restarts then begin
-      w.demoted <- true;
-      journal (incident_record "demoted" ~worker:w.slot ())
+      Obs.incr m_deaths;
+      reclaim_lease ~charge:false w ev
     end
-    else if !remaining > 0 && not (Pool.is_cancelled cancel) then begin
-      spawn_slot w;
-      incr worker_restarts;
-      Obs.incr m_restarts;
-      journal (incident_record "restart" ~worker:w.slot ())
-    end;
-    if List.length (live_slots ()) < config.min_workers then begin
-      aborted := true;
-      journal (incident_record "min_workers_abort" ~worker:w.slot ())
+    else begin
+      let chaos = w.chaos_pending in
+      w.chaos_pending <- false;
+      (match w.inc with
+      | None -> ()
+      | Some inc ->
+        (if zombie then
+           match inc.fd with
+           | Some fd ->
+             strays :=
+               { s_fd = fd; s_reader = inc.reader; s_pid = Some inc.pid }
+               :: !strays
+           | None ->
+             kill_quiet Sys.sigkill inc.pid;
+             reap_later inc.pid
+         else begin
+           (match inc.fd with Some fd -> close_quiet fd | None -> ());
+           kill_quiet Sys.sigkill inc.pid;
+           reap_later inc.pid
+         end);
+        w.inc <- None);
+      journal (incident_record ev ~worker:w.slot ());
+      if chaos then begin
+        incr chaos_kills;
+        w.chaos_kills <- w.chaos_kills + 1;
+        Obs.incr m_chaos
+      end
+      else begin
+        incr worker_deaths;
+        w.restarts <- w.restarts + 1;
+        Obs.incr m_deaths
+      end;
+      reclaim_lease ~charge:(not chaos) w ev;
+      if (not chaos) && w.restarts > config.max_restarts then begin
+        w.demoted <- true;
+        journal (incident_record "demoted" ~worker:w.slot ())
+      end
+      else if !remaining > 0 && not (Pool.is_cancelled cancel) then begin
+        spawn_slot w;
+        incr worker_restarts;
+        Obs.incr m_restarts;
+        journal (incident_record "restart" ~worker:w.slot ())
+      end;
+      if List.length (live_slots ()) < config.min_workers then begin
+        aborted := true;
+        journal (incident_record "min_workers_abort" ~worker:w.slot ())
+      end
     end
   in
-  let accept_result w_opt (lease_id, epoch, task, ok, wall_s, file, err, transient)
-      =
+  let accept_result w_opt
+      (lease_id, epoch, task, ok, wall_s, file, err, transient, data) =
     let file = Filename.basename file in
     let partial = Filename.concat (tasks_dir config) file in
     match Lease.complete leases ~lease_id ~epoch ~task with
@@ -447,6 +552,14 @@ let run ?(cancel = Pool.global) ~spawn (config : config) task_ids =
       | Some w ->
         if Lease.active leases ~lease_id = None then w.lease <- None
       | None -> ());
+      (* A remote result carries its bytes inline (the coordinator
+         cannot read the worker's filesystem): materialize them where
+         a local worker would have written the stamped partial.  Only
+         on the trusted path — a fenced frame's bytes are never
+         written anywhere. *)
+      (match data with
+      | Some d when ok -> Wal.write_atomic partial d
+      | _ -> ());
       if ok && Sys.file_exists partial then begin
         (* Rename before journaling: a trusted done record always has
            its canonical bytes on disk. *)
@@ -489,33 +602,39 @@ let run ?(cancel = Pool.global) ~spawn (config : config) task_ids =
       | None -> ())
     | None -> ());
     match msg with
-    | Proto.Hello { worker = _; pid = _ } -> (
+    | Proto.Hello _ -> (
       match w_opt with
       | Some w -> (
         match w.inc with Some inc -> inc.hello <- true | None -> ())
       | None -> ())
     | Proto.Beat _ -> ()
-    | Proto.Result { lease; epoch; task; ok; wall_s; file; err; transient; _ }
-      ->
-      accept_result w_opt (lease, epoch, task, ok, wall_s, file, err, transient)
-    | Proto.Grant _ | Proto.Stop -> ()  (* not ours to receive *)
+    | Proto.Result
+        { lease; epoch; task; ok; wall_s; file; err; transient; data; _ } ->
+      accept_result w_opt
+        (lease, epoch, task, ok, wall_s, file, err, transient, data)
+    | Proto.Grant _ | Proto.Stop | Proto.Welcome _ | Proto.Reject _ ->
+      ()  (* not ours to receive *)
   in
   (* Route a raw frame: a hello from a fresh accept binds the stray
      connection to its slot's current incarnation; everything else is
      dispatched with whatever slot attribution the worker id gives. *)
   let slot_of_worker_id w =
-    if w >= 0 && w < Array.length slots then Some slots.(w) else None
+    if w >= 0 && w < Array.length slots then Some slots.(w)
+    else Hashtbl.find_opt remotes w
+  in
+  let send_to inc json =
+    Proto.send ~crc:inc.crc (Option.get inc.fd) json
   in
   let grant_work () =
     if not (Pool.is_cancelled cancel || !aborted) then
-      Array.iter
+      List.iter
         (fun w ->
           if
             (not w.demoted) && w.lease = None
             && not (Queue.is_empty queue)
           then
             match w.inc with
-            | Some inc when inc.hello -> (
+            | Some inc when inc.hello && inc.fd <> None -> (
               let batch = ref [] in
               let n = min config.batch (Queue.length queue) in
               for _ = 1 to n do
@@ -530,7 +649,7 @@ let run ?(cancel = Pool.global) ~spawn (config : config) task_ids =
                    ~epoch:lease.Lease.epoch ~worker:w.slot ~tasks:batch ());
               w.lease <- Some lease.Lease.id;
               match
-                Proto.send (Option.get inc.fd)
+                send_to inc
                   (Proto.to_json
                      (Proto.Grant
                         {
@@ -543,7 +662,124 @@ let run ?(cancel = Pool.global) ~spawn (config : config) task_ids =
               | exception (Unix.Unix_error (_, _, _) | Sys_error _) ->
                 declare_dead ~ev:"worker_death" ~zombie:false w)
             | _ -> ())
-        slots
+        (all_slots ())
+  in
+  (* Admission of a protocol-2 (TCP) hello: version and token are
+     checked here, at the door, so a stray worker from another
+     campaign is turned away before it can touch a lease.  A known
+     worker id resumes its slot (superseding any half-open previous
+     connection); -1 gets a fresh id.  The welcome — like the hello —
+     is always sent without a CRC trailer; the negotiated mode starts
+     with the first frame after it, in both directions. *)
+  let admit_remote (s : stray) ~worker ~pid ~proto ~tok ~crc =
+    let fd = s.s_fd in
+    let reject reason =
+      incr rejected;
+      Obs.incr m_rejected;
+      journal (incident_record "hello_rejected" ~worker ~detail:reason ());
+      (try Proto.send fd (Proto.to_json (Proto.Reject { reason }))
+       with Unix.Unix_error _ | Sys_error _ -> ());
+      close_quiet fd;
+      drop_stray fd
+    in
+    if proto > Proto.version then
+      reject
+        (Printf.sprintf "unsupported protocol version %d (coordinator max %d)"
+           proto Proto.version)
+    else if not (config.token = None || config.token = tok) then
+      reject "bad campaign token"
+    else if worker >= 0 && worker < Array.length slots then
+      reject (Printf.sprintf "worker id %d names a local slot" worker)
+    else begin
+      let resume = worker >= 0 && Hashtbl.mem remotes worker in
+      let w =
+        if resume then Hashtbl.find remotes worker
+        else begin
+          (* An explicit id above the local range is honoured (a
+             worker resuming across a coordinator restart); otherwise
+             allocate the next one. *)
+          let id = if worker >= 0 then worker else !next_remote in
+          next_remote := Int.max !next_remote (id + 1);
+          let w =
+            {
+              slot = id;
+              remote = true;
+              inc = None;
+              lease = None;
+              restarts = 0;
+              chaos_kills = 0;
+              tasks_done = 0;
+              fenced = 0;
+              demoted = false;
+              chaos_pending = false;
+            }
+          in
+          Hashtbl.replace remotes id w;
+          w
+        end
+      in
+      (match w.inc with
+      | Some old ->
+        (match old.fd with Some ofd -> close_quiet ofd | None -> ());
+        w.inc <- None
+      | None -> ());
+      match
+        Proto.send fd
+          (Proto.to_json
+             (Proto.Welcome { worker = w.slot; proto = Proto.version; crc }))
+      with
+      | exception (Unix.Unix_error _ | Sys_error _) ->
+        close_quiet fd;
+        drop_stray fd
+      | () ->
+        Proto.set_crc s.s_reader crc;
+        w.inc <-
+          Some
+            {
+              pid;
+              fd = Some fd;
+              reader = s.s_reader;
+              last_seen = Clock.now_s ();
+              hello = true;
+              crc;
+            };
+        drop_stray fd;
+        if resume then begin
+          incr remote_reconnects;
+          Obs.incr m_remote_reconnects;
+          journal (incident_record "remote_reconnect" ~worker:w.slot ())
+        end
+        else journal (incident_record "remote_join" ~worker:w.slot ());
+        (* A grant may have died with the old connection, which would
+           deadlock the pair (coordinator waiting for results, worker
+           for work).  Re-send the active batch: already-finished
+           tasks in it come back as fenced/unknown duplicates and are
+           discarded. *)
+        (match w.lease with
+        | None -> ()
+        | Some lease_id -> (
+          match Lease.active leases ~lease_id with
+          | None -> w.lease <- None
+          | Some l -> (
+            journal
+              (incident_record "regrant" ~worker:w.slot
+                 ~detail:
+                   (Printf.sprintf "lease %d ep %d" l.Lease.id l.Lease.epoch)
+                 ());
+            match
+              Proto.send ~crc fd
+                (Proto.to_json
+                   (Proto.Grant
+                      {
+                        lease = l.Lease.id;
+                        epoch = l.Lease.epoch;
+                        tasks = l.Lease.tasks;
+                      }))
+            with
+            | () -> ()
+            | exception (Unix.Unix_error _ | Sys_error _) ->
+              declare_dead ~ev:"worker_death" ~zombie:false w)))
+    end
   in
   let read_fd fd =
     let chunk = Bytes.create 65536 in
@@ -585,7 +821,7 @@ let run ?(cancel = Pool.global) ~spawn (config : config) task_ids =
         | Some inc ->
           (match inc.fd with
           | Some fd ->
-            (try Proto.send fd (Proto.to_json Proto.Stop)
+            (try Proto.send ~crc:inc.crc fd (Proto.to_json Proto.Stop)
              with Unix.Unix_error (_, _, _) | Sys_error _ -> ());
             close_quiet fd
           | None -> ());
@@ -595,7 +831,7 @@ let run ?(cancel = Pool.global) ~spawn (config : config) task_ids =
             | 0, _ ->
               if Clock.now_s () > deadline then begin
                 kill_quiet Sys.sigkill inc.pid;
-                reap_quiet inc.pid
+                reap_later inc.pid
               end
               else begin
                 Unix.sleepf 0.02;
@@ -607,17 +843,43 @@ let run ?(cancel = Pool.global) ~spawn (config : config) task_ids =
           wait ()
         | None -> ())
       slots;
+    (* Remote peers: an orderly stop frame, then hang up — their
+       processes belong to another machine. *)
+    List.iter
+      (fun w ->
+        match w.inc with
+        | Some inc -> (
+          match inc.fd with
+          | Some fd ->
+            (try Proto.send ~crc:inc.crc fd (Proto.to_json Proto.Stop)
+             with Unix.Unix_error (_, _, _) | Sys_error _ -> ());
+            close_quiet fd
+          | None -> ())
+        | None -> ())
+      (remote_slots ());
     List.iter
       (fun s ->
         close_quiet s.s_fd;
         (match s.s_pid with
         | Some pid ->
           kill_quiet Sys.sigkill pid;
-          reap_quiet pid
+          reap_later pid
         | None -> ()))
       !strays;
+    (* Collect the stragglers whose reap raced their kill. *)
+    let deadline = Clock.now_s () +. 2.0 in
+    let rec drain () =
+      sweep_reapable ();
+      if !reapable <> [] && Clock.now_s () < deadline then begin
+        Unix.sleepf 0.02;
+        drain ()
+      end
+    in
+    drain ();
     close_quiet listen_fd;
+    (match tcp_listen with Some fd -> close_quiet fd | None -> ());
     if Sys.file_exists sock_path then Sys.remove sock_path;
+    if Sys.file_exists (port_path config) then Sys.remove (port_path config);
     (* Stale stamped partials (fenced or never-accepted writes) must
        not survive into a byte-compare of the tasks directory. *)
     Array.iter
@@ -653,12 +915,17 @@ let run ?(cancel = Pool.global) ~spawn (config : config) task_ids =
           let next = min (!next_chaos -. now) 0.2 in
           Float.max 0.01 next
         in
+        let conn_slots =
+          List.filter_map
+            (fun w ->
+              match w.inc with
+              | Some { fd = Some fd; _ } -> Some (fd, w)
+              | _ -> None)
+            (all_slots ())
+        in
         let watched =
-          (listen_fd
-          :: List.filter_map
-               (fun w ->
-                 match w.inc with Some { fd = Some fd; _ } -> Some fd | _ -> None)
-               (Array.to_list slots))
+          (listen_fd :: Option.to_list tcp_listen)
+          @ List.map fst conn_slots
           @ List.map (fun s -> s.s_fd) !strays
         in
         let readable, _, _ =
@@ -668,9 +935,10 @@ let run ?(cancel = Pool.global) ~spawn (config : config) task_ids =
         in
         List.iter
           (fun fd ->
-            if fd = listen_fd then begin
-              match Unix.accept ~cloexec:true listen_fd with
+            if fd = listen_fd || Some fd = tcp_listen then begin
+              match Unix.accept ~cloexec:true fd with
               | conn_fd, _ ->
+                if Some fd = tcp_listen then Net.tune_stream_socket conn_fd;
                 strays :=
                   { s_fd = conn_fd; s_reader = Proto.reader (); s_pid = None }
                   :: !strays
@@ -679,23 +947,25 @@ let run ?(cancel = Pool.global) ~spawn (config : config) task_ids =
             else begin
               (* Slot connection? *)
               let slot =
-                Array.to_list slots
-                |> List.find_opt (fun w ->
-                       match w.inc with
-                       | Some { fd = Some f; _ } -> f = fd
-                       | _ -> false)
+                List.find_opt (fun (f, _) -> f = fd) conn_slots
+                |> Option.map snd
               in
               match slot with
               | Some w -> (
-                let inc = Option.get w.inc in
-                match read_fd fd with
-                | `Eof -> declare_dead ~ev:"worker_death" ~zombie:false w
-                | `Data (chunk, n) ->
-                  Proto.feed inc.reader chunk n;
-                  (match drain_reader (Some w) inc.reader with
-                  | () -> ()
-                  | exception Proto.Protocol_error _ ->
-                    declare_dead ~ev:"protocol_error" ~zombie:false w))
+                match w.inc with
+                | None -> ()
+                | Some inc -> (
+                  match read_fd fd with
+                  | `Eof -> declare_dead ~ev:"worker_death" ~zombie:false w
+                  | `Data (chunk, n) ->
+                    Proto.feed inc.reader chunk n;
+                    (match drain_reader (Some w) inc.reader with
+                    | () -> ()
+                    | exception Proto.Protocol_error _ ->
+                      (* Corrupted or desynchronized stream (a CRC
+                         mismatch lands here): cut the connection; a
+                         remote peer reconnects and resumes. *)
+                      declare_dead ~ev:"protocol_error" ~zombie:false w)))
               | None -> (
                 match List.find_opt (fun s -> s.s_fd = fd) !strays with
                 | None -> ()
@@ -703,8 +973,8 @@ let run ?(cancel = Pool.global) ~spawn (config : config) task_ids =
                   match read_fd fd with
                   | `Eof ->
                     close_quiet fd;
-                    (match s.s_pid with Some pid -> reap_quiet pid | None -> ());
-                    strays := List.filter (fun x -> x.s_fd <> fd) !strays
+                    (match s.s_pid with Some pid -> reap_later pid | None -> ());
+                    drop_stray fd
                   | `Data (chunk, n) -> (
                     Proto.feed s.s_reader chunk n;
                     (* A hello binds this stray to its slot; results
@@ -715,7 +985,10 @@ let run ?(cancel = Pool.global) ~spawn (config : config) task_ids =
                       | None -> ()
                       | Some j ->
                         (match Proto.of_json j with
-                        | Some (Proto.Hello { worker; pid }) -> (
+                        | Some (Proto.Hello { worker; pid; proto; token; crc })
+                          when proto >= 2 ->
+                          admit_remote s ~worker ~pid ~proto ~tok:token ~crc
+                        | Some (Proto.Hello { worker; pid; _ }) -> (
                           match slot_of_worker_id worker with
                           | Some w -> (
                             match w.inc with
@@ -725,18 +998,17 @@ let run ?(cancel = Pool.global) ~spawn (config : config) task_ids =
                               inc.reader <- s.s_reader;
                               inc.hello <- true;
                               inc.last_seen <- Clock.now_s ();
-                              strays :=
-                                List.filter (fun x -> x.s_fd <> fd) !strays
+                              drop_stray fd
                             | _ ->
                               (* Not the incarnation we are waiting
                                  for: keep it stray (it is a zombie). *)
-                              handle_msg None (Proto.Hello { worker; pid }))
+                              ())
                           | None -> ())
                         | Some
                             (Proto.Result
                                {
                                  worker; lease; epoch; task; ok; wall_s;
-                                 file; err; transient;
+                                 file; err; transient; data;
                                }) ->
                           (* A zombie's late result: its lease was
                              reclaimed when we declared it dead, so
@@ -744,7 +1016,7 @@ let run ?(cancel = Pool.global) ~spawn (config : config) task_ids =
                           accept_result
                             (slot_of_worker_id worker)
                             (lease, epoch, task, ok, wall_s, file, err,
-                             transient)
+                             transient, data)
                         | Some _ -> ()  (* stray beats: ignore *)
                         | None -> ());
                         if List.exists (fun x -> x.s_fd = fd) !strays then
@@ -754,7 +1026,7 @@ let run ?(cancel = Pool.global) ~spawn (config : config) task_ids =
                     | () -> ()
                     | exception Proto.Protocol_error _ ->
                       close_quiet fd;
-                      strays := List.filter (fun x -> x.s_fd <> fd) !strays)))
+                      drop_stray fd)))
             end)
           readable;
         (* Heartbeat deadlines: silence past the timeout means dead —
@@ -762,14 +1034,14 @@ let run ?(cancel = Pool.global) ~spawn (config : config) task_ids =
            connection (if any) survives as a stray so late writes are
            fenced rather than lost in a closed pipe. *)
         let now = Clock.now_s () in
-        Array.iter
+        List.iter
           (fun w ->
             match w.inc with
             | Some inc when now -. inc.last_seen > config.heartbeat_timeout_s
               ->
               declare_dead ~ev:"heartbeat_timeout" ~zombie:true w
             | _ -> ())
-          slots;
+          (all_slots ());
         (* Stalled strays: a half-open connection holding bytes of an
            incomplete frame — or a fresh accept that never said hello —
            past the heartbeat timeout is dropped, or it would pin its
@@ -795,19 +1067,16 @@ let run ?(cancel = Pool.global) ~spawn (config : config) task_ids =
                       (Option.map (Printf.sprintf "zombie pid %d") s.s_pid)
                     ());
                close_quiet s.s_fd;
-               match s.s_pid with Some pid -> reap_quiet pid | None -> ())
+               match s.s_pid with Some pid -> reap_later pid | None -> ())
              dropped
          end);
-        (* Reap exited children: the WNOHANG at death time can race
-           the SIGKILL, so sweep every iteration or defunct processes
-           pile up across a long chaos run. *)
-        let rec sweep () =
-          match Unix.waitpid [ Unix.WNOHANG ] (-1) with
-          | 0, _ -> ()
-          | _ -> sweep ()
-          | exception Unix.Unix_error (_, _, _) -> ()
-        in
-        sweep ();
+        (* Reap exited children: the WNOHANG at kill time can race the
+           SIGKILL, so sweep the coordinator's own dead pids every
+           iteration or defunct processes pile up across a long chaos
+           run.  Never waitpid(-1) here: it would also collect — and
+           so destroy the exit status of — children the embedding
+           process forked for itself. *)
+        sweep_reapable ();
         (* Chaos: SIGKILL a random live worker, lease held or not —
            that is the scenario the recovery machinery exists for. *)
         if now >= !next_chaos && not (Pool.is_cancelled cancel) then begin
@@ -875,21 +1144,23 @@ let run ?(cancel = Pool.global) ~spawn (config : config) task_ids =
       worker_restarts = !worker_restarts;
       chaos_kills = !chaos_kills;
       stalled_drops = !stalled_drops;
+      remote_reconnects = !remote_reconnects;
+      rejected = !rejected;
       wal_corrupt_records = recovery.Wal.corrupt_records;
       wall_s = Clock.now_s () -. t0;
       workers =
-        Array.to_list
-          (Array.map
-             (fun w ->
-               {
-                 slot = w.slot;
-                 restarts = w.restarts;
-                 chaos_kills = w.chaos_kills;
-                 tasks_done = w.tasks_done;
-                 fenced = w.fenced;
-                 demoted = w.demoted;
-               })
-             slots);
+        List.map
+          (fun w ->
+            {
+              slot = w.slot;
+              restarts = w.restarts;
+              chaos_kills = w.chaos_kills;
+              tasks_done = w.tasks_done;
+              fenced = w.fenced;
+              demoted = w.demoted;
+              remote = w.remote;
+            })
+          (all_slots ());
     }
   in
   let manifest =
@@ -910,6 +1181,8 @@ let run ?(cancel = Pool.global) ~spawn (config : config) task_ids =
         ("worker_restarts", Json.Int summary.worker_restarts);
         ("chaos_kills", Json.Int summary.chaos_kills);
         ("stalled_drops", Json.Int summary.stalled_drops);
+        ("remote_reconnects", Json.Int summary.remote_reconnects);
+        ("rejected_hellos", Json.Int summary.rejected);
         ("wal_corrupt_records", Json.Int summary.wal_corrupt_records);
         ("wall_s", Json.Float summary.wall_s);
         ( "tasks",
@@ -937,6 +1210,7 @@ let run ?(cancel = Pool.global) ~spawn (config : config) task_ids =
                      ("tasks_done", Json.Int w.tasks_done);
                      ("fenced", Json.Int w.fenced);
                      ("demoted", Json.Bool w.demoted);
+                     ("remote", Json.Bool w.remote);
                    ])
                summary.workers) );
       ]

@@ -5,37 +5,58 @@
     (via [spawn], typically a re-exec of the [rumor] binary in its
     hidden [worker] mode) and feeds them task batches over a
     Unix-domain socket with the length-prefixed JSONL protocol of
-    {!Proto}.  Each batch is a {!Lease}: lease id + fencing epoch,
-    journaled to the campaign WAL before the grant is sent, so the
-    log always knows who was allowed to produce what.
+    {!Proto}.  With [config.listen] set, it additionally accepts
+    {e remote} workers over TCP ([rumor worker --connect]), so a
+    campaign can span machines.  Each batch is a {!Lease}: lease id +
+    fencing epoch, journaled to the campaign WAL before the grant is
+    sent, so the log always knows who was allowed to produce what.
 
-    {b Failure model} — a worker can die at any instant (crash,
+    {b Remote admission} — a TCP worker opens with a versioned hello
+    (protocol version, campaign token, CRC request).  Version or
+    token mismatches are rejected {e at the door} with a terminal
+    [Reject] frame — a stray worker from another campaign never
+    touches a lease.  Admitted workers get a [Welcome] naming their
+    worker id (fresh ids are allocated above the local slot range;
+    a returning id resumes its slot) and, when negotiated, every
+    subsequent frame in both directions carries a CRC-32 trailer: a
+    corrupted stream surfaces as a protocol error → disconnect →
+    reconnect, never as a silently-wrong grant or result.  Remote
+    results inline their captured bytes in the frame; the coordinator
+    materializes them through the same stamped-partial + atomic-rename
+    path a local worker's file takes.
+
+    {b Failure model} — a local worker can die at any instant (crash,
     segfault, OOM-kill, [kill -9]) or hang (heartbeat timeout).  On
     either, the coordinator reclaims the lease (bumping the fencing
     epoch), journals the incident, returns the unfinished tasks to
     the queue for a surviving worker, and — unless the slot exhausted
-    its restart budget — forks a replacement.  A {e zombie} (declared
-    dead on heartbeat timeout but still running) can only speak with
-    its stale lease/epoch pair; its results are fenced, counted, and
-    its stamped output file deleted, so it can never corrupt the
-    campaign.  The same fencing check runs over the journal at
-    [--resume] time ({!Lease.Replay}), rejecting a zombie's writes
-    that raced a crash into the WAL.
+    its restart budget — forks a replacement.  A remote worker's drop
+    (EOF, reset, heartbeat timeout) reclaims the same way but charges
+    {e no} retry budget — network faults are exogenous, like chaos
+    kills — and leaves the slot ready for the worker to reconnect and
+    resume; an uncharged-reassignment cap bounds the livelock a
+    permanently flapping link could cause.  A {e zombie} (declared
+    dead but still writing) can only speak with its stale lease/epoch
+    pair; its results are fenced, counted, and its stamped output file
+    deleted, so it can never corrupt the campaign.  The same fencing
+    check runs over the journal at [--resume] time ({!Lease.Replay}),
+    rejecting a zombie's writes that raced a crash into the WAL.
 
     {b Determinism} — workers run tasks with the ordinary in-process
     machinery (index-keyed split-seed replicate streams), each task's
     stdout captured to [<dir>/tasks/<id>.out] via an atomic
-    epoch-stamped rename.  However many workers die, restart or get
-    chaos-killed, the accepted output files are byte-identical to a
-    [workers = 1] run of the same campaign.
+    epoch-stamped rename.  However many workers die, restart,
+    disconnect or get chaos-killed, the accepted output files are
+    byte-identical to a [workers = 1] run of the same campaign.
 
     {b Graceful degradation} — the campaign finishes with however
-    many workers survive; it aborts only when live workers fall below
-    [min_workers], or quarantined tasks exceed [fail_budget].  A
-    flapping worker (more than [max_restarts] uncommanded deaths) is
-    demoted — no longer respawned — before it burns the campaign
-    budget.  Chaos kills ({!config.chaos_kill_every_s}, used by tests
-    and CI) are coordinator-inflicted and charge {e no} budget: they
+    many workers survive; it aborts only when live {e local} workers
+    fall below [min_workers], or quarantined tasks exceed
+    [fail_budget].  A flapping local worker (more than [max_restarts]
+    uncommanded deaths) is demoted — no longer respawned — before it
+    burns the campaign budget.  Chaos kills
+    ({!config.chaos_kill_every_s}, used by tests and CI) are
+    coordinator-inflicted, local-only, and charge {e no} budget: they
     prove the recovery machinery, not the workload.
 
     {b Shutdown} — the [cancel] token (default
@@ -46,21 +67,23 @@
 
 type config = {
   dir : string;  (** journal, manifest and [tasks/] outputs live here *)
-  workers : int;  (** processes to fork; at least 1 *)
+  workers : int;
+      (** local processes to fork; may be 0 when [listen] is set *)
   min_workers : int;
-      (** abort when live (non-demoted) workers fall below this *)
+      (** abort when live (non-demoted) {e local} workers fall below
+          this; never triggered by remote departures *)
   batch : int;  (** tasks per lease (default 1) *)
   resume : bool;  (** replay the journal; [false] starts fresh *)
   heartbeat_timeout_s : float;
       (** a worker silent for this long is declared dead (zombied) *)
   chaos_kill_every_s : float option;
-      (** SIGKILL a random live worker this often (chaos mode).
+      (** SIGKILL a random live local worker this often (chaos mode).
           Progress is guaranteed: a task chaos-reassigned 5 times makes
           its next holder immune, so a task longer than the kill
           interval cannot livelock the campaign. *)
   retries : int;
       (** per-task budget for transient failures and uncommanded
-          worker deaths before the task is quarantined *)
+          local worker deaths before the task is quarantined *)
   max_restarts : int;
       (** per-slot uncommanded-death budget before demotion *)
   fail_budget : float;
@@ -68,13 +91,19 @@ type config = {
           task list; [1.0] disables the gate *)
   fsync : bool;  (** fsync journal appends (tests may turn it off) *)
   seed : int;  (** seeds the chaos-victim RNG only *)
+  listen : (string * int) option;
+      (** also accept TCP workers on this host/port (port 0 =
+          kernel-assigned; the bound port is written to
+          [<dir>/coord.port]) *)
+  token : string option;
+      (** campaign token TCP workers must present; [None] admits any *)
 }
 
 val default_config : dir:string -> workers:int -> config
 (** [min_workers = 1], [batch = 1], [resume = false],
     [heartbeat_timeout_s = 30.], no chaos, [retries = 1],
     [max_restarts = 3], [fail_budget = 1.0], [fsync = true],
-    [seed = 2020]. *)
+    [seed = 2020], [listen = None], [token = None]. *)
 
 type worker_stats = {
   slot : int;
@@ -83,6 +112,7 @@ type worker_stats = {
   tasks_done : int;
   fenced : int;  (** stale-epoch results rejected from this slot *)
   demoted : bool;
+  remote : bool;  (** joined over TCP *)
 }
 
 type summary = {
@@ -97,19 +127,28 @@ type summary = {
       (** tasks returned to the queue by a reclaimed lease *)
   fences : int;  (** live stale-epoch results rejected *)
   replay_fenced : int;  (** journal done-records rejected at replay *)
-  worker_deaths : int;  (** uncommanded deaths (timeouts included) *)
+  worker_deaths : int;
+      (** uncommanded deaths (timeouts and remote drops included) *)
   worker_restarts : int;
   chaos_kills : int;
   stalled_drops : int;
       (** stray connections dropped for holding a partial frame (or
           never completing a hello) past the heartbeat timeout *)
+  remote_reconnects : int;
+      (** admitted hellos that resumed an existing remote slot *)
+  rejected : int;  (** hellos refused at admission (token/version) *)
   wal_corrupt_records : int;
   wall_s : float;
-  workers : worker_stats list;
+  workers : worker_stats list;  (** local slots, then remote joiners *)
 }
 
 val wal_path : config -> string
 val manifest_path : config -> string
+
+val port_path : config -> string
+(** [<dir>/coord.port] — the bound TCP port, written before the first
+    accept when [listen] is set (authoritative for port 0), removed at
+    shutdown. *)
 
 val tasks_dir : config -> string
 (** [<dir>/tasks] — canonical captured outputs ([<id>.out]) plus the
@@ -125,12 +164,15 @@ val run :
   string list ->
   summary
 (** Run the campaign over the named tasks.  [spawn] forks one worker
-    process for a slot and returns its pid; the worker must connect
-    to [socket] and speak {!Proto} (use {!Worker.run}, either behind
-    an exec of the CLI's [worker] subcommand or directly after
-    [Unix.fork]).  The manifest is written on every exit path.
-    @raise Invalid_argument on [workers < 1] or [batch < 1]
-    @raise Wal.Bad_magic if [resume] finds a non-WAL file in the way. *)
+    process for a local slot and returns its pid; the worker must
+    connect to [socket] and speak {!Proto} (use {!Worker.run}, either
+    behind an exec of the CLI's [worker] subcommand or directly after
+    [Unix.fork]).  Remote workers join on their own over
+    [config.listen].  The manifest is written on every exit path.
+    @raise Invalid_argument on [workers < 0], on [workers = 0]
+    without [listen], or [batch < 1]
+    @raise Wal.Bad_magic if [resume] finds a non-WAL file in the way.
+    @raise Failure if [listen] names an unresolvable host. *)
 
 val exit_code : summary -> int
 (** As {!Campaign.exit_code}: [0] clean or interrupted, [1] when

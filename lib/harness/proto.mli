@@ -1,5 +1,5 @@
 (** Coordinator↔worker wire protocol: length-prefixed JSON frames
-    over a Unix-domain stream socket.
+    over a Unix-domain or TCP stream socket.
 
     {b Framing} — every message is a 4-byte big-endian payload length
     followed by exactly that many bytes of compact JSON (the same
@@ -9,39 +9,69 @@
     newlines and lets the receiver find frame boundaries without
     parsing.
 
+    {b Integrity trailer} — when both sides negotiate it (see the
+    handshake below), each frame additionally carries a 4-byte
+    big-endian CRC-32 of the payload after the payload bytes.  A
+    mismatch raises {!Protocol_error}: on a WAN a flipped bit must
+    surface as a reconnect, never as a silently-wrong grant or
+    result.  The trailer is off for legacy Unix-socket peers, whose
+    frames are byte-identical to protocol version 1.
+
     {b Messages} (field [k] discriminates):
 
     worker → coordinator:
-    - [{"k":"hello","w":W,"pid":P}] — sent once after connecting.
+    - [{"k":"hello","w":W,"pid":P(,"v":2,"crc":B,"tok":T)}] — sent
+      once after connecting.  The [v]/[crc]/[tok] fields appear only
+      from protocol-2 (TCP) workers; their absence marks a legacy
+      peer.  [w] = -1 asks the coordinator to assign a worker id.
     - [{"k":"beat","w":W}] — periodic liveness heartbeat.
     - [{"k":"res","w":W,"lease":L,"ep":E,"task":ID,"ok":B,
-        "wall":"<%h>","file":F (,"err":MSG,"cls":"transient"|"poison")}]
+        "wall":"<%h>","file":F
+        (,"err":MSG,"cls":"transient"|"poison","data":BYTES)}]
       — one task of lease [L] (fencing epoch [E]) finished; [file] is
-      the basename of the captured-output file the worker wrote.
+      the basename of the captured-output file.  Remote workers
+      inline the captured bytes as [data] (no shared filesystem);
+      local workers omit it and the coordinator reads the file.
 
     coordinator → worker:
+    - [{"k":"welcome","w":W,"v":V,"crc":B}] — protocol-2 admission
+      reply: the worker id to use from now on (binding for [w]=-1
+      hellos and resumes alike) and whether CRC trailers are on for
+      every {e subsequent} frame in both directions.  The hello and
+      the welcome themselves are always sent without a trailer.
+      Never sent to legacy peers.
+    - [{"k":"reject","err":R}] — admission refused (bad token,
+      unsupported protocol version); the coordinator closes the
+      connection right after.  Terminal: the worker must not retry.
     - [{"k":"grant","lease":L,"ep":E,"tasks":[ID,...]}] — a lease on a
       batch of task ids.
     - [{"k":"stop"}] — drain and exit cleanly.
 
     A reader tolerates partial frames (stream reassembly) and reports
-    EOF distinctly; oversized or malformed frames raise
-    {!Protocol_error} — the peer is not speaking this protocol. *)
+    EOF distinctly; oversized, corrupted, or malformed frames raise
+    {!Protocol_error} — the peer is not speaking this protocol (or
+    the network damaged the stream). *)
 
 module Json = Rumor_obs.Json
 
 exception Protocol_error of string
 
-val max_frame : int
-(** Upper bound on accepted payload length (1 MiB) — a corrupt length
-    prefix must not trigger a gigabyte allocation. *)
+val version : int
+(** Current protocol version (2).  Version 1 is the PR-6 wire format:
+    no welcome, no CRC trailer, no [v]/[crc]/[tok]/[data] fields. *)
 
-val frame : Json.t -> bytes
-(** The wire bytes of one frame (length prefix + compact payload), for
-    callers that buffer writes themselves.
+val max_frame : int
+(** Upper bound on accepted payload length (8 MiB) — a corrupt length
+    prefix must not trigger a gigabyte allocation, but a result frame
+    inlining a task's captured output must fit. *)
+
+val frame : ?crc:bool -> Json.t -> bytes
+(** The wire bytes of one frame (length prefix + compact payload +
+    optional CRC-32 trailer), for callers that buffer writes
+    themselves.  [crc] defaults to [false].
     @raise Protocol_error when the payload exceeds {!max_frame}. *)
 
-val send : Unix.file_descr -> Json.t -> unit
+val send : ?crc:bool -> Unix.file_descr -> Json.t -> unit
 (** Write one frame, handling short writes.
     @raise Unix.Unix_error as [write] (EPIPE = peer is gone). *)
 
@@ -49,6 +79,14 @@ type reader
 (** Per-connection reassembly buffer. *)
 
 val reader : unit -> reader
+(** A fresh reader, CRC trailers off (the pre-handshake default). *)
+
+val set_crc : reader -> bool -> unit
+(** Switch trailer mode.  Call exactly at a frame boundary — after
+    the handshake frames have been consumed and before any bytes of a
+    trailered frame are fed — or reassembly desynchronizes. *)
+
+val crc_enabled : reader -> bool
 
 val feed : reader -> bytes -> int -> unit
 (** [feed r buf n] appends the first [n] bytes just read from the
@@ -56,8 +94,8 @@ val feed : reader -> bytes -> int -> unit
 
 val next : reader -> Json.t option
 (** Pop the next complete frame, [None] if more bytes are needed.
-    @raise Protocol_error on an oversized length prefix or a payload
-    that does not parse. *)
+    @raise Protocol_error on an oversized length prefix, a CRC-trailer
+    mismatch, or a payload that does not parse. *)
 
 (** {1 Stall detection}
 
@@ -92,7 +130,15 @@ val recv : Unix.file_descr -> reader -> Json.t option
     caller's to handle (log and ignore, for forward compatibility). *)
 
 type msg =
-  | Hello of { worker : int; pid : int }
+  | Hello of {
+      worker : int;  (** -1 = assign me an id (fresh protocol-2 join) *)
+      pid : int;
+      proto : int;  (** 1 for legacy peers (fields absent on the wire) *)
+      token : string option;
+      crc : bool;  (** worker requests CRC trailers after the welcome *)
+    }
+  | Welcome of { worker : int; proto : int; crc : bool }
+  | Reject of { reason : string }
   | Beat of { worker : int }
   | Result of {
       worker : int;
@@ -104,9 +150,15 @@ type msg =
       file : string;
       err : string option;
       transient : bool;
+      data : string option;
+          (** inlined captured-output bytes (remote workers only) *)
     }
   | Grant of { lease : int; epoch : int; tasks : string list }
   | Stop
 
 val to_json : msg -> Json.t
+(** A [Hello] with [proto <= 1] renders byte-identical to the
+    version-1 wire format (no [v]/[crc]/[tok] fields), so legacy
+    coordinators keep accepting it. *)
+
 val of_json : Json.t -> msg option

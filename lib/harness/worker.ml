@@ -1,33 +1,106 @@
 module Clock = Rumor_obs.Clock
+module Rng = Rumor_rng.Rng
+module Net = Rumor_util.Net
 
 let partial_name ~task ~lease ~epoch =
   Printf.sprintf ".%s.l%de%d.partial" task lease epoch
 
+type transport =
+  | Unix_sock of string
+  | Tcp of { host : string; port : int; token : string option }
+
+let describe = function
+  | Unix_sock path -> path
+  | Tcp { host; port; _ } -> Printf.sprintf "%s:%d" host port
+
 (* Serialize socket writes: the heartbeat domain and the main loop
    share one stream, and an interleaved frame would desynchronize the
-   coordinator's reader. *)
-type conn = { fd : Unix.file_descr; lock : Mutex.t }
+   coordinator's reader.  [closed] is flipped under the same lock, so
+   a straggling heartbeat can never write into a recycled fd number
+   after a reconnect tears the old socket down. *)
+type conn = {
+  fd : Unix.file_descr;
+  lock : Mutex.t;
+  mutable crc : bool;
+  mutable closed : bool;
+}
 
 let send conn msg =
   Mutex.lock conn.lock;
   Fun.protect
     ~finally:(fun () -> Mutex.unlock conn.lock)
-    (fun () -> Proto.send conn.fd (Proto.to_json msg))
+    (fun () ->
+      if conn.closed then raise (Sys_error "connection closed");
+      Proto.send ~crc:conn.crc conn.fd (Proto.to_json msg))
 
-let connect path =
-  let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  let rec attempt k =
-    match Unix.connect fd (Unix.ADDR_UNIX path) with
-    | () -> Some fd
-    | exception Unix.Unix_error ((Unix.ENOENT | Unix.ECONNREFUSED), _, _)
-      when k < 20 ->
-      Unix.sleepf 0.05;
-      attempt (k + 1)
-    | exception Unix.Unix_error (_, _, _) ->
-      (try Unix.close fd with Unix.Unix_error _ -> ());
-      None
+let close_conn conn =
+  Mutex.lock conn.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock conn.lock)
+    (fun () ->
+      if not conn.closed then begin
+        conn.closed <- true;
+        try Unix.close conn.fd with Unix.Unix_error _ -> ()
+      end)
+
+let backoff_s ~seed ~attempt =
+  let jitter = Rng.float (Rng.derive seed attempt) in
+  Float.min 3. (0.05 *. (2. ** float_of_int (attempt - 1))) *. (0.5 +. jitter)
+
+(* Errors worth a fresh attempt: the coordinator may simply not be
+   listening yet (campaign startup races the worker fork) or the
+   network hiccuped.  Anything else (EACCES, bad address family, ...)
+   is a configuration problem retries cannot fix. *)
+let retryable_errno = function
+  | Unix.ENOENT | Unix.ECONNREFUSED | Unix.ECONNRESET | Unix.ETIMEDOUT
+  | Unix.EHOSTUNREACH | Unix.ENETUNREACH | Unix.EINTR | Unix.EAGAIN ->
+    true
+  | _ -> false
+
+let connect ?(attempts = 10) ~seed transport =
+  (* A fresh socket per attempt: a failed [connect] leaves the fd in
+     an unspecified state, and retrying on it is EINVAL on some
+     platforms. *)
+  let try_once () =
+    match transport with
+    | Unix_sock path -> (
+      let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      match Unix.connect fd (Unix.ADDR_UNIX path) with
+      | () -> Ok fd
+      | exception e ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        Error e)
+    | Tcp { host; port; _ } -> (
+      match Net.resolve host with
+      | Error msg -> Error (Failure msg)
+      | Ok addr -> (
+        let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+        match
+          Unix.connect fd (Unix.ADDR_INET (addr, port));
+          Net.tune_stream_socket fd
+        with
+        | () -> Ok fd
+        | exception e ->
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          Error e))
   in
-  attempt 0
+  let rec go k =
+    match try_once () with
+    | Ok fd -> Some fd
+    | Error e ->
+      let retry =
+        match e with
+        | Unix.Unix_error (err, _, _) -> retryable_errno err
+        | Failure _ -> true (* resolver failures can be transient *)
+        | _ -> false
+      in
+      if retry && k < attempts then begin
+        Unix.sleepf (backoff_s ~seed ~attempt:k);
+        go (k + 1)
+      end
+      else None
+  in
+  go 1
 
 (* Run one task with stdout redirected to its stamped capture file.
    The file is complete (flushed, synced) before the result frame is
@@ -57,85 +130,303 @@ let run_captured ~tasks_dir ~task ~lease ~epoch run_task =
   restore ();
   (file, outcome)
 
-let run ?(heartbeat_s = 0.5) ~socket ~id ~tasks_dir ~run_task () =
+(* Remote results inline the captured bytes.  The cap leaves the JSON
+   escaper (worst case six output bytes per input byte) comfortable
+   room under [Proto.max_frame], so building the frame can never
+   itself raise. *)
+let max_inline = 1 lsl 20
+
+let read_back path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | s -> Some s
+  | exception (Sys_error _ | End_of_file) -> None
+
+exception Reconnect of string
+exception Fatal of string
+
+let rec select_read fd timeout =
+  match Unix.select [ fd ] [] [] timeout with
+  | ready, _, _ -> ready <> []
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> select_read fd timeout
+
+let rec read_chunk fd buf =
+  match Unix.read fd buf 0 (Bytes.length buf) with
+  | n -> n
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> read_chunk fd buf
+
+let run ?(heartbeat_s = 0.5) ?(read_timeout_s = 30.) ?(max_reconnects = 100)
+    ~transport ~id ~tasks_dir ~run_task () =
   (* A coordinator that died mid-write must surface as EPIPE on our
      next send, not kill the process. *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
    with Invalid_argument _ | Sys_error _ -> ());
-  match connect socket with
-  | None ->
-    Printf.eprintf "rumor worker %d: cannot reach coordinator at %s\n%!" id
-      socket;
-    3
-  | Some fd ->
-    let conn = { fd; lock = Mutex.create () } in
-    let stop_beats = Atomic.make false in
-    let beats =
-      Domain.spawn (fun () ->
-          (* Sleep in small slices: an orderly Stop must not wait out
-             a whole heartbeat period before the domain can join. *)
-          let rec nap left =
-            if left > 0. && not (Atomic.get stop_beats) then begin
-              let dt = Float.min 0.05 left in
-              Unix.sleepf dt;
-              nap (left -. dt)
-            end
-          in
-          while not (Atomic.get stop_beats) do
-            nap heartbeat_s;
-            if not (Atomic.get stop_beats) then
-              try send conn (Proto.Beat { worker = id })
-              with Unix.Unix_error (_, _, _) | Sys_error _ ->
-                (* Coordinator is gone: the main loop will see EOF. *)
-                Atomic.set stop_beats true
-          done)
+  let legacy = match transport with Unix_sock _ -> true | Tcp _ -> false in
+  let token =
+    match transport with Tcp { token; _ } -> token | Unix_sock _ -> None
+  in
+  let seed = Int64.of_int (if id >= 0 then id + 1 else Unix.getpid ()) in
+  let sess_id = ref id in
+  (* Results of the current lease the coordinator has not provably
+     processed yet; re-sent after a reconnect so a result whose frame
+     died with the connection still arrives (lease/epoch replay on the
+     coordinator decides whether to trust a duplicate). *)
+  let unacked : Proto.msg list ref = ref [] (* newest first *) in
+  let conn_cell : (conn * int) option Atomic.t = Atomic.make None in
+  let stop_beats = Atomic.make false in
+  let beats =
+    Domain.spawn (fun () ->
+        (* Sleep in small slices: an orderly Stop must not wait out
+           a whole heartbeat period before the domain can join. *)
+        let rec nap left =
+          if left > 0. && not (Atomic.get stop_beats) then begin
+            let dt = Float.min 0.05 left in
+            Unix.sleepf dt;
+            nap (left -. dt)
+          end
+        in
+        while not (Atomic.get stop_beats) do
+          nap heartbeat_s;
+          if not (Atomic.get stop_beats) then
+            match Atomic.get conn_cell with
+            | None -> () (* between sessions: nothing to prove alive on *)
+            | Some (conn, w) -> (
+              try send conn (Proto.Beat { worker = w })
+              with Unix.Unix_error _ | Sys_error _ ->
+                (* Main loop owns reconnect; drop the beat. *)
+                ())
+        done)
+  in
+  let reconnects = ref 0 in
+  (* Consecutive sessions that died before completing the handshake;
+     gates an extra between-session backoff so a coordinator that
+     accepts and immediately drops us is not hammered. *)
+  let fail_streak = ref 0 in
+  let recv_deadline conn reader ~deadline_s =
+    let deadline = Clock.now_s () +. deadline_s in
+    let chunk = Bytes.create 65536 in
+    let rec go () =
+      match Proto.next reader with
+      | Some j -> Some j
+      | None ->
+        if Clock.now_s () > deadline then begin
+          incr fail_streak;
+          raise (Reconnect "handshake timeout")
+        end;
+        if select_read conn.fd 0.2 then begin
+          match read_chunk conn.fd chunk with
+          | 0 -> None
+          | n ->
+            Proto.feed reader chunk n;
+            go ()
+        end
+        else go ()
     in
-    let reader = Proto.reader () in
-    let code = ref 0 in
-    Fun.protect
-      ~finally:(fun () ->
-        Atomic.set stop_beats true;
-        Domain.join beats;
-        try Unix.close fd with Unix.Unix_error _ -> ())
-      (fun () ->
-        try
-          send conn (Proto.Hello { worker = id; pid = Unix.getpid () });
-          let running = ref true in
-          while !running do
-            match Option.bind (Proto.recv fd reader) Proto.of_json with
-            | None | Some Proto.Stop -> running := false
-            | Some (Proto.Grant { lease; epoch; tasks }) ->
-              List.iter
-                (fun task ->
-                  let file, outcome =
-                    run_captured ~tasks_dir ~task ~lease ~epoch run_task
-                  in
-                  let msg =
-                    match outcome with
-                    | Ok wall_s ->
-                      Proto.Result
-                        {
-                          worker = id; lease; epoch; task; ok = true;
-                          wall_s; file; err = None; transient = false;
-                        }
-                    | Error (wall_s, e) ->
-                      Proto.Result
-                        {
-                          worker = id; lease; epoch; task; ok = false;
-                          wall_s; file;
-                          err = Some (Printexc.to_string e);
-                          transient =
-                            Supervisor.default_classify e
-                            = Supervisor.Transient;
-                        }
-                  in
-                  send conn msg)
-                tasks
-            | Some _ -> ()  (* unknown message: ignore, stay compatible *)
-          done
-        with
-        | Unix.Unix_error (_, _, _) | Sys_error _ | Proto.Protocol_error _ ->
-          (* Coordinator vanished or the stream corrupted: exit quietly;
-             the coordinator reclaims our lease either way. *)
-          code := 0);
-    !code
+    go ()
+  in
+  let handshake conn reader =
+    if legacy then begin
+      send conn
+        (Proto.Hello
+           {
+             worker = !sess_id;
+             pid = Unix.getpid ();
+             proto = 1;
+             token = None;
+             crc = false;
+           });
+      fail_streak := 0
+    end
+    else begin
+      send conn
+        (Proto.Hello
+           {
+             worker = !sess_id;
+             pid = Unix.getpid ();
+             proto = Proto.version;
+             token;
+             crc = true;
+           });
+      match Option.map Proto.of_json (recv_deadline conn reader ~deadline_s:10.)
+      with
+      | None ->
+        incr fail_streak;
+        raise (Reconnect "no welcome (EOF)")
+      | Some (Some (Proto.Welcome { worker; proto = _; crc })) ->
+        sess_id := worker;
+        conn.crc <- crc;
+        Proto.set_crc reader crc;
+        fail_streak := 0
+      | Some (Some (Proto.Reject { reason })) ->
+        raise (Fatal (Printf.sprintf "admission rejected: %s" reason))
+      | Some _ ->
+        incr fail_streak;
+        raise (Reconnect "unexpected pre-welcome frame")
+    end
+  in
+  let recv_msg conn reader =
+    if legacy then Proto.recv conn.fd reader
+    else begin
+      let chunk = Bytes.create 65536 in
+      let rec go () =
+        match Proto.next reader with
+        | Some j -> Some j
+        | None ->
+          if select_read conn.fd 0.25 then begin
+            match read_chunk conn.fd chunk with
+            | 0 -> None
+            | n ->
+              Proto.feed reader chunk n;
+              go ()
+          end
+          else if
+            Proto.stalled reader ~now:(Clock.now_s ()) ~timeout:read_timeout_s
+          then raise (Reconnect "mid-frame read timeout")
+          else go ()
+      in
+      go ()
+    end
+  in
+  let result_msg ~lease ~epoch ~task ~file outcome =
+    match outcome with
+    | Ok wall_s ->
+      if legacy then
+        Proto.Result
+          {
+            worker = !sess_id; lease; epoch; task; ok = true; wall_s; file;
+            err = None; transient = false; data = None;
+          }
+      else begin
+        (* No shared filesystem with the coordinator: ship the bytes. *)
+        match read_back (Filename.concat tasks_dir file) with
+        | Some s when String.length s <= max_inline ->
+          Proto.Result
+            {
+              worker = !sess_id; lease; epoch; task; ok = true; wall_s; file;
+              err = None; transient = false; data = Some s;
+            }
+        | Some s ->
+          Proto.Result
+            {
+              worker = !sess_id; lease; epoch; task; ok = false; wall_s; file;
+              err =
+                Some
+                  (Printf.sprintf "captured output of %d bytes exceeds the %d-byte inline cap"
+                     (String.length s) max_inline);
+              transient = false; data = None;
+            }
+        | None ->
+          Proto.Result
+            {
+              worker = !sess_id; lease; epoch; task; ok = false; wall_s; file;
+              err = Some "cannot read captured output back"; transient = true;
+              data = None;
+            }
+      end
+    | Error (wall_s, e) ->
+      Proto.Result
+        {
+          worker = !sess_id; lease; epoch; task; ok = false; wall_s; file;
+          err = Some (Printexc.to_string e);
+          transient = Supervisor.default_classify e = Supervisor.Transient;
+          data = None;
+        }
+  in
+  let handle_grant conn ~lease ~epoch tasks =
+    (* A fresh grant proves the coordinator processed everything we
+       sent on the previous lease: drop the replay buffer. *)
+    unacked := [];
+    let broken = ref None in
+    List.iter
+      (fun task ->
+        let file, outcome =
+          run_captured ~tasks_dir ~task ~lease ~epoch run_task
+        in
+        let msg = result_msg ~lease ~epoch ~task ~file outcome in
+        unacked := msg :: !unacked;
+        if !broken = None then
+          try send conn msg
+          with (Unix.Unix_error _ | Sys_error _) as e ->
+            if legacy then raise e
+            else
+              (* Finish the whole batch first — the work is done
+                 either way; results flow through [unacked] after the
+                 reconnect. *)
+              broken := Some (Printexc.to_string e))
+      tasks;
+    match !broken with
+    | Some why -> raise (Reconnect ("send failed: " ^ why))
+    | None -> ()
+  in
+  let rec sessions () =
+    match connect ~seed transport with
+    | None ->
+      Printf.eprintf "rumor worker %d: cannot reach coordinator at %s\n%!"
+        !sess_id (describe transport);
+      3
+    | Some fd -> (
+      let conn = { fd; lock = Mutex.create (); crc = false; closed = false } in
+      let reader = Proto.reader () in
+      let outcome =
+        Fun.protect
+          ~finally:(fun () ->
+            Atomic.set conn_cell None;
+            close_conn conn)
+          (fun () ->
+            try
+              handshake conn reader;
+              Atomic.set conn_cell (Some (conn, !sess_id));
+              List.iter (fun m -> send conn m) (List.rev !unacked);
+              let rec loop () =
+                match recv_msg conn reader with
+                | None -> if legacy then `Done 0 else raise (Reconnect "eof")
+                | Some j -> (
+                  match Proto.of_json j with
+                  | Some Proto.Stop -> `Done 0
+                  | Some (Proto.Grant { lease; epoch; tasks }) ->
+                    handle_grant conn ~lease ~epoch tasks;
+                    loop ()
+                  | Some _ | None ->
+                    (* unknown message: ignore, stay compatible *)
+                    loop ())
+              in
+              loop ()
+            with
+            | Fatal msg ->
+              Printf.eprintf "rumor worker %d: %s\n%!" !sess_id msg;
+              `Done 3
+            | Reconnect why when not legacy -> `Again why
+            | (Unix.Unix_error _ | Sys_error _ | Proto.Protocol_error _) when
+                not legacy ->
+              `Again "connection error"
+            | Unix.Unix_error _ | Sys_error _ | Proto.Protocol_error _ ->
+              (* Legacy path: coordinator vanished or the stream
+                 corrupted — exit quietly; the coordinator reclaims
+                 our lease either way. *)
+              `Done 0)
+      in
+      match outcome with
+      | `Done code -> code
+      | `Again why ->
+        incr reconnects;
+        if !reconnects > max_reconnects then begin
+          Printf.eprintf
+            "rumor worker %d: giving up after %d reconnects (%s)\n%!" !sess_id
+            !reconnects why;
+          3
+        end
+        else begin
+          if !fail_streak > 0 then
+            Unix.sleepf (backoff_s ~seed ~attempt:(Int.min 10 !fail_streak));
+          sessions ()
+        end)
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Atomic.set stop_beats true;
+      Domain.join beats)
+    sessions

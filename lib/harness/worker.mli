@@ -1,6 +1,7 @@
 (** Worker-process side of the multi-process campaign: connect to the
-    coordinator's Unix-domain socket, pull leased task batches, run
-    them with stdout captured per task, report results, heartbeat.
+    coordinator (Unix-domain socket on the same host, or TCP from
+    another machine), pull leased task batches, run them with stdout
+    captured per task, report results, heartbeat.
 
     A worker is intentionally dumb: it holds no queue state, never
     touches the WAL, and can be SIGKILLed at any instant — everything
@@ -10,33 +11,78 @@
     name ([.<task>.l<lease>e<epoch>.partial] inside [tasks_dir]); only
     the coordinator renames an accepted file to its canonical
     [<task>.out], so a zombie worker's late file can never clobber the
-    output of the reassigned run.
+    output of the reassigned run.  Remote (TCP) workers additionally
+    inline the captured bytes in the result frame, since the
+    coordinator cannot read their filesystem.
 
     {b Heartbeats} — a dedicated domain sends a beat every
     [heartbeat_s] whatever the main loop is doing, so a worker grinding
     through a long replicate still proves liveness; socket writes are
     mutex-serialized against result frames.
 
+    {b Reconnect/resume (TCP only)} — on EPIPE/ECONNRESET/EOF or a
+    mid-frame read timeout the worker finishes its in-flight batch,
+    then reconnects with deterministic exponential backoff, re-hellos
+    with its prior worker id, and re-sends the results the coordinator
+    has not provably processed (a fresh grant is the proof).  The
+    coordinator's lease/epoch replay decides whether a re-sent result
+    is still trusted, so a duplicate can never corrupt an output.  A
+    [Reject] at admission (bad token, bad protocol version) is
+    terminal — exit code 3, no retry.  Legacy Unix-socket workers keep
+    the PR-6 behaviour exactly: any error or EOF is a quiet exit 0.
+
     {b Determinism} — tasks run in-process through [run_task] exactly
     as the single-process campaign would run them ([Experiment.print]
     and friends), replicates on the ordinary {!Rumor_par.Pool} Domain
     pool; the split-seed contract makes the captured bytes identical
-    whichever worker, attempt or job count executed the task. *)
+    whichever worker, attempt, connection or job count executed the
+    task. *)
 
 val partial_name : task:string -> lease:int -> epoch:int -> string
 (** Basename of the stamped capture file — shared with the
     coordinator, which renames or deletes it. *)
 
+type transport =
+  | Unix_sock of string  (** coordinator's Unix-domain socket path *)
+  | Tcp of { host : string; port : int; token : string option }
+      (** remote coordinator; [token] must match [--token] on the
+          campaign or admission is rejected *)
+
+val backoff_s : seed:int64 -> attempt:int -> float
+(** Delay before connect [attempt] (1-based):
+    [min 3 (0.05 * 2^(attempt-1)) * (0.5 + u)] with [u] drawn from
+    [Rng.derive seed attempt] — deterministic per worker, exponential,
+    jittered so a fleet of workers does not reconnect in lockstep. *)
+
+val connect :
+  ?attempts:int -> seed:int64 -> transport -> Unix.file_descr option
+(** Dial the coordinator, creating a {e fresh} socket per attempt (a
+    failed [connect] leaves an fd in unspecified state; retrying on it
+    is EINVAL on some platforms) and sleeping {!backoff_s} between
+    attempts (default 10).  Only plausibly-transient errors
+    (ENOENT/ECONNREFUSED on startup races, reset/unreachable/timeout
+    on network blips) are retried.  TCP sockets get
+    [TCP_NODELAY]/[SO_KEEPALIVE]; all sockets are close-on-exec. *)
+
 val run :
   ?heartbeat_s:float ->
-  socket:string ->
+  ?read_timeout_s:float ->
+  ?max_reconnects:int ->
+  transport:transport ->
   id:int ->
   tasks_dir:string ->
   run_task:(string -> unit) ->
   unit ->
   int
-(** Serve until the coordinator says [Stop] or hangs up; returns the
-    process exit code (0 on an orderly stop or coordinator EOF, 3 when
-    the socket cannot be reached).  [run_task] exceptions are caught,
-    classified with {!Supervisor.default_classify} and reported in the
-    result frame — they never kill the worker. *)
+(** Serve until the coordinator says [Stop] or (legacy transport)
+    hangs up; returns the process exit code: 0 on an orderly stop, 3
+    when the coordinator is unreachable, admission is rejected, or
+    [max_reconnects] (default 100) TCP sessions in a row have failed.
+    [id] is the worker id to announce; pass [-1] over TCP to let the
+    coordinator assign one (the [Welcome] reply is binding either
+    way).  [read_timeout_s] (default 30) bounds how long a TCP worker
+    lets a {e partially received} frame sit before treating the
+    connection as wedged and reconnecting — an idle connection with an
+    empty buffer waits indefinitely.  [run_task] exceptions are
+    caught, classified with {!Supervisor.default_classify} and
+    reported in the result frame — they never kill the worker. *)

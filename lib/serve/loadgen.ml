@@ -71,7 +71,8 @@ type state = {
 let connect cfg =
   let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
   Unix.connect fd
-    (Unix.ADDR_INET (Unix.inet_addr_of_string cfg.host, cfg.port));
+    (Unix.ADDR_INET (Rumor_util.Net.resolve_exn cfg.host, cfg.port));
+  Rumor_util.Net.tune_stream_socket fd;
   { fd; rdr = Proto.reader (); line = Buffer.create 256; pending = Queue.create (); busy = false }
 
 let send_query st conn =

@@ -12,7 +12,7 @@
     one [select] multiplexes all connections. *)
 
 type config = {
-  host : string;
+  host : string;  (** numeric or a resolvable hostname *)
   port : int;
   duration_s : float;
   concurrency : int;

@@ -141,7 +141,9 @@ let create config =
    try Unix.mkdir cp 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
   let listen_fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
   Unix.setsockopt listen_fd Unix.SO_REUSEADDR true;
-  let addr = Unix.ADDR_INET (Unix.inet_addr_of_string config.host, config.port) in
+  let addr =
+    Unix.ADDR_INET (Rumor_util.Net.resolve_exn config.host, config.port)
+  in
   (try Unix.bind listen_fd addr
    with e ->
      Unix.close listen_fd;
@@ -710,6 +712,7 @@ let serve t =
           match Unix.accept ~cloexec:true t.listen_fd with
           | conn_fd, _ ->
             Unix.set_nonblock conn_fd;
+            Rumor_util.Net.tune_stream_socket conn_fd;
             t.conns <-
               {
                 fd = conn_fd;

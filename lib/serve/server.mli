@@ -36,7 +36,7 @@
 
 type config = {
   dir : string;  (** cache directory: journal, checkpoints, manifest *)
-  host : string;
+  host : string;  (** bind address: numeric or a resolvable hostname *)
   port : int;  (** 0 = ephemeral; see {!port} *)
   queue_cap : int;  (** admission-queue bound *)
   cache_cap : int;  (** LRU capacity *)

@@ -1,0 +1,40 @@
+let resolve host =
+  (* Fast path: a numeric address needs no resolver round trip (and
+     works on hosts with no functional getaddrinfo at all). *)
+  match Unix.inet_addr_of_string host with
+  | addr -> Ok addr
+  | exception Failure _ -> (
+    match
+      Unix.getaddrinfo host ""
+        [ Unix.AI_FAMILY Unix.PF_INET; Unix.AI_SOCKTYPE Unix.SOCK_STREAM ]
+    with
+    | [] -> Error (Printf.sprintf "cannot resolve host %S" host)
+    | { Unix.ai_addr = Unix.ADDR_INET (addr, _); _ } :: _ -> Ok addr
+    | _ :: _ -> Error (Printf.sprintf "no IPv4 address for host %S" host)
+    | exception (Unix.Unix_error _ | Not_found) ->
+      Error (Printf.sprintf "cannot resolve host %S" host))
+
+let resolve_exn host =
+  match resolve host with Ok a -> a | Error msg -> failwith msg
+
+let parse_hostport ?(default_host = "127.0.0.1") s =
+  let s = String.trim s in
+  let host, port_s =
+    match String.rindex_opt s ':' with
+    | Some i ->
+      (String.sub s 0 i, String.sub s (i + 1) (String.length s - i - 1))
+    | None -> (default_host, s)
+  in
+  let host = if host = "" then default_host else host in
+  match int_of_string_opt port_s with
+  | Some p when p >= 0 && p <= 65535 -> Ok (host, p)
+  | _ -> Error (Printf.sprintf "bad HOST:PORT %S (port must be 0..65535)" s)
+
+let tune_stream_socket fd =
+  (* Each option independently: a Unix-domain socket rejects
+     TCP_NODELAY (EOPNOTSUPP) but that must not skip SO_KEEPALIVE on a
+     TCP one, and vice versa. *)
+  (try Unix.setsockopt fd Unix.TCP_NODELAY true
+   with Unix.Unix_error _ | Invalid_argument _ -> ());
+  try Unix.setsockopt fd Unix.SO_KEEPALIVE true
+  with Unix.Unix_error _ | Invalid_argument _ -> ()

@@ -1,0 +1,32 @@
+(** Stream-socket plumbing shared by every networked subsystem (the
+    campaign coordinator and its TCP workers, [rumor serve],
+    [rumor loadgen], the netchaos proxy).
+
+    Address handling used to be [Unix.inet_addr_of_string] scattered
+    per call site, which silently rejected hostnames; every [--host],
+    [--listen] and [--connect] flag now goes through {!resolve}. *)
+
+val resolve : string -> (Unix.inet_addr, string) result
+(** Resolve a host name or numeric IPv4 address.  Numeric addresses
+    short-circuit; names go through [getaddrinfo] restricted to IPv4
+    stream sockets (everything in this repo binds [PF_INET]).  The
+    error message names the host. *)
+
+val resolve_exn : string -> Unix.inet_addr
+(** {!resolve}, raising [Failure] with the same message. *)
+
+val parse_hostport : ?default_host:string -> string -> (string * int, string) result
+(** Parse a ["HOST:PORT"] (or bare ["PORT"]) flag value.  The host
+    part is returned unresolved — resolution happens at socket-open
+    time so the error lands where the connection is attempted.
+    [default_host] (default ["127.0.0.1"]) fills in a missing or empty
+    host part.  Ports outside [0..65535] (0 = kernel-assigned) are
+    rejected. *)
+
+val tune_stream_socket : Unix.file_descr -> unit
+(** Set [TCP_NODELAY] (the frames here are small and latency-bound —
+    Nagle batching would serialize grant/result round trips) and
+    [SO_KEEPALIVE] (a half-open peer eventually surfaces as an error
+    instead of pinning a connection forever).  Call on every accepted
+    and every connected stream socket; on a Unix-domain socket the
+    inapplicable options are silently skipped. *)

@@ -50,7 +50,22 @@ let msg_roundtrip m =
   | None -> false
 
 let test_proto_roundtrip () =
-  check bool "hello" true (msg_roundtrip (Proto.Hello { worker = 3; pid = 42 }));
+  check bool "hello (legacy)" true
+    (msg_roundtrip
+       (Proto.Hello
+          { worker = 3; pid = 42; proto = 1; token = None; crc = false }));
+  check bool "hello (v2, token + crc)" true
+    (msg_roundtrip
+       (Proto.Hello
+          {
+            worker = -1; pid = 42; proto = Proto.version;
+            token = Some "s3cret"; crc = true;
+          }));
+  check bool "welcome" true
+    (msg_roundtrip
+       (Proto.Welcome { worker = 7; proto = Proto.version; crc = true }));
+  check bool "reject" true
+    (msg_roundtrip (Proto.Reject { reason = "bad token" }));
   check bool "beat" true (msg_roundtrip (Proto.Beat { worker = 0 }));
   check bool "grant" true
     (msg_roundtrip (Proto.Grant { lease = 7; epoch = 19; tasks = [ "E1"; "E2" ] }));
@@ -61,7 +76,15 @@ let test_proto_roundtrip () =
           {
             worker = 1; lease = 7; epoch = 19; task = "E1"; ok = true;
             wall_s = 1.25; file = ".E1.l7e19.partial"; err = None;
-            transient = false;
+            transient = false; data = None;
+          }));
+  check bool "ok result with inline data" true
+    (msg_roundtrip
+       (Proto.Result
+          {
+            worker = 1; lease = 7; epoch = 19; task = "E1"; ok = true;
+            wall_s = 1.25; file = ".E1.l7e19.partial"; err = None;
+            transient = false; data = Some "captured\noutput\n";
           }));
   check bool "failed transient result" true
     (msg_roundtrip
@@ -69,10 +92,23 @@ let test_proto_roundtrip () =
           {
             worker = 1; lease = 7; epoch = 19; task = "E1"; ok = false;
             wall_s = 0.5; file = ".E1.l7e19.partial";
-            err = Some "oops\nwith a newline"; transient = true;
+            err = Some "oops\nwith a newline"; transient = true; data = None;
           }));
   check bool "unknown k rejected" true
-    (Proto.of_json (Obs.Json.Obj [ ("k", Obs.Json.String "nope") ]) = None)
+    (Proto.of_json (Obs.Json.Obj [ ("k", Obs.Json.String "nope") ]) = None);
+  (* A proto-1 hello must render without the v2 fields, so an old
+     coordinator still parses it. *)
+  (match
+     Proto.to_json
+       (Proto.Hello
+          { worker = 3; pid = 42; proto = 1; token = None; crc = false })
+   with
+  | Obs.Json.Obj fields ->
+    check bool "legacy hello has no v2 fields" true
+      (not (List.mem_assoc "v" fields)
+      && not (List.mem_assoc "tok" fields)
+      && not (List.mem_assoc "crc" fields))
+  | _ -> check bool "legacy hello is an object" true false)
 
 (* Frames survive a socketpair in arbitrarily small reads, newlines in
    payload strings included (the framing is length-prefixed, not
@@ -86,12 +122,13 @@ let test_proto_framing () =
     (fun () ->
       let msgs =
         [
-          Proto.Hello { worker = 0; pid = 1 };
+          Proto.Hello
+            { worker = 0; pid = 1; proto = 1; token = None; crc = false };
           Proto.Result
             {
               worker = 0; lease = 1; epoch = 1; task = "t\nwith\nnewlines";
               ok = false; wall_s = 0.; file = "f"; err = Some "line1\nline2";
-              transient = false;
+              transient = false; data = None;
             };
           Proto.Stop;
         ]
@@ -135,6 +172,105 @@ let test_proto_oversize_rejected () =
     (match Proto.next reader with
     | exception Proto.Protocol_error _ -> true
     | _ -> false)
+
+(* Every single-byte corruption of a CRC-trailered frame — payload or
+   trailer — must surface as [Protocol_error], never as a decoded
+   frame and never as a silent stall past the frame's length. *)
+let test_proto_crc_detects_corruption () =
+  let msg = Proto.Grant { lease = 1; epoch = 2; tasks = [ "E1"; "E2" ] } in
+  let frame = Proto.frame ~crc:true (Proto.to_json msg) in
+  let rd = Proto.reader () in
+  Proto.set_crc rd true;
+  Proto.feed rd frame (Bytes.length frame);
+  check bool "clean frame decodes" true
+    (Proto.next rd = Some (Proto.to_json msg));
+  for i = 4 to Bytes.length frame - 1 do
+    let copy = Bytes.copy frame in
+    Bytes.set copy i (Char.chr (Char.code (Bytes.get copy i) lxor 0x20));
+    let rd = Proto.reader () in
+    Proto.set_crc rd true;
+    Proto.feed rd copy (Bytes.length copy);
+    match Proto.next rd with
+    | exception Proto.Protocol_error _ -> ()
+    | Some _ -> Alcotest.failf "corrupted byte %d silently accepted" i
+    | None -> Alcotest.failf "corrupted byte %d never detected" i
+  done
+
+(* Random multi-message streams (payload strings full of newlines,
+   quotes and control bytes), CRC trailers on or off, fed to one
+   reader in random chunk sizes — including 1-byte feeds and splits
+   inside the length prefix and the trailer.  Every message must come
+   back, in order, whatever the chunking. *)
+let prop_proto_random_split =
+  let fuzz_string rng =
+    let len = Rng.int rng 24 in
+    String.init len (fun _ ->
+        match Rng.int rng 6 with
+        | 0 -> '\n'
+        | 1 -> '"'
+        | 2 -> '\\'
+        | 3 -> Char.chr (Rng.int rng 32)
+        | _ -> Char.chr (32 + Rng.int rng 95))
+  in
+  QCheck.Test.make ~count:300
+    ~name:"reader survives random chunk splits (CRC on and off)"
+    QCheck.(triple (int_range 0 1_000_000) (int_range 1 8) bool)
+    (fun (seed, nmsgs, crc) ->
+      let rng = Rng.create seed in
+      let msgs =
+        List.init nmsgs (fun i ->
+            match Rng.int rng 3 with
+            | 0 ->
+              Proto.Grant
+                {
+                  lease = Rng.int rng 1000; epoch = Rng.int rng 1000;
+                  tasks = List.init (Rng.int rng 4) (fun _ -> fuzz_string rng);
+                }
+            | 1 -> Proto.Beat { worker = i }
+            | _ ->
+              let ok = Rng.int rng 2 = 0 in
+              Proto.Result
+                {
+                  worker = i; lease = Rng.int rng 1000;
+                  epoch = Rng.int rng 1000; task = fuzz_string rng;
+                  ok; wall_s = 0.5;
+                  file = fuzz_string rng;
+                  err =
+                    (if Rng.int rng 2 = 0 then Some (fuzz_string rng)
+                     else None);
+                  (* [cls] only travels on failures: a transient flag
+                     on an ok result is not representable on the wire,
+                     so generate canonical messages only. *)
+                  transient = Rng.int rng 2 = 0 && not ok;
+                  data =
+                    (if Rng.int rng 2 = 0 then Some (fuzz_string rng)
+                     else None);
+                })
+      in
+      let stream = Buffer.create 256 in
+      List.iter
+        (fun m -> Buffer.add_bytes stream (Proto.frame ~crc (Proto.to_json m)))
+        msgs;
+      let stream = Buffer.to_bytes stream in
+      let reader = Proto.reader () in
+      Proto.set_crc reader crc;
+      let got = ref [] in
+      let pos = ref 0 in
+      let len = Bytes.length stream in
+      while !pos < len do
+        let n = Int.min (1 + Rng.int rng 7) (len - !pos) in
+        Proto.feed reader (Bytes.sub stream !pos n) n;
+        pos := !pos + n;
+        let rec pop () =
+          match Proto.next reader with
+          | Some j ->
+            got := j :: !got;
+            pop ()
+          | None -> ()
+        in
+        pop ()
+      done;
+      List.rev_map Proto.of_json !got = List.map (fun m -> Some m) msgs)
 
 (* --- lease table --- *)
 
@@ -325,7 +461,9 @@ let fork_spawn ?(heartbeat_s = 0.05) ~tasks_dir ~run_task () ~slot ~socket =
   match Unix.fork () with
   | 0 ->
     let code =
-      try Worker.run ~heartbeat_s ~socket ~id:slot ~tasks_dir ~run_task ()
+      try
+        Worker.run ~heartbeat_s ~transport:(Worker.Unix_sock socket) ~id:slot
+          ~tasks_dir ~run_task ()
       with _ -> 4
     in
     Unix._exit code
@@ -522,7 +660,11 @@ let test_coordinator_zombie_is_fenced () =
                Unix.connect fd (Unix.ADDR_UNIX socket);
                Proto.send fd
                  (Proto.to_json
-                    (Proto.Hello { worker = slot; pid = Unix.getpid () }));
+                    (Proto.Hello
+                       {
+                         worker = slot; pid = Unix.getpid (); proto = 1;
+                         token = None; crc = false;
+                       }));
                let reader = Proto.reader () in
                (match Option.bind (Proto.recv fd reader) Proto.of_json with
                | Some (Proto.Grant { lease; epoch; tasks = task :: _ }) ->
@@ -537,6 +679,7 @@ let test_coordinator_zombie_is_fenced () =
                          {
                            worker = slot; lease; epoch; task; ok = true;
                            wall_s = 0.; file; err = None; transient = false;
+                           data = None;
                          }));
                  (* Stay alive until the coordinator hangs up. *)
                  let rec drain () =
@@ -697,6 +840,263 @@ let test_coordinator_replay_missing_output_reruns () =
       check bool "a output restored" true
         (Sys.file_exists (Coordinator.output_path config "a")))
 
+(* --- TCP workers, through the deterministic chaos proxy ---
+
+   Topology per test: remote worker processes dial a netchaos proxy,
+   which forwards to the coordinator's TCP listener.  The OCaml 5
+   runtime permanently refuses [Unix.fork] once any domain has ever
+   been spawned in the process, and {!Netchaos.start} runs its relay
+   loop in a domain — so the proxy lives in a forked child process of
+   its own, keeping this (heavily forking) test binary domain-free.
+   Ports are reserved up front by binding an ephemeral socket and
+   closing it, so proxy, workers and coordinator can all be told
+   their addresses in advance. *)
+
+let free_port () =
+  let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> Unix.close fd)
+    (fun () ->
+      Unix.setsockopt fd Unix.SO_REUSEADDR true;
+      Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+      match Unix.getsockname fd with
+      | Unix.ADDR_INET (_, p) -> p
+      | _ -> assert false)
+
+let fork_tcp_worker ?(heartbeat_s = 0.05) ?read_timeout_s ?token ~port
+    ~tasks_dir ~run_task () =
+  flush stdout;
+  flush stderr;
+  match Unix.fork () with
+  | 0 ->
+    let code =
+      try
+        Worker.run ~heartbeat_s ?read_timeout_s
+          ~transport:(Worker.Tcp { host = "127.0.0.1"; port; token })
+          ~id:(-1) ~tasks_dir ~run_task ()
+      with _ -> 4
+    in
+    Unix._exit code
+  | pid -> pid
+
+let wait_exit pid =
+  match Unix.waitpid [] pid with
+  | _, Unix.WEXITED c -> c
+  | _, (Unix.WSIGNALED _ | Unix.WSTOPPED _) -> -1
+  | exception Unix.Unix_error _ -> -1
+
+let fork_proxy ~seed ~port ~forward_port fault =
+  flush stdout;
+  flush stderr;
+  match Unix.fork () with
+  | 0 ->
+    (try
+       let _proxy =
+         Netchaos.start ~seed ~port ~forward_host:"127.0.0.1" ~forward_port
+           fault
+       in
+       let rec wait () =
+         Unix.sleepf 3600.;
+         wait ()
+       in
+       wait ()
+     with _ -> ());
+    Unix._exit 1
+  | pid -> pid
+
+let stop_proxy pid =
+  (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+  try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ()
+
+(* Keep the campaign alive long enough for every forked worker to
+   finish joining (and for byte-budgeted faults to land mid-stream);
+   the sleep shapes timing, never the captured bytes. *)
+let slow_task task =
+  Unix.sleepf 0.15;
+  print_task task
+
+(* Run [tasks] on [nworkers] remote TCP workers behind a chaos proxy
+   with [fault]; returns (summary, config, worker exit codes).  The
+   workers spool partials into their own directory — distinct from
+   the campaign's tasks dir — so the captured bytes can only have
+   travelled inline in result frames. *)
+let run_tcp_campaign ~dir ~nworkers ~fault ?token ?(proxy_seed = 7)
+    ?(heartbeat_s = 0.05) ?read_timeout_s ?(run_task = slow_task) ~tasks () =
+  let p_coord = free_port () in
+  let p_proxy = free_port () in
+  let config =
+    {
+      (quick_config ~dir ~workers:0) with
+      Coordinator.listen = Some ("127.0.0.1", p_coord);
+      token;
+    }
+  in
+  let spool = Filename.concat dir "wspool" in
+  Unix.mkdir spool 0o755;
+  let proxy = fork_proxy ~seed:proxy_seed ~port:p_proxy ~forward_port:p_coord fault in
+  let pids =
+    List.init nworkers (fun _ ->
+        fork_tcp_worker ~heartbeat_s ?read_timeout_s ?token ~port:p_proxy
+          ~tasks_dir:spool ~run_task ())
+  in
+  Fun.protect
+    ~finally:(fun () -> stop_proxy proxy)
+    (fun () ->
+      let summary =
+        Coordinator.run
+          ~spawn:(fun ~slot:_ ~socket:_ ->
+            Alcotest.fail "spawn called with zero local workers")
+          config tasks
+      in
+      let codes = List.map wait_exit pids in
+      (summary, config, codes))
+
+let test_tcp_campaign_byte_identity () =
+  let tasks = [ "a"; "b"; "c"; "d"; "e" ] in
+  with_temp_dir (fun ref_dir ->
+      with_temp_dir (fun dir ->
+          let _, ref_config = run_campaign ~dir:ref_dir ~workers:1 ~tasks () in
+          let summary, config, codes =
+            run_tcp_campaign ~dir ~nworkers:2 ~fault:Netchaos.passthrough
+              ~token:"tcp-e2e" ~tasks ()
+          in
+          check int "campaign clean" 0 (Coordinator.exit_code summary);
+          check bool "workers exited 0" true
+            (List.for_all (fun c -> c = 0) codes);
+          check bool "remote workers in the manifest" true
+            (List.exists
+               (fun w -> w.Coordinator.remote)
+               summary.Coordinator.workers);
+          check bool "inline outputs byte-identical to local run" true
+            (outputs ref_config tasks = outputs config tasks)))
+
+(* One forced mid-campaign reset: the link is abortively cut after
+   ~1.5 KiB (well past admission, inside the stream of inline
+   results), exactly once.  The worker must reconnect, resume its
+   worker id, re-send what the coordinator never processed — and the
+   outputs must not bear a single different byte. *)
+let test_tcp_reconnect_after_reset () =
+  let tasks = [ "a"; "b"; "c"; "d"; "e" ] in
+  with_temp_dir (fun ref_dir ->
+      with_temp_dir (fun dir ->
+          let _, ref_config = run_campaign ~dir:ref_dir ~workers:1 ~tasks () in
+          let fault =
+            {
+              Netchaos.passthrough with
+              Netchaos.reset_after_bytes = Some 1536;
+              max_resets = Some 1;
+            }
+          in
+          let summary, config, codes =
+            run_tcp_campaign ~dir ~nworkers:1 ~fault ~tasks ()
+          in
+          check int "campaign clean despite the reset" 0
+            (Coordinator.exit_code summary);
+          check bool "worker exited 0" true
+            (List.for_all (fun c -> c = 0) codes);
+          check bool "worker resumed its slot" true
+            (summary.Coordinator.remote_reconnects >= 1);
+          check bool "outputs byte-identical across the reset" true
+            (outputs ref_config tasks = outputs config tasks)))
+
+(* Random single-byte corruption on the wire: the negotiated CRC
+   trailer must turn every hit into a protocol error and a reconnect —
+   never a silently accepted frame — and the campaign must still end
+   with byte-identical outputs. *)
+let test_tcp_corruption_detected () =
+  let tasks = [ "a"; "b"; "c"; "d"; "e" ] in
+  with_temp_dir (fun ref_dir ->
+      with_temp_dir (fun dir ->
+          let _, ref_config = run_campaign ~dir:ref_dir ~workers:1 ~tasks () in
+          (* Seed 3 deterministically corrupts early chunks of the
+             first link in both directions; at one beat per 0.2 s the
+             chunk indices land mid-campaign.  The rate stays low and
+             the worker's read timeout short so recovery always
+             outpaces the next hit. *)
+          let fault =
+            { Netchaos.passthrough with Netchaos.corrupt_p = 0.08 }
+          in
+          let summary, config, codes =
+            run_tcp_campaign ~dir ~nworkers:1 ~fault ~proxy_seed:3
+              ~heartbeat_s:0.2 ~read_timeout_s:3. ~tasks ()
+          in
+          check int "campaign clean under corruption" 0
+            (Coordinator.exit_code summary);
+          check bool "worker exited 0" true
+            (List.for_all (fun c -> c = 0) codes);
+          check bool "corruption forced at least one reconnect" true
+            (summary.Coordinator.remote_reconnects >= 1);
+          check bool "outputs byte-identical under corruption" true
+            (outputs ref_config tasks = outputs config tasks)))
+
+(* A worker with the wrong campaign token is refused at the door: a
+   terminal Reject, worker exit 3, no lease ever granted to it.  A
+   correctly-tokened worker on the same listener carries the campaign
+   to a clean finish. *)
+let test_tcp_bad_token_rejected () =
+  let tasks = [ "a"; "b"; "c"; "d"; "e" ] in
+  with_temp_dir (fun dir ->
+      let p_coord = free_port () in
+      let config =
+        {
+          (quick_config ~dir ~workers:0) with
+          Coordinator.listen = Some ("127.0.0.1", p_coord);
+          token = Some "right";
+        }
+      in
+      let spool = Filename.concat dir "wspool" in
+      Unix.mkdir spool 0o755;
+      (* Slow tasks keep the campaign alive long enough that the bad
+         worker's hello always lands while the listener is still up —
+         otherwise it exits 3 for the wrong reason (unreachable) and
+         no rejection is ever counted. *)
+      let bad =
+        fork_tcp_worker ~token:"wrong" ~port:p_coord ~tasks_dir:spool
+          ~run_task:slow_task ()
+      in
+      let good =
+        fork_tcp_worker ~token:"right" ~port:p_coord ~tasks_dir:spool
+          ~run_task:slow_task ()
+      in
+      let summary =
+        Coordinator.run
+          ~spawn:(fun ~slot:_ ~socket:_ ->
+            Alcotest.fail "spawn called with zero local workers")
+          config tasks
+      in
+      let bad_code = wait_exit bad in
+      let good_code = wait_exit good in
+      check int "campaign clean" 0 (Coordinator.exit_code summary);
+      check int "rejected worker exits 3" 3 bad_code;
+      check int "admitted worker exits 0" 0 good_code;
+      check bool "rejection counted" true (summary.Coordinator.rejected >= 1);
+      List.iter
+        (fun id ->
+          check bool (id ^ " done") true
+            (List.assoc id summary.Coordinator.outcomes
+             |> function Campaign.Done _ -> true | _ -> false))
+        tasks)
+
+(* Reconnect backoff: pure function of (seed, attempt), exponential
+   up to the 3 s cap, jittered into [0.5, 1.5) of the base — so it is
+   reproducible per worker yet staggered across a fleet. *)
+let test_worker_backoff () =
+  for attempt = 1 to 12 do
+    let base = Float.min 3. (0.05 *. (2. ** float_of_int (attempt - 1))) in
+    let d = Worker.backoff_s ~seed:5L ~attempt in
+    check bool
+      (Printf.sprintf "attempt %d within jitter envelope" attempt)
+      true
+      (d >= 0.5 *. base && d < 1.5 *. base);
+    check bool
+      (Printf.sprintf "attempt %d deterministic" attempt)
+      true
+      (Worker.backoff_s ~seed:5L ~attempt = d)
+  done;
+  check bool "different seeds decorrelate" true
+    (Worker.backoff_s ~seed:5L ~attempt:6
+    <> Worker.backoff_s ~seed:6L ~attempt:6)
+
 let () =
   Alcotest.run "coordinator"
     [
@@ -708,6 +1108,9 @@ let () =
             test_proto_framing;
           Alcotest.test_case "oversize frame rejected" `Quick
             test_proto_oversize_rejected;
+          Alcotest.test_case "CRC trailer detects every 1-byte corruption"
+            `Quick test_proto_crc_detects_corruption;
+          QCheck_alcotest.to_alcotest prop_proto_random_split;
         ] );
       ( "lease",
         [
@@ -742,5 +1145,18 @@ let () =
             test_coordinator_replay_fencing;
           Alcotest.test_case "missing output re-runs despite journal" `Quick
             test_coordinator_replay_missing_output_reruns;
+        ] );
+      ( "tcp",
+        [
+          Alcotest.test_case "reconnect backoff deterministic and bounded"
+            `Quick test_worker_backoff;
+          Alcotest.test_case "remote workers via proxy, byte-identical" `Quick
+            test_tcp_campaign_byte_identity;
+          Alcotest.test_case "forced reset: reconnect, resume, identical"
+            `Quick test_tcp_reconnect_after_reset;
+          Alcotest.test_case "wire corruption caught by CRC, identical"
+            `Quick test_tcp_corruption_detected;
+          Alcotest.test_case "bad token rejected at admission" `Quick
+            test_tcp_bad_token_rejected;
         ] );
     ]

@@ -271,6 +271,60 @@ let test_stream_matches_descriptive () =
   check bool "stddev matches" true
     (close (Stream.stddev s) (Descriptive.stddev xs))
 
+(* --- Net --- *)
+
+let test_parse_hostport () =
+  let ok what expect s =
+    match Net.parse_hostport s with
+    | Ok hp ->
+      check (Alcotest.pair Alcotest.string int) what expect hp
+    | Error e -> Alcotest.failf "%s: unexpected error %s" what e
+  in
+  ok "host:port" ("10.0.0.1", 7070) "10.0.0.1:7070";
+  ok "hostname kept unresolved" ("coord.example", 443) "coord.example:443";
+  ok "bare port gets default host" ("127.0.0.1", 8080) "8080";
+  ok "empty host gets default host" ("127.0.0.1", 9090) ":9090";
+  ok "port 0 = kernel-assigned" ("127.0.0.1", 0) "0";
+  (match Net.parse_hostport ~default_host:"0.0.0.0" "4040" with
+  | Ok hp ->
+    check (Alcotest.pair Alcotest.string int) "custom default host"
+      ("0.0.0.0", 4040) hp
+  | Error e -> Alcotest.failf "custom default host: %s" e);
+  let err what s =
+    match Net.parse_hostport s with
+    | Ok (h, p) -> Alcotest.failf "%s: accepted as %s:%d" what h p
+    | Error _ -> ()
+  in
+  err "port out of range" "host:65536";
+  err "negative port" "host:-1";
+  err "non-numeric port" "host:http";
+  err "missing port" "host:";
+  err "empty" ""
+
+let test_resolve () =
+  (match Net.resolve "127.0.0.1" with
+  | Ok addr ->
+    check Alcotest.string "numeric short-circuits" "127.0.0.1"
+      (Unix.string_of_inet_addr addr)
+  | Error e -> Alcotest.failf "127.0.0.1: %s" e);
+  (match Net.resolve "localhost" with
+  | Ok addr ->
+    check bool "localhost resolves to loopback" true
+      (String.length (Unix.string_of_inet_addr addr) > 0)
+  | Error _ ->
+    (* A container without /etc/hosts is legal; the error must at
+       least name the host. *)
+    ());
+  match Net.resolve "no-such-host.invalid" with
+  | Ok _ -> Alcotest.fail "nonexistent host resolved"
+  | Error e ->
+    let contains hay needle =
+      let nh = String.length hay and nn = String.length needle in
+      let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+      go 0
+    in
+    check bool "error names the host" true (contains e "no-such-host.invalid")
+
 let () =
   Alcotest.run "util"
     [
@@ -320,5 +374,10 @@ let () =
           Alcotest.test_case "moments" `Quick test_stream_moments;
           Alcotest.test_case "matches descriptive" `Quick
             test_stream_matches_descriptive;
+        ] );
+      ( "net",
+        [
+          Alcotest.test_case "parse_hostport" `Quick test_parse_hostport;
+          Alcotest.test_case "resolve" `Quick test_resolve;
         ] );
     ]
